@@ -1,0 +1,119 @@
+"""Experiment T1.R1 — Table 1 row 1 / Theorem 3.1(1).
+
+Claim: Mechanism 1 instantiated with the Bassily et al. noisy-SGD batch
+solver achieves excess risk ``min{Õ((Td)^{1/3}/ε^{2/3}), 2TL‖C‖}`` for
+convex losses.
+
+What is regenerated, and how honestly:
+
+* **Incremental sweep** — ``PrivIncERM`` with the Theorem 3.1(1) schedule
+  over a ``T`` sweep.  At CI-scale ``T``, the per-invocation budget
+  ``ε′ = ε/(2√(2(T/τ)ln(2/δ)))`` leaves noisy SGD noise-dominated, so the
+  bound's ``min{·, T}`` selects the **trivial branch** — visible in the
+  table (paper_bound ≈ trivial) and asserted: the measured excess respects
+  the trivial ceiling.  The ``(Td)^{1/3}`` branch's formula shape is
+  verified exactly in ``tests/test_bounds.py``.
+* **Batch building-block sweep** — the ``(Td)^{1/3}`` incremental shape
+  rests on the batch solver's excess being *flat in the sample size n*
+  (risk ``Õ(√d L‖C‖/ε)``, Bassily et al.).  That component claim *is*
+  measurable at paper fidelity (``K = n²`` SGD steps) for moderate ``n``;
+  the second test runs it and asserts the sublinear-in-n shape.
+"""
+
+import pytest
+
+from repro import NoisySGD, PrivIncERM, SquaredLoss, L2Ball, tau_convex
+from repro.core.bounds import bound_generic_convex, trivial_bound
+from repro.data import make_dense_stream
+from repro.erm.solvers import exact_least_squares
+
+import numpy as np
+
+from common import BENCH_EPSILON, DELTA, bench_budget, growth_exponent, measure_excess, record
+
+DIM = 8
+HORIZONS = [128, 256, 512]
+LIPSCHITZ = SquaredLoss().lipschitz(1.0)
+
+
+def _run_incremental(horizon: int, seed: int) -> float:
+    budget = bench_budget()
+    constraint = L2Ball(DIM)
+    stream = make_dense_stream(horizon, DIM, noise_std=0.05, rng=1000 + seed)
+    factory = lambda b: NoisySGD(  # noqa: E731
+        SquaredLoss(), constraint, b, rng=seed, iteration_cap=400
+    )
+    mechanism = PrivIncERM(
+        horizon=horizon,
+        constraint=constraint,
+        params=budget,
+        tau=tau_convex(horizon, DIM, budget.epsilon),
+        solver_factory=factory,
+    )
+    return measure_excess(mechanism, stream, constraint, eval_every=horizon // 8)["max_excess"]
+
+
+def test_generic_convex_incremental_sweep(benchmark):
+    """The incremental mechanism respects the min{(Td)^{1/3}, trivial} bound."""
+    measured = {h: _run_incremental(h, seed=1) for h in HORIZONS[:-1]}
+    measured[HORIZONS[-1]] = benchmark.pedantic(
+        lambda: _run_incremental(HORIZONS[-1], seed=1), rounds=1, iterations=1
+    )
+
+    for horizon in HORIZONS:
+        paper = bound_generic_convex(horizon, DIM, BENCH_EPSILON, DELTA, LIPSCHITZ)
+        ceiling = trivial_bound(horizon, LIPSCHITZ, 1.0)
+        record(
+            "T1.R1 generic convex (Thm 3.1(1))",
+            sweep="T (incremental)",
+            value=horizon,
+            measured_max_excess=measured[horizon],
+            paper_bound=paper,
+            trivial=ceiling,
+            note="min{} picks trivial branch at CI scale" if paper == ceiling else "",
+        )
+        assert measured[horizon] <= ceiling
+
+
+def test_generic_convex_batch_component(benchmark):
+    """Paper-fidelity noisy SGD: batch excess is sublinear in n (the
+    component the (Td)^{1/3} incremental bound is assembled from)."""
+    constraint = L2Ball(DIM)
+    budget = bench_budget()
+    sizes = [96, 192, 384]
+
+    def run_batch(n: int) -> float:
+        stream = make_dense_stream(n, DIM, noise_std=0.05, rng=1500 + n)
+        solver = NoisySGD(SquaredLoss(), constraint, budget, fidelity="paper", rng=2)
+        theta = solver.solve(stream.xs, stream.ys)
+        theta_hat = exact_least_squares(stream.xs, stream.ys, constraint, iterations=500)
+        risk = lambda t: float(np.sum((stream.ys - stream.xs @ t) ** 2))  # noqa: E731
+        return max(risk(theta) - risk(theta_hat), 1e-9)
+
+    measured = {n: run_batch(n) for n in sizes[:-1]}
+    measured[sizes[-1]] = benchmark.pedantic(
+        lambda: run_batch(sizes[-1]), rounds=1, iterations=1
+    )
+
+    for n in sizes:
+        record(
+            "T1.R1 generic convex (Thm 3.1(1))",
+            sweep="n (batch, paper fidelity)",
+            value=n,
+            measured_max_excess=measured[n],
+            paper_bound="√d·L‖C‖·polylog/ε (flat in n)",
+            trivial=trivial_bound(n, LIPSCHITZ, 1.0),
+            note="",
+        )
+    exponent = growth_exponent(sizes, [measured[n] for n in sizes])
+    record(
+        "T1.R1 generic convex (Thm 3.1(1))",
+        sweep="n-exponent (batch)",
+        value="paper: ≈0",
+        measured_max_excess=exponent,
+        paper_bound=0.0,
+        trivial=1.0,
+        note="",
+    )
+    assert exponent < 0.7  # decidedly sublinear in the sample size
+    benchmark.extra_info["n_growth_exponent"] = exponent

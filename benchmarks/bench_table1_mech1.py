@@ -1,0 +1,167 @@
+"""Experiment T1.R3a — Table 1 row 3, Mechanism 1 / Theorem 4.2.
+
+Claim: ``PrivIncReg1`` (Algorithm 2 — tree-mechanism private gradients +
+noisy projected gradient descent) achieves excess risk
+``Õ(√d · polylog(T) / ε)`` for incremental least squares — the worst-case
+optimal rate, improving the generic transformation's ``(Td)^{1/3}`` for
+every ``T, d`` (Remark 4.3).
+
+Regenerated here: (a) a ``d`` sweep at fixed ``T`` (shape target ``√d``),
+(b) a ``T`` sweep at fixed ``d`` — excess should grow only
+polylogarithmically while the data (and OPT) grow linearly, and (c) the
+Remark 4.3 comparison against the generic transformation on identical
+streams.
+"""
+
+import pytest
+
+from repro import L2Ball, NoisySGD, PrivIncERM, PrivIncReg1, SquaredLoss, tau_convex
+from repro.core.bounds import bound_generic_convex, bound_mech1
+from repro.data import make_dense_stream, make_sparse_stream
+
+from common import BENCH_EPSILON, DELTA, bench_budget, growth_exponent, measure_excess, record
+
+DIMS = [8, 32, 128]
+HORIZONS = [256, 1024, 4096]
+FIXED_T = 1024
+FIXED_D = 8
+#: The d-sweep holds the learnable signal fixed by concentrating covariate
+#: supports on a constant active set (dense unit-sphere streams have signal
+#: ∝ 1/√d, which would confound the privacy-noise growth being measured).
+ACTIVE_DIM = 8
+
+
+def _run_reg1(
+    horizon: int,
+    dim: int,
+    seed: int,
+    fixed_signal: bool = False,
+    epsilon: float = BENCH_EPSILON,
+) -> float:
+    constraint = L2Ball(dim)
+    if fixed_signal:
+        stream = make_sparse_stream(
+            horizon, dim, 3, noise_std=0.05,
+            active_dim=min(ACTIVE_DIM, dim), rng=3000 + seed,
+        )
+    else:
+        stream = make_dense_stream(horizon, dim, noise_std=0.05, rng=3000 + seed)
+    mech = PrivIncReg1(
+        horizon=horizon, constraint=constraint, params=bench_budget(epsilon), rng=seed
+    )
+    return measure_excess(mech, stream, constraint, eval_every=max(horizon // 8, 1))[
+        "max_excess"
+    ]
+
+
+#: The d-sweep's ε: chosen so the smallest dimension operates well below
+#: its noise ceiling — otherwise every d measures the same ceiling-clipped
+#: excess and the √d noise growth is invisible (see common.py on T·ε).
+SWEEP_EPSILON = 48.0
+
+
+def test_mech1_dimension_sweep(benchmark):
+    measured = {
+        d: _run_reg1(FIXED_T, d, seed=1, fixed_signal=True, epsilon=SWEEP_EPSILON)
+        for d in DIMS[:-1]
+    }
+    measured[DIMS[-1]] = benchmark.pedantic(
+        lambda: _run_reg1(
+            FIXED_T, DIMS[-1], seed=1, fixed_signal=True, epsilon=SWEEP_EPSILON
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for dim in DIMS:
+        record(
+            "T1.R3a PrivIncReg1 (Thm 4.2)",
+            sweep="d (fixed signal)",
+            value=dim,
+            measured_max_excess=measured[dim],
+            paper_bound=bound_mech1(FIXED_T, dim, SWEEP_EPSILON, DELTA),
+        )
+    exponent = growth_exponent(DIMS, [measured[d] for d in DIMS])
+    record(
+        "T1.R3a PrivIncReg1 (Thm 4.2)",
+        sweep="d-exponent",
+        value="paper: 1/2",
+        measured_max_excess=exponent,
+        paper_bound=0.5,
+    )
+    # Growing with d (the contrast with Algorithm 3's flat ambient-d sweep
+    # in bench_table1_mech2.py is the §5.2 separation).  The measured
+    # exponent is shallower than the asymptotic 1/2 because the excess
+    # saturates toward the d-independent trivial risk at the top of the
+    # sweep — the bound's min{} clause showing up mid-curve.
+    assert 0.05 < exponent < 0.9
+    assert measured[DIMS[-1]] > measured[DIMS[0]]
+    benchmark.extra_info["d_growth_exponent"] = exponent
+
+
+def test_mech1_horizon_sweep(benchmark):
+    measured = {h: _run_reg1(h, FIXED_D, seed=2) for h in HORIZONS[:-1]}
+    measured[HORIZONS[-1]] = benchmark.pedantic(
+        lambda: _run_reg1(HORIZONS[-1], FIXED_D, seed=2), rounds=1, iterations=1
+    )
+    for horizon in HORIZONS:
+        record(
+            "T1.R3a PrivIncReg1 (Thm 4.2)",
+            sweep="T",
+            value=horizon,
+            measured_max_excess=measured[horizon],
+            paper_bound=bound_mech1(horizon, FIXED_D, BENCH_EPSILON, DELTA),
+        )
+    exponent = growth_exponent(HORIZONS, [measured[h] for h in HORIZONS])
+    record(
+        "T1.R3a PrivIncReg1 (Thm 4.2)",
+        sweep="T-exponent",
+        value="paper: polylog (≈0)",
+        measured_max_excess=exponent,
+        paper_bound=0.0,
+    )
+    # Shape check: decidedly sublinear in T (the signal grows linearly but
+    # the privacy noise only polylogarithmically).
+    assert exponent < 0.7
+    benchmark.extra_info["t_growth_exponent"] = exponent
+
+
+def test_remark_43_reg1_beats_generic(benchmark):
+    """Remark 4.3: Algorithm 2 dominates Mechanism 1 for regression."""
+    horizon, dim = 512, 8
+    constraint = L2Ball(dim)
+    budget = bench_budget()
+
+    def run_pair(seed: int) -> tuple[float, float]:
+        stream = make_dense_stream(horizon, dim, noise_std=0.05, rng=4000 + seed)
+        reg1 = PrivIncReg1(horizon=horizon, constraint=constraint, params=budget, rng=seed)
+        reg1_excess = measure_excess(reg1, stream, constraint, eval_every=64)["mean_excess"]
+        factory = lambda b: NoisySGD(  # noqa: E731
+            SquaredLoss(), constraint, b, rng=seed, iteration_cap=400
+        )
+        generic = PrivIncERM(
+            horizon=horizon,
+            constraint=constraint,
+            params=budget,
+            tau=tau_convex(horizon, dim, budget.epsilon),
+            solver_factory=factory,
+        )
+        generic_excess = measure_excess(generic, stream, constraint, eval_every=64)[
+            "mean_excess"
+        ]
+        return reg1_excess, generic_excess
+
+    pairs = [run_pair(seed) for seed in range(2)]
+    pairs.append(benchmark.pedantic(lambda: run_pair(2), rounds=1, iterations=1))
+    reg1_mean = sum(p[0] for p in pairs) / len(pairs)
+    generic_mean = sum(p[1] for p in pairs) / len(pairs)
+    record(
+        "T1.R3a PrivIncReg1 (Thm 4.2)",
+        sweep="Remark 4.3",
+        value=f"T={horizon}, d={dim}",
+        measured_max_excess=f"reg1 {reg1_mean:.1f} vs generic {generic_mean:.1f}",
+        paper_bound=(
+            f"{bound_mech1(horizon, dim, BENCH_EPSILON, DELTA):.0f} vs "
+            f"{bound_generic_convex(horizon, dim, BENCH_EPSILON, DELTA):.0f}"
+        ),
+    )
+    assert reg1_mean < generic_mean

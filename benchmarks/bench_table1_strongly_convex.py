@@ -1,0 +1,169 @@
+"""Experiment T1.R2 — Table 1 row 2 / Theorem 3.1(2).
+
+Claim: for ``ν``-strongly convex losses, Mechanism 1 with an output-
+perturbation batch solver achieves excess risk
+``min{Õ(√d/(ν^{1/2}ε)), 2TL‖C‖}`` — notably **flat in the stream length**.
+
+What is regenerated, and how honestly:
+
+* **Incremental sweep** — ``PrivIncERM`` + output perturbation over a ``T``
+  sweep.  As with row 1, composed per-invocation budgets put CI-scale runs
+  on the bound's trivial branch (the ``log⁴(1/δ)`` constant alone is ≈ 36k
+  at δ=1e-6); the table shows it and the assertion checks the ceiling.
+* **Batch building-block sweeps** — the row's two distinctive shapes live
+  in the batch solver and are directly measurable there at full budget:
+  (a) *flat in n* — the argmin sensitivity ``2L/(νn)`` shrinks exactly as
+  fast as the objective's scale grows; (b) *√d growth* — the Gaussian
+  perturbation's norm.  Both asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    L2Ball,
+    OutputPerturbation,
+    PrivIncERM,
+    RegularizedLoss,
+    SquaredLoss,
+    tau_strongly_convex,
+)
+from repro.core.bounds import bound_strongly_convex, trivial_bound
+from repro.data import make_dense_stream
+from repro.erm.objective import EmpiricalRisk
+from repro.erm.solvers import projected_gradient
+
+from common import BENCH_EPSILON, DELTA, bench_budget, growth_exponent, measure_excess, record
+
+NU = 1.0
+HORIZONS = [128, 256, 512]
+
+
+def _loss():
+    return RegularizedLoss(SquaredLoss(), nu=NU)
+
+
+def _run_incremental(horizon: int, dim: int, seed: int) -> float:
+    budget = bench_budget()
+    constraint = L2Ball(dim)
+    loss = _loss()
+    factory = lambda b: OutputPerturbation(  # noqa: E731
+        loss, constraint, b, solver_iterations=250, rng=seed
+    )
+    tau = tau_strongly_convex(
+        dim, loss.lipschitz(constraint.diameter()), NU, budget.epsilon, constraint.diameter()
+    )
+    mech = PrivIncERM(
+        horizon=horizon, constraint=constraint, params=budget, tau=tau,
+        solver_factory=factory,
+    )
+    stream = make_dense_stream(horizon, dim, noise_std=0.05, rng=2000 + seed)
+    return measure_excess(mech, stream, constraint, eval_every=max(horizon // 8, 1))[
+        "max_excess"
+    ]
+
+
+def _batch_excess(n: int, dim: int, seed: int) -> float:
+    """Direct OutputPerturbation excess on the *regularized* objective."""
+    constraint = L2Ball(dim)
+    loss = _loss()
+    stream = make_dense_stream(n, dim, noise_std=0.05, rng=2500 + seed)
+    solver = OutputPerturbation(
+        loss, constraint, bench_budget(), solver_iterations=400, rng=seed
+    )
+    theta = solver.solve(stream.xs, stream.ys)
+    risk = EmpiricalRisk(loss, stream.xs, stream.ys)
+    lipschitz = risk.lipschitz(constraint.diameter())
+    step = constraint.diameter() / (lipschitz * np.sqrt(400))
+    theta_hat = projected_gradient(risk.gradient, constraint, 400, step)
+    return max(risk.value(theta) - risk.value(theta_hat), 1e-9)
+
+
+def test_strongly_convex_incremental_sweep(benchmark):
+    dim = 4
+    lipschitz = _loss().lipschitz(1.0)
+    measured = {h: _run_incremental(h, dim, seed=1) for h in HORIZONS[:-1]}
+    measured[HORIZONS[-1]] = benchmark.pedantic(
+        lambda: _run_incremental(HORIZONS[-1], dim, seed=1), rounds=1, iterations=1
+    )
+    for horizon in HORIZONS:
+        paper = bound_strongly_convex(
+            horizon, dim, BENCH_EPSILON, DELTA, nu=NU, lipschitz=lipschitz
+        )
+        ceiling = trivial_bound(horizon, lipschitz, 1.0)
+        record(
+            "T1.R2 strongly convex (Thm 3.1(2))",
+            sweep="T (incremental)",
+            value=horizon,
+            measured_max_excess=measured[horizon],
+            paper_bound=paper,
+            note="min{} picks trivial branch at CI scale" if paper == ceiling else "",
+        )
+        assert measured[horizon] <= ceiling
+
+
+def test_strongly_convex_batch_flat_in_n(benchmark):
+    """Output perturbation's excess must be flat as n grows (sensitivity
+    2L/(νn) cancels the objective's linear growth)."""
+    sizes = [128, 256, 512]
+    measured = {n: np.mean([_batch_excess(n, 4, s) for s in (1, 2)]) for n in sizes[:-1]}
+    measured[sizes[-1]] = benchmark.pedantic(
+        lambda: float(np.mean([_batch_excess(sizes[-1], 4, s) for s in (1, 2)])),
+        rounds=1,
+        iterations=1,
+    )
+    for n in sizes:
+        record(
+            "T1.R2 strongly convex (Thm 3.1(2))",
+            sweep="n (batch, direct)",
+            value=n,
+            measured_max_excess=float(measured[n]),
+            paper_bound="flat in n",
+            note="",
+        )
+    exponent = growth_exponent(sizes, [measured[n] for n in sizes])
+    record(
+        "T1.R2 strongly convex (Thm 3.1(2))",
+        sweep="n-exponent (batch)",
+        value="paper: 0",
+        measured_max_excess=exponent,
+        paper_bound=0.0,
+        note="",
+    )
+    assert abs(exponent) < 0.6
+    benchmark.extra_info["n_growth_exponent"] = exponent
+
+
+def test_strongly_convex_batch_sqrt_d(benchmark):
+    """The √d shape of the Gaussian output perturbation, measured directly."""
+    dims = [4, 16, 64]
+    n = 192
+    measured = {
+        d: float(np.mean([_batch_excess(n, d, s) for s in (3, 4)])) for d in dims[:-1]
+    }
+    measured[dims[-1]] = benchmark.pedantic(
+        lambda: float(np.mean([_batch_excess(n, dims[-1], s) for s in (3, 4)])),
+        rounds=1,
+        iterations=1,
+    )
+    for dim in dims:
+        record(
+            "T1.R2 strongly convex (Thm 3.1(2))",
+            sweep="d (batch, direct)",
+            value=dim,
+            measured_max_excess=measured[dim],
+            paper_bound=bound_strongly_convex(10**6, dim, BENCH_EPSILON, DELTA, nu=NU),
+            note="paper: √d growth",
+        )
+    exponent = growth_exponent(dims, [measured[d] for d in dims])
+    record(
+        "T1.R2 strongly convex (Thm 3.1(2))",
+        sweep="d-exponent (batch)",
+        value="paper: 1/2",
+        measured_max_excess=exponent,
+        paper_bound=0.5,
+        note="",
+    )
+    # Growing, and far closer to √d than to linear.
+    assert 0.2 < exponent < 0.85
+    benchmark.extra_info["d_growth_exponent"] = exponent

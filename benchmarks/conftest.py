@@ -1,0 +1,27 @@
+"""Benchmark-session plumbing: print paper-vs-measured tables at the end.
+
+pytest captures stdout during tests, so the benchmarks record their result
+rows in :mod:`benchmarks.common` and this hook renders them in the terminal
+summary (which is never captured).  The same tables are also written to
+``benchmarks/RESULTS.txt`` for EXPERIMENTS.md bookkeeping.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from common import EXPERIMENT_ROWS, format_table  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not EXPERIMENT_ROWS:
+        return
+    lines = ["", "=" * 78, "PAPER-vs-MEASURED EXPERIMENT TABLES (see DESIGN.md §4)", "=" * 78]
+    for experiment in sorted(EXPERIMENT_ROWS):
+        lines.append("")
+        lines.append(format_table(experiment, EXPERIMENT_ROWS[experiment]))
+    report = "\n".join(lines)
+    terminalreporter.write_line(report)
+    results_path = pathlib.Path(__file__).parent / "RESULTS.txt"
+    results_path.write_text(report + "\n")

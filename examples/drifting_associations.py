@@ -1,0 +1,63 @@
+"""Tracking drifting associations with a private incremental summarizer.
+
+The paper's Generalization discussion (§1): when the stream is not i.i.d.,
+the incremental minimizer ``θ̂_t`` acts as a *summarizer* of the history —
+"these associations would need to be constantly re-evaluated over time as
+new data arrives" (public health, social science use cases).
+
+This example builds a piecewise-stationary stream whose true parameter
+jumps halfway, and shows the private incremental estimate (Algorithm 2 with
+the unknown-horizon Hybrid tree variant conceptually — here with a known
+horizon) swinging from the first segment's parameter toward the prefix
+blend, exactly as the exact minimizer does.
+
+Run with:  python examples/drifting_associations.py
+"""
+
+import numpy as np
+
+from repro import (
+    IncrementalRunner,
+    L2Ball,
+    NonPrivateIncremental,
+    PrivacyParams,
+    PrivIncReg1,
+)
+from repro.data import make_drift_stream
+
+
+def main() -> None:
+    horizon, dim = 128, 6
+    constraint = L2Ball(dim)
+    stream, segment_thetas = make_drift_stream(
+        horizon, dim, n_segments=2, noise_std=0.03, rng=9
+    )
+    theta_a, theta_b = segment_thetas
+    print(f"Drift stream: T={horizon}, d={dim}; parameter jumps at t={horizon // 2}")
+    print(f"‖θ_A − θ_B‖ = {np.linalg.norm(theta_a - theta_b):.3f}\n")
+
+    mechanism = PrivIncReg1(
+        horizon=horizon, constraint=constraint,
+        params=PrivacyParams(2.0, 1e-6), rng=3,
+    )
+    runner = IncrementalRunner(constraint, eval_every=16, keep_thetas=True)
+    private_run = runner.run(mechanism, stream)
+    exact_run = runner.run(
+        NonPrivateIncremental(constraint), stream
+    )
+
+    print("   t | ‖θ_priv − θ_A‖ | ‖θ_priv − θ_B‖ | excess (priv) | excess (exact)")
+    for idx, t in enumerate(private_run.trace.timesteps):
+        theta_t = private_run.thetas[idx]
+        print(f"{t:4d} | {np.linalg.norm(theta_t - theta_a):15.3f} "
+              f"| {np.linalg.norm(theta_t - theta_b):15.3f} "
+              f"| {private_run.trace.excess[idx]:13.3f} "
+              f"| {exact_run.trace.excess[idx]:14.6f}")
+
+    print("\nThe summarizer starts at θ_A, then drifts toward the prefix "
+          "blend after the change-point — while every release stays "
+          "(ε, δ)-differentially private.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Private incremental Lasso over an ongoing "survey" stream.
+
+The paper's introduction motivates incremental private regression with a
+data scientist continuously updating a linear model on user-profile data
+from an ongoing survey, where updates must not reveal whether any one
+person participated.
+
+This example plays that scenario in the high-dimensional regime the paper's
+§5 targets: profiles are sparse (each respondent answers a handful of the
+``d`` questions), the model is Lasso-constrained (``C = B₁``), and we run
+**Algorithm 3** (``PrivIncReg2``), whose projected dimension is sized by
+the Gaussian widths ``w(X) + w(C) = O(√log d)`` rather than ``√d``.
+
+Run with:  python examples/lasso_survey_stream.py
+"""
+
+import numpy as np
+
+from repro import (
+    IncrementalRunner,
+    L1Ball,
+    NonPrivateIncremental,
+    PrivacyParams,
+    PrivIncReg2,
+    SparseVectors,
+)
+from repro.data import make_sparse_stream
+
+
+def main() -> None:
+    horizon = 96
+    dim = 300          # survey questions
+    answered = 5       # questions answered per respondent
+    epsilon, delta = 1.5, 1e-6
+
+    constraint = L1Ball(dim, radius=1.0)
+    domain = SparseVectors(dim, sparsity=answered)
+
+    print(f"Survey stream: T={horizon} respondents, d={dim} questions, "
+          f"{answered} answered each")
+    print(f"w(X) = {domain.gaussian_width():.2f},  w(C) = "
+          f"{constraint.gaussian_width():.2f}  (vs √d = {np.sqrt(dim):.1f})")
+
+    stream = make_sparse_stream(horizon, dim, sparsity=answered,
+                                noise_std=0.05, rng=7)
+    mechanism = PrivIncReg2(
+        horizon=horizon,
+        constraint=constraint,
+        x_domain=domain,
+        params=PrivacyParams(epsilon, delta),
+        solve_every=8,   # amortize the lifting LP (post-processing only)
+        rng=1,
+    )
+    print(f"Projected dimension m = {mechanism.projected_dim} "
+          f"(γ = {mechanism.gamma:.3f}, Gordon-sized — adaptive-input safe)")
+
+    runner = IncrementalRunner(constraint, eval_every=16)
+    private_run = runner.run(mechanism, stream)
+    exact_run = runner.run(NonPrivateIncremental(constraint), stream)
+
+    print("\n  t | excess: private | non-private |   OPT_t")
+    rows = zip(
+        private_run.trace.timesteps,
+        private_run.trace.excess,
+        exact_run.trace.excess,
+        private_run.trace.optimal_risk,
+    )
+    for t, private, exact, opt in rows:
+        print(f"{t:4d} | {private:15.4f} | {exact:11.6f} | {opt:8.4f}")
+
+    opt = private_run.trace.final_optimal_risk()
+    print(f"\nTheorem 5.7 reference bound : {mechanism.excess_risk_bound(opt):10.2f}")
+    print(f"Worst measured excess risk  : {private_run.trace.max_excess():10.4f}")
+
+    # The released model is sparse-ish: report its largest coefficients.
+    theta = private_run.final_theta
+    top = np.argsort(np.abs(theta))[::-1][:5]
+    print("\nTop-5 released coefficients (question -> weight):")
+    for idx in top:
+        print(f"  q{idx:<4d} -> {theta[idx]: .4f}")
+
+
+if __name__ == "__main__":
+    main()

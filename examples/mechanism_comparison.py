@@ -1,0 +1,88 @@
+"""Compare all the paper's mechanisms on one stream at equal budget.
+
+Reproduces the narrative of Table 1 and Remark 4.3 at laptop scale: the
+naive recompute-every-step approach (§1), the generic transformation
+(Mechanism 1, Theorem 3.1), the tree-mechanism regression (Algorithm 2,
+Theorem 4.2) and the projected regression (Algorithm 3, Theorem 5.7), all
+at the same total ``(ε, δ)``.
+
+Run with:  python examples/mechanism_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    IncrementalRunner,
+    L2Ball,
+    NaiveRecompute,
+    NoisySGD,
+    NonPrivateIncremental,
+    PrivacyParams,
+    PrivIncERM,
+    PrivIncReg1,
+    PrivIncReg2,
+    SparseVectors,
+    SquaredLoss,
+    StaticOutput,
+    tau_convex,
+)
+from repro.data import make_dense_stream
+
+
+def main() -> None:
+    # The tree mechanisms' advantage is asymptotic in T (their noise is
+    # polylog in T while the signal grows linearly), and what matters for
+    # where a run sits on that curve is roughly the product T·ε.  Keeping
+    # the demo fast forces a short stream, so ε is set high to land in the
+    # informative regime; at production scale (T in the millions) the same
+    # shapes appear at ε ≈ 1.  Shrink ε or T to watch every private curve
+    # collapse onto the trivial static baseline.
+    horizon, dim, sparsity = 1024, 8, 2
+    budget = PrivacyParams(epsilon=16.0, delta=1e-6)
+    constraint = L2Ball(dim)
+    stream = make_dense_stream(horizon, dim, noise_std=0.05, rng=11)
+    runner = IncrementalRunner(constraint, eval_every=128)
+
+    def sgd_factory(seed):
+        return lambda b: NoisySGD(SquaredLoss(), constraint, b,
+                                  rng=seed, iteration_cap=300)
+
+    tau = tau_convex(horizon, dim, budget.epsilon)
+    estimators = {
+        "non-private (exact)": NonPrivateIncremental(constraint),
+        "static θ=0 (trivial DP)": StaticOutput(constraint),
+        "naive recompute (§1)": NaiveRecompute(
+            horizon, constraint, budget, sgd_factory(1)),
+        f"PrivIncERM (Mech 1, τ={tau})": PrivIncERM(
+            horizon, constraint, budget, tau, sgd_factory(2)),
+        "PrivIncReg1 (Alg 2, tree)": PrivIncReg1(
+            horizon, constraint, budget, rng=3),
+        "PrivIncReg2 (Alg 3, projected)": PrivIncReg2(
+            horizon, constraint, L2Ball(dim), budget,
+            rng=4, solve_every=16),
+    }
+
+    print(f"Stream: T={horizon}, d={dim}, {sparsity}-sparse covariates; "
+          f"budget {budget}")
+    print(f"\n{'mechanism':34s} | {'max excess':>10s} | {'mean excess':>11s} "
+          f"| {'seconds':>7s}")
+    print("-" * 74)
+    for name, estimator in estimators.items():
+        started = time.perf_counter()
+        result = runner.run(estimator, stream)
+        elapsed = time.perf_counter() - started
+        print(f"{name:34s} | {result.trace.max_excess():10.3f} "
+              f"| {result.trace.mean_excess():11.3f} | {elapsed:7.2f}")
+
+    print("\nPaper's story at this scale: the tree-based regression "
+          "mechanisms (Algs 2-3)\nbeat the static/trivial baseline and the "
+          "generic per-step approaches, whose\nper-invocation budgets are "
+          "crushed by composition (the √T / T^{1/3} penalties).")
+    print("The Alg 2 vs Alg 3 crossover in d is explored in "
+          "benchmarks/bench_crossover_highdim.py.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: private incremental ridge regression on a synthetic stream.
+
+Runs Algorithm 2 (``PrivIncReg1``) over a short stream of unit-norm
+covariates, comparing its per-step excess empirical risk against the exact
+(non-private) incremental minimizer and the trivial always-zero mechanism.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    IncrementalRunner,
+    L2Ball,
+    NonPrivateIncremental,
+    PrivacyParams,
+    PrivIncReg1,
+    StaticOutput,
+)
+from repro.data import make_dense_stream
+
+
+def main() -> None:
+    horizon, dim = 128, 8
+    epsilon, delta = 1.0, 1e-6
+    constraint = L2Ball(dim=dim, radius=1.0)
+
+    print(f"Stream: T={horizon}, d={dim};  privacy: (ε={epsilon}, δ={delta})")
+    stream = make_dense_stream(horizon, dim, noise_std=0.05, rng=42)
+    runner = IncrementalRunner(constraint, eval_every=16)
+
+    mechanism = PrivIncReg1(
+        horizon=horizon, constraint=constraint,
+        params=PrivacyParams(epsilon, delta), rng=0,
+    )
+    private_run = runner.run(mechanism, stream)
+    exact_run = runner.run(NonPrivateIncremental(constraint), stream)
+    static_run = runner.run(StaticOutput(constraint), stream)
+
+    print("\n  t | excess risk: private | non-private | static(θ=0)")
+    rows = zip(
+        private_run.trace.timesteps,
+        private_run.trace.excess,
+        exact_run.trace.excess,
+        static_run.trace.excess,
+    )
+    for t, private, exact, static in rows:
+        print(f"{t:4d} | {private:20.4f} | {exact:11.6f} | {static:12.4f}")
+
+    print(f"\nTheorem 4.2 reference bound : {mechanism.excess_risk_bound():10.2f}")
+    print(f"Worst measured excess risk  : {private_run.trace.max_excess():10.4f}")
+    print(f"Mechanism memory (floats)   : {mechanism.memory_floats()}  (O(d² log T))")
+    print("\nPrivacy ledger:")
+    print(mechanism.accountant.summary())
+
+    recovery = np.linalg.norm(private_run.final_theta - stream.theta_star)
+    print(f"\n‖θ_priv − θ*‖ at T: {recovery:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+setuptools lacks the ``wheel`` package needed for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

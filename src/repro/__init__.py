@@ -1,0 +1,146 @@
+"""repro — a reproduction of *Private Incremental Regression*.
+
+Kasiviswanathan, Nissim, Jin (PODS 2017, arXiv:1701.01093).
+
+The library maintains a differentially private estimate of a constrained
+empirical risk minimizer over a data stream, releasing an updated parameter
+at every timestep while the whole output sequence satisfies event-level
+``(ε, δ)``-differential privacy.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PrivIncReg1, PrivacyParams, L2Ball
+>>> mech = PrivIncReg1(horizon=100, constraint=L2Ball(dim=5),
+...                    params=PrivacyParams(1.0, 1e-6), rng=0)
+>>> theta = mech.observe(np.array([0.5, 0, 0, 0, 0]), 0.25)
+
+Package map
+-----------
+``repro.core``       the paper's mechanisms (Mechanism 1, Algorithms 2-3)
+``repro.privacy``    DP primitives + the Tree/Hybrid continual mechanisms
+``repro.geometry``   constraint sets, projections, gauges, Gaussian widths
+``repro.erm``        losses, objectives, batch private ERM solvers
+``repro.sketching``  Gaussian projections, Gordon sizing, lifting
+``repro.streaming``  stream model, adjacency, runner, metrics
+``repro.data``       synthetic / adaptive / drifting workloads
+"""
+
+from .exceptions import (
+    DomainViolationError,
+    LiftingError,
+    NotSupportedError,
+    PrivacyBudgetError,
+    ReproError,
+    StreamExhaustedError,
+    ValidationError,
+)
+from .privacy import (
+    HybridMechanism,
+    PrivacyAccountant,
+    PrivacyParams,
+    TreeMechanism,
+)
+from .geometry import (
+    GroupL1Ball,
+    L1Ball,
+    L2Ball,
+    LinfBall,
+    LpBall,
+    Polytope,
+    Simplex,
+    SparseVectors,
+)
+from .erm import (
+    EmpiricalRisk,
+    HingeLoss,
+    HuberLoss,
+    LogisticLoss,
+    NoisyProjectedGradient,
+    NoisySGD,
+    OutputPerturbation,
+    PrivateFrankWolfe,
+    QuadraticRisk,
+    RegularizedLoss,
+    SquaredLoss,
+)
+from .sketching import GaussianProjection, gordon_dimension, lift
+from .streaming import ExcessRiskTrace, IncrementalRunner, RegressionStream, RunResult
+from .core import (
+    NaiveRecompute,
+    NonPrivateIncremental,
+    PrivateGradientFunction,
+    PrivIncERM,
+    PrivIncReg1,
+    PrivIncReg2,
+    RobustPrivIncReg,
+    StaticOutput,
+    UnboundedPrivIncReg,
+    bounds,
+    tau_convex,
+    tau_frank_wolfe,
+    tau_strongly_convex,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ValidationError",
+    "PrivacyBudgetError",
+    "StreamExhaustedError",
+    "DomainViolationError",
+    "LiftingError",
+    "NotSupportedError",
+    # privacy
+    "PrivacyParams",
+    "PrivacyAccountant",
+    "TreeMechanism",
+    "HybridMechanism",
+    # geometry
+    "L2Ball",
+    "L1Ball",
+    "LinfBall",
+    "LpBall",
+    "Simplex",
+    "Polytope",
+    "GroupL1Ball",
+    "SparseVectors",
+    # erm
+    "SquaredLoss",
+    "LogisticLoss",
+    "HingeLoss",
+    "HuberLoss",
+    "RegularizedLoss",
+    "EmpiricalRisk",
+    "QuadraticRisk",
+    "NoisyProjectedGradient",
+    "NoisySGD",
+    "OutputPerturbation",
+    "PrivateFrankWolfe",
+    # sketching
+    "GaussianProjection",
+    "gordon_dimension",
+    "lift",
+    # streaming
+    "RegressionStream",
+    "IncrementalRunner",
+    "RunResult",
+    "ExcessRiskTrace",
+    # core
+    "PrivateGradientFunction",
+    "PrivIncERM",
+    "tau_convex",
+    "tau_strongly_convex",
+    "tau_frank_wolfe",
+    "PrivIncReg1",
+    "PrivIncReg2",
+    "RobustPrivIncReg",
+    "UnboundedPrivIncReg",
+    "NonPrivateIncremental",
+    "StaticOutput",
+    "NaiveRecompute",
+    "bounds",
+]

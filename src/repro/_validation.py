@@ -1,0 +1,101 @@
+"""Shared argument-validation helpers.
+
+Every public entry point in the library validates its arguments through
+these helpers so error messages stay consistent and informative.  The
+helpers raise :class:`repro.exceptions.ValidationError` (a ``ValueError``
+subclass) with the offending name and value in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    value = check_finite(name, value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    value = check_finite(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` coerced to ``float`` if it is finite."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Return ``value`` if it lies in ``(0, 1)`` (or ``[0, 1)`` if allowed)."""
+    value = check_finite(name, value)
+    low_ok = value > 0 or (allow_zero and value == 0)
+    if not (low_ok and value < 1):
+        interval = "[0, 1)" if allow_zero else "(0, 1)"
+        raise ValidationError(f"{name} must be in {interval}, got {value!r}")
+    return value
+
+
+def check_int(name: str, value: int, *, minimum: int | None = None) -> int:
+    """Return ``value`` as an ``int``, optionally enforcing a lower bound."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value!r}")
+    return value
+
+
+def check_vector(name: str, value: Sequence[float] | np.ndarray, *, dim: int | None = None) -> np.ndarray:
+    """Return ``value`` as a 1-D float array, optionally of fixed dimension."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D vector, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} must contain only finite entries")
+    if dim is not None and array.shape[0] != dim:
+        raise ValidationError(f"{name} must have dimension {dim}, got {array.shape[0]}")
+    return array
+
+
+def check_matrix(name: str, value: np.ndarray, *, shape: tuple[int, int] | None = None) -> np.ndarray:
+    """Return ``value`` as a 2-D float array, optionally of fixed shape."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-D matrix, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} must contain only finite entries")
+    if shape is not None and array.shape != shape:
+        raise ValidationError(f"{name} must have shape {shape}, got {array.shape}")
+    return array
+
+
+def check_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalize a seed-or-generator argument into a ``numpy`` Generator.
+
+    ``None`` produces a fresh non-deterministic generator; an integer seeds a
+    new generator; an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return np.random.default_rng(int(rng))
+    raise ValidationError(f"rng must be None, an int seed, or a numpy Generator, got {rng!r}")

@@ -1,0 +1,43 @@
+"""The paper's contribution: private incremental ERM and regression.
+
+* :class:`~repro.core.incremental_erm.PrivIncERM` — Mechanism 1, the
+  generic batch→incremental transformation (Theorem 3.1).
+* :class:`~repro.core.incremental_regression.PrivIncReg1` — Algorithm 2,
+  tree-mechanism regression (Theorem 4.2, the ``√d`` bound).
+* :class:`~repro.core.projected_regression.PrivIncReg2` — Algorithm 3,
+  random-projection regression (Theorem 5.7, the ``T^{1/3}W^{2/3}`` bound).
+* :class:`~repro.core.robust.RobustPrivIncReg` — the §5.2 oracle-filtered
+  extension.
+* :mod:`repro.core.baselines` — the naive/static/non-private references.
+* :mod:`repro.core.bounds` — every Table-1 formula.
+"""
+
+from .private_gradient import PrivateGradientFunction
+from .incremental_erm import (
+    PrivIncERM,
+    tau_convex,
+    tau_frank_wolfe,
+    tau_strongly_convex,
+)
+from .incremental_regression import PrivIncReg1
+from .projected_regression import PrivIncReg2
+from .robust import RobustPrivIncReg
+from .unbounded import UnboundedPrivIncReg
+from .baselines import NaiveRecompute, NonPrivateIncremental, StaticOutput
+from . import bounds
+
+__all__ = [
+    "PrivateGradientFunction",
+    "PrivIncERM",
+    "tau_convex",
+    "tau_strongly_convex",
+    "tau_frank_wolfe",
+    "PrivIncReg1",
+    "PrivIncReg2",
+    "RobustPrivIncReg",
+    "UnboundedPrivIncReg",
+    "NonPrivateIncremental",
+    "StaticOutput",
+    "NaiveRecompute",
+    "bounds",
+]

@@ -1,0 +1,145 @@
+"""Unknown-horizon private incremental regression (paper footnote 13).
+
+Algorithms 2 and 3 assume the stream length ``T`` is known so the Tree
+Mechanism can calibrate its noise.  The paper's footnote 13 notes the
+assumption "can be removed by using a simple trick introduced by Chan et
+al." — their Hybrid Mechanism — "and the asymptotic excess risk bounds are
+not affected".
+
+:class:`UnboundedPrivIncReg` is that variant: Algorithm 2 with each
+:class:`~repro.privacy.tree.TreeMechanism` replaced by a
+:class:`~repro.privacy.hybrid.HybridMechanism`.  The stream may run forever;
+every prefix of the output sequence satisfies the same ``(ε, δ)`` guarantee
+(each point lives in exactly one epoch tree, so the per-epoch guarantee is
+also the global one), and the per-step gradient-error bound adapts to the
+epochs seen so far.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int, check_probability, check_rng, check_vector
+from ..erm.noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
+from ..exceptions import DomainViolationError
+from ..geometry.base import ConvexSet
+from ..privacy.hybrid import HybridMechanism
+from ..privacy.parameters import PrivacyParams
+from .incremental_regression import MOMENT_SENSITIVITY
+from .private_gradient import PrivateGradientFunction
+
+__all__ = ["UnboundedPrivIncReg"]
+
+
+class UnboundedPrivIncReg:
+    """Algorithm 2 without the known-``T`` assumption.
+
+    Parameters
+    ----------
+    constraint:
+        The convex constraint set ``C``.
+    params:
+        Total ``(ε, δ)`` budget; holds for the whole (unbounded) stream by
+        the epoch-disjointness of the Hybrid Mechanism.
+    beta:
+        Confidence parameter for the internal error bounds.
+    iteration_cap:
+        PGD iteration ceiling per step.
+    rng:
+        Seed or Generator.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.geometry import L2Ball
+    >>> from repro.privacy import PrivacyParams
+    >>> mech = UnboundedPrivIncReg(L2Ball(2), PrivacyParams(1.0, 1e-6), rng=0)
+    >>> for _ in range(10):  # no horizon declared anywhere
+    ...     theta = mech.observe(np.array([0.5, 0.0]), 0.25)
+    >>> theta.shape
+    (2,)
+    """
+
+    def __init__(
+        self,
+        constraint: ConvexSet,
+        params: PrivacyParams,
+        beta: float = 0.05,
+        iteration_cap: int = 400,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.constraint = constraint
+        self.params = params
+        self.beta = check_probability("beta", beta)
+        self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
+        self._rng = check_rng(rng)
+        self.dim = constraint.dim
+
+        half = params.halve()
+        self._tree_cross = HybridMechanism(
+            shape=(self.dim,),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=half,
+            rng=self._rng,
+        )
+        self._tree_gram = HybridMechanism(
+            shape=(self.dim, self.dim),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=half,
+            rng=self._rng,
+        )
+        self.steps_taken = 0
+        self._theta = constraint.project(np.zeros(self.dim))
+
+    def gradient_error(self) -> float:
+        """Current gradient-error bound, adapted to the epochs seen so far.
+
+        Uses the Hybrid mechanisms' own (Frobenius-level) error bounds;
+        conservative versus the spectral refinement available for a single
+        tree, but valid at every prefix length without a horizon.
+        """
+        share = self.beta / 2.0
+        gram_error = self._tree_gram.error_bound(share)
+        cross_error = self._tree_cross.error_bound(share)
+        return PrivateGradientFunction.moment_error_bound(
+            gram_error, cross_error, self.constraint.diameter()
+        )
+
+    def observe(self, x: np.ndarray, y: float) -> np.ndarray:
+        """Process ``(x_t, y_t)``; release ``θ_t^priv``.  No horizon needed."""
+        x = check_vector("x", x, dim=self.dim)
+        y = float(y)
+        if np.linalg.norm(x) > 1.0 + 1e-9 or abs(y) > 1.0 + 1e-9:
+            raise DomainViolationError(
+                "UnboundedPrivIncReg requires ‖x‖ ≤ 1 and |y| ≤ 1"
+            )
+        self.steps_taken += 1
+        t = self.steps_taken
+
+        noisy_cross = self._tree_cross.observe(x * y)
+        noisy_gram = self._tree_gram.observe(np.outer(x, x))
+        noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
+
+        alpha = self.gradient_error()
+        gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
+        lipschitz = 2.0 * t * (self.constraint.diameter() + 1.0)
+        pgd = NoisyProjectedGradient(
+            self.constraint,
+            lipschitz=lipschitz,
+            gradient_error=alpha,
+            iterations=noisy_pgd_iterations(lipschitz, alpha, cap=self.iteration_cap),
+        )
+        self._theta = pgd.run(gradient_fn, start=self._theta)
+        return self._theta.copy()
+
+    def current_estimate(self) -> np.ndarray:
+        """The most recently released parameter."""
+        return self._theta.copy()
+
+    def memory_floats(self) -> int:
+        """Floats held — still logarithmic in the (unbounded) prefix length."""
+        return (
+            self._tree_cross.memory_floats()
+            + self._tree_gram.memory_floats()
+            + self.dim
+        )

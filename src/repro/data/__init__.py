@@ -1,0 +1,37 @@
+"""Synthetic workload generators.
+
+The paper has no experimental section (it is a PODS theory paper), so the
+reproduction's workloads are synthetic linear-model streams matched to the
+geometric settings of each theorem:
+
+* :mod:`repro.data.synthetic` — dense/sparse/L1-bounded covariate streams
+  with controlled label noise, obeying the ``‖x‖ ≤ 1, |y| ≤ 1``
+  normalization the mechanisms assume.
+* :mod:`repro.data.adaptive` — an adversary that picks covariates *after*
+  seeing the projection matrix, exercising the adaptivity problem (§5)
+  Gordon's theorem solves.
+* :mod:`repro.data.drift` — non-stationary streams where the ground-truth
+  parameter moves, demonstrating the "summarizer" view of incremental ERM
+  (paper's Generalization discussion).
+"""
+
+from .synthetic import (
+    make_dense_stream,
+    make_l1_stream,
+    make_mixed_width_stream,
+    make_sparse_stream,
+    sample_sparse_theta,
+)
+from .adaptive import adaptive_null_space_points, adaptive_sparse_points
+from .drift import make_drift_stream
+
+__all__ = [
+    "make_dense_stream",
+    "make_sparse_stream",
+    "make_l1_stream",
+    "make_mixed_width_stream",
+    "sample_sparse_theta",
+    "adaptive_null_space_points",
+    "adaptive_sparse_points",
+    "make_drift_stream",
+]

@@ -1,0 +1,220 @@
+"""Synthetic linear-model stream generators.
+
+All generators produce :class:`~repro.streaming.stream.RegressionStream`
+objects obeying the paper's normalization, with responses
+
+    ``y_t = clip(⟨x_t, θ*⟩ + w_t, −1, 1)``,  ``w_t ~ N(0, noise_std²)``,
+
+so the empirical risk of the best linear fit (the paper's ``OPT``) is
+controlled by ``noise_std`` — the knob the Theorem-5.7 benchmarks sweep to
+trace the ``√OPT`` and ``OPT^{1/4}`` terms.
+
+Covariate families mirror the paper's §5.2 settings:
+
+* **dense** — uniform on the unit sphere scaled into the ball (worst-case
+  geometry, ``w(X) ≈ √d``);
+* **sparse** — ``k`` non-zero coordinates, ``w(X) = Θ(√(k log(d/k)))``;
+* **l1** — covariates with ``‖x‖₁ ≤ 1`` (``w(X) = Θ(√log d)``);
+* **mixed** — a sparse stream with a fraction of dense "outlier"
+  covariates, the robust-extension setting (§5.2 end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int, check_non_negative, check_probability, check_rng
+from ..streaming.stream import RegressionStream
+
+__all__ = [
+    "sample_sparse_theta",
+    "make_dense_stream",
+    "make_sparse_stream",
+    "make_l1_stream",
+    "make_mixed_width_stream",
+]
+
+
+def sample_sparse_theta(
+    dim: int,
+    sparsity: int,
+    norm: float = 1.0,
+    ord: float = 2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """A random ``sparsity``-sparse parameter with ``‖θ‖_ord = norm``.
+
+    Used as ground truth for streams whose constraint set is an L1 or L2
+    ball of radius ``norm`` — the true parameter then sits inside ``C``,
+    so ``OPT`` is governed purely by the label noise.
+    """
+    dim = check_int("dim", dim, minimum=1)
+    sparsity = check_int("sparsity", sparsity, minimum=1)
+    generator = check_rng(rng)
+    support = generator.choice(dim, size=min(sparsity, dim), replace=False)
+    theta = np.zeros(dim)
+    theta[support] = generator.normal(size=support.shape)
+    current = float(np.linalg.norm(theta, ord))
+    if current > 0:
+        theta *= norm / current
+    return theta
+
+
+def _responses(
+    xs: np.ndarray,
+    theta_star: np.ndarray,
+    noise_std: float,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    signal = xs @ theta_star
+    noise = generator.normal(0.0, noise_std, size=xs.shape[0]) if noise_std > 0 else 0.0
+    return np.clip(signal + noise, -1.0, 1.0)
+
+
+def make_dense_stream(
+    length: int,
+    dim: int,
+    theta_star: np.ndarray | None = None,
+    noise_std: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> RegressionStream:
+    """Covariates uniform on the unit sphere — the worst-case geometry.
+
+    Parameters
+    ----------
+    length, dim:
+        Stream length ``T`` and covariate dimension ``d``.
+    theta_star:
+        Ground truth; defaults to a random unit vector.
+    noise_std:
+        Label-noise standard deviation (drives ``OPT ≈ T·noise_std²``).
+    rng:
+        Seed or Generator.
+    """
+    length = check_int("length", length, minimum=1)
+    dim = check_int("dim", dim, minimum=1)
+    noise_std = check_non_negative("noise_std", noise_std)
+    generator = check_rng(rng)
+    raw = generator.normal(size=(length, dim))
+    xs = raw / np.linalg.norm(raw, axis=1, keepdims=True)
+    if theta_star is None:
+        direction = generator.normal(size=dim)
+        theta_star = direction / np.linalg.norm(direction)
+    else:
+        theta_star = np.asarray(theta_star, dtype=float)
+    ys = _responses(xs, theta_star, noise_std, generator)
+    return RegressionStream(xs, ys, theta_star)
+
+
+def make_sparse_stream(
+    length: int,
+    dim: int,
+    sparsity: int,
+    theta_star: np.ndarray | None = None,
+    noise_std: float = 0.05,
+    active_dim: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> RegressionStream:
+    """``k``-sparse unit-norm covariates (``w(X) = Θ(√(k log(d/k)))``).
+
+    Each covariate picks a fresh random support of size ``sparsity`` and a
+    random direction on that support, normalized to the unit sphere slice.
+
+    Parameters
+    ----------
+    active_dim:
+        If given, supports (and the default ground truth) are drawn from
+        the first ``active_dim`` coordinates only.  This models the
+        realistic high-dimensional regime — a handful of informative
+        features embedded in a huge ambient space — and keeps the signal
+        level independent of ``d``, which is what the §5.2 dimension sweeps
+        need (fully random supports at large ``d`` almost never overlap a
+        sparse ground truth, leaving nothing to learn).
+    """
+    length = check_int("length", length, minimum=1)
+    dim = check_int("dim", dim, minimum=1)
+    sparsity = check_int("sparsity", sparsity, minimum=1)
+    noise_std = check_non_negative("noise_std", noise_std)
+    if active_dim is None:
+        active_dim = dim
+    active_dim = check_int("active_dim", active_dim, minimum=1)
+    if active_dim > dim:
+        raise ValueError(f"active_dim ({active_dim}) cannot exceed dim ({dim})")
+    generator = check_rng(rng)
+    xs = np.zeros((length, dim))
+    for t in range(length):
+        support = generator.choice(active_dim, size=min(sparsity, active_dim), replace=False)
+        values = generator.normal(size=support.shape)
+        norm = np.linalg.norm(values)
+        if norm > 0:
+            xs[t, support] = values / norm
+    if theta_star is None:
+        theta_star = np.zeros(dim)
+        theta_star[:active_dim] = sample_sparse_theta(
+            active_dim, min(sparsity, active_dim), rng=generator
+        )
+    else:
+        theta_star = np.asarray(theta_star, dtype=float)
+    ys = _responses(xs, theta_star, noise_std, generator)
+    return RegressionStream(xs, ys, theta_star)
+
+
+def make_l1_stream(
+    length: int,
+    dim: int,
+    theta_star: np.ndarray | None = None,
+    noise_std: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> RegressionStream:
+    """Covariates uniform-ish in the unit L1 ball (``w(X) = Θ(√log d)``).
+
+    Sampled as symmetric Dirichlet magnitudes with random signs, which
+    concentrates mass toward the L1 sphere while staying inside it.
+    """
+    length = check_int("length", length, minimum=1)
+    dim = check_int("dim", dim, minimum=1)
+    noise_std = check_non_negative("noise_std", noise_std)
+    generator = check_rng(rng)
+    magnitudes = generator.dirichlet(np.ones(dim), size=length)
+    signs = generator.choice([-1.0, 1.0], size=(length, dim))
+    radii = generator.uniform(0.5, 1.0, size=(length, 1))
+    xs = magnitudes * signs * radii
+    if theta_star is None:
+        theta_star = sample_sparse_theta(dim, max(dim // 10, 1), rng=generator)
+    else:
+        theta_star = np.asarray(theta_star, dtype=float)
+    ys = _responses(xs, theta_star, noise_std, generator)
+    return RegressionStream(xs, ys, theta_star)
+
+
+def make_mixed_width_stream(
+    length: int,
+    dim: int,
+    sparsity: int,
+    outlier_fraction: float = 0.3,
+    theta_star: np.ndarray | None = None,
+    noise_std: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[RegressionStream, np.ndarray]:
+    """A sparse stream with dense outliers — the robust-extension workload.
+
+    Returns the stream together with a boolean mask marking which points
+    belong to the low-width domain ``G`` (the sparse ones); the mask plays
+    the role of the membership oracle in the paper's §5.2 extension.
+
+    Parameters
+    ----------
+    outlier_fraction:
+        Probability that a point is a dense (high-width) outlier.
+    """
+    length = check_int("length", length, minimum=1)
+    outlier_fraction = check_probability("outlier_fraction", outlier_fraction, allow_zero=True)
+    generator = check_rng(rng)
+    sparse = make_sparse_stream(
+        length, dim, sparsity, theta_star, noise_std, rng=generator
+    )
+    dense = make_dense_stream(length, dim, sparse.theta_star, noise_std, generator)
+    in_g = generator.uniform(size=length) >= outlier_fraction
+    xs = np.where(in_g[:, None], sparse.xs, dense.xs)
+    ys = np.where(in_g, sparse.ys, dense.ys)
+    return RegressionStream(xs, ys, sparse.theta_star), in_g

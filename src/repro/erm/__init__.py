@@ -1,0 +1,58 @@
+"""Empirical-risk-minimization substrate.
+
+Everything Mechanism 1 and Algorithms 2–3 need from the (batch) ERM world:
+
+* :mod:`repro.erm.losses` — per-point loss functions with the constants
+  (Lipschitz, strong convexity, curvature) the paper's theorems are stated
+  in terms of.
+* :mod:`repro.erm.objective` — the aggregate empirical risk
+  ``J(θ; z_1..z_n) = Σ ℓ(θ; z_i)``, with a cached Gram-matrix fast path for
+  squared loss.
+* :mod:`repro.erm.solvers` — exact (non-private) constrained minimizers;
+  used both inside mechanisms and to compute the true minimizer ``θ̂_t``
+  that excess risk is measured against.
+* :mod:`repro.erm.noisy_pgd` — Appendix B's noisy projected gradient
+  descent, the inner loop of Algorithms 2 and 3.
+* :mod:`repro.erm.private_sgd` — Bassily-Smith-Thakurta noisy SGD, the
+  batch solver behind Theorem 3.1 parts 1.
+* :mod:`repro.erm.output_perturbation` — the strongly convex batch solver
+  behind Theorem 3.1 part 2.
+* :mod:`repro.erm.frank_wolfe` — Talwar-Thakurta-Zhang private Frank-Wolfe,
+  the low-Gaussian-width batch solver behind Theorem 3.1 part 3.
+"""
+
+from .losses import (
+    HingeLoss,
+    HuberLoss,
+    Loss,
+    LogisticLoss,
+    RegularizedLoss,
+    SquaredLoss,
+)
+from .objective import EmpiricalRisk, QuadraticRisk
+from .solvers import exact_least_squares, fista_quadratic, projected_gradient
+from .noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
+from .mirror_descent import NoisyMirrorDescent
+from .private_sgd import NoisySGD
+from .output_perturbation import OutputPerturbation
+from .frank_wolfe import PrivateFrankWolfe
+
+__all__ = [
+    "Loss",
+    "SquaredLoss",
+    "LogisticLoss",
+    "HingeLoss",
+    "HuberLoss",
+    "RegularizedLoss",
+    "EmpiricalRisk",
+    "QuadraticRisk",
+    "fista_quadratic",
+    "projected_gradient",
+    "exact_least_squares",
+    "NoisyProjectedGradient",
+    "noisy_pgd_iterations",
+    "NoisyMirrorDescent",
+    "NoisySGD",
+    "OutputPerturbation",
+    "PrivateFrankWolfe",
+]

@@ -1,0 +1,218 @@
+"""Per-point loss functions with the constants the paper's bounds use.
+
+Every theorem in the paper is stated in terms of properties of the per-point
+loss ``ℓ(θ; z)`` (paper Appendix A):
+
+* **Lipschitz constant** ``L`` (Definition 8) over the constraint set,
+* **strong convexity** ``ν`` (Definition 9),
+* **curvature constant** ``C_ℓ`` (§3, used by Theorem 3.1 part 3; for
+  squared loss with normalized data, ``C_ℓ ≤ ‖C‖²``).
+
+Each loss class reports those constants for a given constraint diameter
+under the paper's normalization ``‖x‖ ≤ 1, |y| ≤ 1``, so mechanisms can
+calibrate noise without the caller hand-computing constants.
+
+The losses implemented match the paper's §1 examples: squared loss (linear
+regression — the focus of Algorithms 2 and 3), logistic loss and hinge loss
+(the generic-convex instantiations of Mechanism 1), plus Huber loss as a
+robust extension.  :class:`RegularizedLoss` adds an L2 term, implementing
+the paper's footnote 1 — regularized ERM is plain ERM with
+``ℓ + R(θ)/n`` — and is how the strongly convex row of Table 1 is exercised.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = [
+    "Loss",
+    "SquaredLoss",
+    "LogisticLoss",
+    "HingeLoss",
+    "HuberLoss",
+    "RegularizedLoss",
+]
+
+
+class Loss(abc.ABC):
+    """A convex per-point loss ``ℓ(θ; (x, y))``.
+
+    All methods take the parameter vector first, matching the paper's
+    convention that convexity/Lipschitz properties are with respect to
+    ``θ`` for every fixed datapoint.
+    """
+
+    @abc.abstractmethod
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        """The loss ``ℓ(θ; (x, y))`` (non-negative for all losses here)."""
+
+    @abc.abstractmethod
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        """A (sub)gradient ``∇_θ ℓ(θ; (x, y))``."""
+
+    @abc.abstractmethod
+    def lipschitz(self, constraint_diameter: float) -> float:
+        """An upper bound on ``sup ‖∇ℓ‖`` over ``‖θ‖ ≤ diameter``, ``‖x‖≤1, |y|≤1``."""
+
+    def strong_convexity(self) -> float:
+        """The strong-convexity modulus ``ν`` (0 for merely convex losses)."""
+        return 0.0
+
+    def curvature(self, constraint_diameter: float) -> float:
+        """An upper bound on the curvature constant ``C_ℓ`` over the set.
+
+        Defaults to the generic smoothness-based bound
+        ``C_ℓ ≤ smoothness · (2·diameter)²`` and is overridden where the
+        paper gives something sharper.
+        """
+        return self.smoothness() * (2.0 * constraint_diameter) ** 2
+
+    def smoothness(self) -> float:
+        """An upper bound on the gradient's Lipschitz constant (∞ if none)."""
+        return math.inf
+
+
+class SquaredLoss(Loss):
+    """``ℓ(θ; (x, y)) = (y − ⟨x, θ⟩)²`` — the paper's central loss.
+
+    With ``‖x‖ ≤ 1`` and ``|y| ≤ 1``:
+
+    * Lipschitz: ``‖∇ℓ‖ = 2|⟨x,θ⟩ − y|·‖x‖ ≤ 2(‖C‖ + 1)``;
+    * smoothness: ``2`` (Hessian ``2xxᵀ`` has spectral norm ``≤ 2``);
+    * curvature: ``C_ℓ ≤ ‖C‖²`` (the paper cites Clarkson 2010).
+    """
+
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        residual = y - float(x @ theta)
+        return residual * residual
+
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        residual = float(x @ theta) - y
+        return 2.0 * residual * x
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        constraint_diameter = check_non_negative("constraint_diameter", constraint_diameter)
+        return 2.0 * (constraint_diameter + 1.0)
+
+    def smoothness(self) -> float:
+        return 2.0
+
+    def curvature(self, constraint_diameter: float) -> float:
+        constraint_diameter = check_non_negative("constraint_diameter", constraint_diameter)
+        return constraint_diameter**2
+
+
+class LogisticLoss(Loss):
+    """``ℓ(θ; (x, y)) = ln(1 + exp(−y⟨x, θ⟩))`` — the paper's §1 example.
+
+    With ``‖x‖ ≤ 1, |y| ≤ 1``: Lipschitz constant 1 (the sigmoid factor is
+    in ``(0,1)``), smoothness ``1/4``.
+    """
+
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        margin = y * float(x @ theta)
+        # log1p(exp(-m)) computed stably for both signs of m.
+        if margin >= 0:
+            return float(np.log1p(np.exp(-margin)))
+        return float(-margin + np.log1p(np.exp(margin)))
+
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        margin = y * float(x @ theta)
+        # weight = sigmoid(-margin), computed stably for both signs.
+        if margin >= 0:
+            exp_neg = np.exp(-margin)
+            weight = exp_neg / (1.0 + exp_neg)
+        else:
+            weight = 1.0 / (1.0 + np.exp(margin))
+        return -y * float(weight) * x
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        return 1.0
+
+    def smoothness(self) -> float:
+        return 0.25
+
+
+class HingeLoss(Loss):
+    """``ℓ(θ; (x, y)) = max(0, 1 − y⟨x, θ⟩)`` — the paper's SVM example.
+
+    Lipschitz constant 1; not smooth (subgradient at the kink is 0 by
+    convention).
+    """
+
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        return max(0.0, 1.0 - y * float(x @ theta))
+
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        if y * float(x @ theta) < 1.0:
+            return -y * x
+        return np.zeros_like(x)
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        return 1.0
+
+
+class HuberLoss(Loss):
+    """Huber-robustified regression loss with threshold ``kink``.
+
+    ``ℓ = r²`` for ``|r| ≤ kink`` and ``kink(2|r| − kink)`` beyond, where
+    ``r = y − ⟨x, θ⟩``.  Lipschitz ``2·kink``; smoothness 2.  Included as a
+    robust alternative for the incremental-regression mechanisms (its
+    gradient is *not* linear in the data moments, so it exercises the
+    generic Mechanism 1 path rather than the tree-mechanism path — see the
+    paper's Remark 4.4).
+    """
+
+    def __init__(self, kink: float = 1.0) -> None:
+        self.kink = check_positive("kink", kink)
+
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        residual = y - float(x @ theta)
+        if abs(residual) <= self.kink:
+            return residual * residual
+        return self.kink * (2.0 * abs(residual) - self.kink)
+
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        residual = float(x @ theta) - y
+        clipped = float(np.clip(residual, -self.kink, self.kink))
+        return 2.0 * clipped * x
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        return 2.0 * self.kink
+
+    def smoothness(self) -> float:
+        return 2.0
+
+
+class RegularizedLoss(Loss):
+    """``ℓ(θ; z) + (ν/2)‖θ‖²`` — the paper's footnote-1 regularized ERM.
+
+    Adding the quadratic makes any convex base loss ``ν``-strongly convex,
+    which is how the library exercises Table 1's strongly convex row
+    (Theorem 3.1 part 2).
+    """
+
+    def __init__(self, base: Loss, nu: float) -> None:
+        self.base = base
+        self.nu = check_positive("nu", nu)
+
+    def value(self, theta: np.ndarray, x: np.ndarray, y: float) -> float:
+        return self.base.value(theta, x, y) + 0.5 * self.nu * float(theta @ theta)
+
+    def gradient(self, theta: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        return self.base.gradient(theta, x, y) + self.nu * theta
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        constraint_diameter = check_non_negative("constraint_diameter", constraint_diameter)
+        return self.base.lipschitz(constraint_diameter) + self.nu * constraint_diameter
+
+    def strong_convexity(self) -> float:
+        return self.nu
+
+    def smoothness(self) -> float:
+        return self.base.smoothness() + self.nu

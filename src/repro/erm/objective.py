@@ -1,0 +1,145 @@
+"""Aggregate empirical-risk objectives.
+
+Two representations of ``J(θ; z_1..z_n) = Σ_i ℓ(θ; z_i)`` are provided:
+
+* :class:`EmpiricalRisk` — generic: stores the datapoints and loops over
+  the per-point loss.  Works for any :class:`~repro.erm.losses.Loss`.
+* :class:`QuadraticRisk` — the squared-loss fast path: maintains only the
+  second-moment statistics ``G = Σ x_i x_iᵀ``, ``b = Σ x_i y_i`` and
+  ``c = Σ y_i²`` so that
+
+      ``L(θ) = θᵀGθ − 2⟨b, θ⟩ + c,    ∇L(θ) = 2(Gθ − b)``
+
+  in ``O(d²)`` regardless of how many points were absorbed.  This is the
+  same linear-in-the-moments structure (paper eq. (2)) that makes the Tree
+  Mechanism applicable in Algorithm 2, and it is what the streaming runner
+  uses to compute exact minimizers cheaply at every timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int, check_vector
+from .losses import Loss
+
+__all__ = ["EmpiricalRisk", "QuadraticRisk"]
+
+
+class EmpiricalRisk:
+    """``J(θ) = Σ_i ℓ(θ; (x_i, y_i))`` for an arbitrary per-point loss.
+
+    Parameters
+    ----------
+    loss:
+        The per-point loss.
+    xs, ys:
+        Covariates (shape ``(n, d)``) and responses (shape ``(n,)``).
+    """
+
+    def __init__(self, loss: Loss, xs: np.ndarray, ys: np.ndarray) -> None:
+        self.loss = loss
+        self.xs = np.asarray(xs, dtype=float)
+        self.ys = np.asarray(ys, dtype=float)
+        if self.xs.ndim != 2:
+            raise ValueError(f"xs must be 2-D, got shape {self.xs.shape}")
+        if self.ys.shape != (self.xs.shape[0],):
+            raise ValueError(
+                f"ys must have shape ({self.xs.shape[0]},), got {self.ys.shape}"
+            )
+
+    @property
+    def n_points(self) -> int:
+        """Number of datapoints summed over."""
+        return self.xs.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Parameter dimension."""
+        return self.xs.shape[1]
+
+    def value(self, theta: np.ndarray) -> float:
+        """``J(θ)``."""
+        theta = check_vector("theta", theta, dim=self.dim)
+        return float(
+            sum(self.loss.value(theta, x, y) for x, y in zip(self.xs, self.ys))
+        )
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        """``∇J(θ) = Σ ∇ℓ(θ; z_i)``."""
+        theta = check_vector("theta", theta, dim=self.dim)
+        total = np.zeros(self.dim)
+        for x, y in zip(self.xs, self.ys):
+            total += self.loss.gradient(theta, x, y)
+        return total
+
+    def lipschitz(self, constraint_diameter: float) -> float:
+        """Lipschitz constant of the *sum*: ``n · L``."""
+        return self.n_points * self.loss.lipschitz(constraint_diameter)
+
+
+class QuadraticRisk:
+    """Streaming squared-loss risk via second-moment statistics.
+
+    Supports both batch construction and point-at-a-time absorption
+    (:meth:`add_point`), which is how the runner tracks the exact objective
+    along a stream.
+
+    Parameters
+    ----------
+    dim:
+        Covariate dimension ``d``.
+    """
+
+    def __init__(self, dim: int) -> None:
+        self.dim = check_int("dim", dim, minimum=1)
+        self.gram = np.zeros((dim, dim))
+        self.cross = np.zeros(dim)
+        self.response_sq = 0.0
+        self.n_points = 0
+
+    @classmethod
+    def from_data(cls, xs: np.ndarray, ys: np.ndarray) -> "QuadraticRisk":
+        """Build the statistics from a full dataset in one shot."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        risk = cls(xs.shape[1])
+        risk.gram = xs.T @ xs
+        risk.cross = xs.T @ ys
+        risk.response_sq = float(ys @ ys)
+        risk.n_points = xs.shape[0]
+        return risk
+
+    def add_point(self, x: np.ndarray, y: float) -> None:
+        """Absorb one ``(x, y)`` pair in ``O(d²)``."""
+        x = check_vector("x", x, dim=self.dim)
+        self.gram += np.outer(x, x)
+        self.cross += x * float(y)
+        self.response_sq += float(y) * float(y)
+        self.n_points += 1
+
+    def value(self, theta: np.ndarray) -> float:
+        """``L(θ) = θᵀGθ − 2⟨b, θ⟩ + Σy²`` (non-negative by construction)."""
+        theta = check_vector("theta", theta, dim=self.dim)
+        quadratic = float(theta @ self.gram @ theta)
+        return max(quadratic - 2.0 * float(self.cross @ theta) + self.response_sq, 0.0)
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        """``∇L(θ) = 2(Gθ − b)`` — the paper's eq. (2)."""
+        theta = check_vector("theta", theta, dim=self.dim)
+        return 2.0 * (self.gram @ theta - self.cross)
+
+    def gradient_lipschitz(self) -> float:
+        """Smoothness of ``L``: ``2‖G‖₂`` (for FISTA step sizing)."""
+        if self.n_points == 0:
+            return 0.0
+        return 2.0 * float(np.linalg.norm(self.gram, 2))
+
+    def copy(self) -> "QuadraticRisk":
+        """An independent snapshot of the current statistics."""
+        clone = QuadraticRisk(self.dim)
+        clone.gram = self.gram.copy()
+        clone.cross = self.cross.copy()
+        clone.response_sq = self.response_sq
+        clone.n_points = self.n_points
+        return clone

@@ -1,0 +1,116 @@
+"""Private batch ERM for strongly convex losses via output perturbation.
+
+Theorem 3.1 part 2 of the paper instantiates Mechanism 1 with a batch
+solver for ``ν``-strongly convex losses achieving excess risk
+``Õ(√d L^{3/2} ‖C‖^{1/2} / (ν^{1/2} ε))``.  The classical route (Chaudhuri-
+Monteleoni-Sarwate 2011; the argument also appears in Bassily et al. 2014)
+is *output perturbation*:
+
+1. the argmin of a ``ν``-strongly convex sum of ``n`` ``L``-Lipschitz losses
+   has global L2-sensitivity at most ``2L / (ν n)`` — swapping one point
+   perturbs the gradient by at most ``2L``, and strong convexity ``νn`` of
+   the sum turns a gradient perturbation into an argmin move of at most
+   ``2L/(νn)``;
+2. release ``θ̂ + N(0, σ² I_d)`` with ``σ`` calibrated to that sensitivity
+   (Gaussian mechanism), then project back onto ``C`` (post-processing).
+
+Utility: the objective is ``nL``-Lipschitz over ``C``, so the excess risk is
+at most ``nL·‖noise‖ ≈ nL·σ√d = 2√d·L²·√(2 ln(2/δ)) / (ν ε)`` — the ``√d/ν``
+shape of Table 1 row 2, flat in the batch size.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import check_int, check_rng
+from ..exceptions import ValidationError
+from ..geometry.base import ConvexSet
+from ..privacy.mechanisms import gaussian_sigma
+from ..privacy.parameters import PrivacyParams
+from .losses import Loss
+from .objective import EmpiricalRisk
+from .solvers import projected_gradient
+
+__all__ = ["OutputPerturbation"]
+
+
+class OutputPerturbation:
+    """Output-perturbation batch solver for strongly convex losses.
+
+    Parameters
+    ----------
+    loss:
+        The per-point loss; must report ``strong_convexity() > 0`` (wrap a
+        convex loss in :class:`~repro.erm.losses.RegularizedLoss` to get
+        one, mirroring the paper's footnote 1).
+    constraint:
+        The convex constraint set ``C``.
+    params:
+        The ``(ε, δ)`` budget for one batch solve.
+    solver_iterations:
+        Iteration budget for the exact inner minimization.
+    rng:
+        Seed or Generator.
+    """
+
+    def __init__(
+        self,
+        loss: Loss,
+        constraint: ConvexSet,
+        params: PrivacyParams,
+        solver_iterations: int = 500,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if loss.strong_convexity() <= 0:
+            raise ValidationError(
+                "OutputPerturbation requires a strongly convex loss; wrap the "
+                "loss in RegularizedLoss to add an L2 term"
+            )
+        self.loss = loss
+        self.constraint = constraint
+        self.params = params
+        self.solver_iterations = check_int("solver_iterations", solver_iterations, minimum=1)
+        self._rng = check_rng(rng)
+
+    def sensitivity(self, n: int) -> float:
+        """Argmin L2-sensitivity ``2L / (ν n)``."""
+        n = check_int("n", n, minimum=1)
+        lipschitz = self.loss.lipschitz(self.constraint.diameter())
+        return 2.0 * lipschitz / (self.loss.strong_convexity() * n)
+
+    def solve(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Exact solve, Gaussian perturbation, projection."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        n = xs.shape[0]
+        if n == 0:
+            return self.constraint.project(np.zeros(self.constraint.dim))
+        risk = EmpiricalRisk(self.loss, xs, ys)
+        lipschitz_sum = risk.lipschitz(self.constraint.diameter())
+        diameter = self.constraint.diameter()
+        step = diameter / (lipschitz_sum * math.sqrt(self.solver_iterations))
+        minimizer = projected_gradient(
+            risk.gradient,
+            self.constraint,
+            iterations=self.solver_iterations,
+            step_size=step,
+            average=True,
+        )
+        sigma = gaussian_sigma(self.sensitivity(n), self.params)
+        noisy = minimizer + self._rng.normal(0.0, sigma, size=minimizer.shape)
+        return self.constraint.project(noisy)
+
+    def excess_risk_bound(self, n: int, dim: int) -> float:
+        """Reference shape ``√d L² polylog / (ν ε)`` for benchmark tables."""
+        lipschitz = self.loss.lipschitz(self.constraint.diameter())
+        nu = self.loss.strong_convexity()
+        return (
+            2.0
+            * math.sqrt(dim)
+            * lipschitz**2
+            * math.sqrt(2.0 * math.log(2.0 / self.params.delta))
+            / (nu * self.params.epsilon)
+        )

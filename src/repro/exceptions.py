@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc. raised by numpy)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or domain).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError`` call
+    sites keep working.
+    """
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy budget was exhausted or split inconsistently.
+
+    Raised, for instance, when an accountant is asked to spend more
+    ``(epsilon, delta)`` than it has left, or when a mechanism is configured
+    with a non-positive budget.
+    """
+
+
+class StreamExhaustedError(ReproError):
+    """An incremental mechanism was fed more points than its declared horizon.
+
+    The Tree Mechanism (Algorithm 4) calibrates noise to a fixed stream
+    length ``T``; feeding point ``T + 1`` would silently break the privacy
+    guarantee, so the library refuses instead.
+    """
+
+
+class DomainViolationError(ValidationError):
+    """A stream point fell outside the declared bounded domain.
+
+    The privacy calibration of every mechanism in the paper assumes
+    ``‖x‖ ≤ 1`` and ``|y| ≤ 1``; points violating the declared bounds would
+    invalidate the sensitivity analysis, so they are rejected eagerly.
+    """
+
+
+class LiftingError(ReproError):
+    """The lifting program ``min ‖θ‖_C s.t. Φθ = ϑ`` could not be solved.
+
+    This generally indicates an infeasible constraint (``ϑ`` not in the
+    row space of ``Φ`` due to numerical trouble) or an LP solver failure.
+    """
+
+
+class NotSupportedError(ReproError):
+    """The requested operation is not available for this object.
+
+    Example: asking for the Minkowski gauge of a set that does not contain
+    the origin, where the gauge is not a norm and may be infinite.
+    """

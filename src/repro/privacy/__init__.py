@@ -1,0 +1,60 @@
+"""Differential-privacy substrate.
+
+This package provides everything the paper's mechanisms need from the
+differential-privacy literature:
+
+* :mod:`repro.privacy.parameters` — the ``(ε, δ)`` budget value type.
+* :mod:`repro.privacy.mechanisms` — Gaussian and Laplace output perturbation
+  calibrated by global sensitivity (Theorem A.2 of the paper).
+* :mod:`repro.privacy.composition` — basic (Theorem A.3) and advanced
+  (Theorem A.4) composition, plus the inverse splits used by Mechanism 1.
+* :mod:`repro.privacy.accountant` — a ledger that tracks budget spending.
+* :mod:`repro.privacy.tree` — the Tree Mechanism (Algorithm 4 / Appendix C)
+  for continual private release of vector sums.
+* :mod:`repro.privacy.hybrid` — the Hybrid Mechanism of Chan et al. removing
+  the known-horizon assumption.
+"""
+
+from .parameters import PrivacyParams
+from .mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    gaussian_sigma,
+    laplace_scale,
+)
+from .composition import (
+    advanced_composition,
+    basic_composition,
+    split_budget_advanced,
+    split_budget_basic,
+)
+from .accountant import PrivacyAccountant
+from .tree import (
+    TreeMechanism,
+    tree_error_bound,
+    tree_error_bound_spectral,
+    tree_levels,
+)
+from .hybrid import HybridMechanism
+from .rdp import RdpAccountant, gaussian_rdp, rdp_to_dp
+
+__all__ = [
+    "PrivacyParams",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "gaussian_sigma",
+    "laplace_scale",
+    "basic_composition",
+    "advanced_composition",
+    "split_budget_basic",
+    "split_budget_advanced",
+    "PrivacyAccountant",
+    "TreeMechanism",
+    "tree_levels",
+    "tree_error_bound",
+    "tree_error_bound_spectral",
+    "HybridMechanism",
+    "RdpAccountant",
+    "gaussian_rdp",
+    "rdp_to_dp",
+]

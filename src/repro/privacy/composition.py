@@ -1,0 +1,108 @@
+"""Composition theorems for differential privacy.
+
+Mechanism 1 (the generic batch→incremental transformation) leans on both
+composition results quoted in the paper's Appendix A.2:
+
+* **Basic composition** (Theorem A.3, Dwork et al. 2006): ``k`` adaptive
+  ``(ε, δ)``-DP interactions compose to ``(kε, kδ)``-DP.
+* **Advanced composition** (Theorem A.4, Dwork-Rothblum-Vadhan 2010): for
+  any slack ``δ* > 0``, ``k`` adaptive ``(ε, δ)``-DP interactions compose to
+  ``(ε√(2k ln(1/δ*)) + 2kε², kδ + δ*)``-DP.
+
+Mechanism 1 must *invert* advanced composition: given a total target budget
+``(ε, δ)`` and a number of batch invocations ``k = T/τ``, it needs a
+per-invocation ``(ε′, δ′)`` that composes to at most the target.  The paper
+(proof of Theorem 3.1) chooses, with ``δ* = δ/2``:
+
+    ``ε′ = ε / (2 √(2k ln(2/δ)))``  and  ``δ′ = δ / (2k)``,
+
+and verifies ``2kε′² ≤ ε/2`` whenever ``ε ≤ √(2k ln(2/δ))`` (always true in
+the interesting regime).  :func:`split_budget_advanced` reproduces this
+split, including the verification.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_int, check_probability
+from .parameters import PrivacyParams
+
+__all__ = [
+    "basic_composition",
+    "advanced_composition",
+    "split_budget_basic",
+    "split_budget_advanced",
+]
+
+
+def basic_composition(per_step: PrivacyParams, k: int) -> PrivacyParams:
+    """Total budget consumed by ``k`` adaptive ``per_step``-DP interactions.
+
+    Theorem A.3: the composition is ``(kε, kδ)``-DP.
+    """
+    k = check_int("k", k, minimum=1)
+    return PrivacyParams(per_step.epsilon * k, min(per_step.delta * k, 1 - 1e-15))
+
+
+def advanced_composition(per_step: PrivacyParams, k: int, delta_slack: float) -> PrivacyParams:
+    """Total budget under advanced composition (Theorem A.4).
+
+    Parameters
+    ----------
+    per_step:
+        The ``(ε, δ)`` guarantee of each of the ``k`` interactions.
+    k:
+        Number of adaptive interactions.
+    delta_slack:
+        The additional failure probability ``δ*`` (must be in ``(0, 1)``).
+
+    Returns
+    -------
+    PrivacyParams
+        ``(ε√(2k ln(1/δ*)) + 2kε², kδ + δ*)``.
+    """
+    k = check_int("k", k, minimum=1)
+    delta_slack = check_probability("delta_slack", delta_slack)
+    eps = per_step.epsilon
+    total_eps = eps * math.sqrt(2.0 * k * math.log(1.0 / delta_slack)) + 2.0 * k * eps * eps
+    total_delta = min(k * per_step.delta + delta_slack, 1 - 1e-15)
+    return PrivacyParams(total_eps, total_delta)
+
+
+def split_budget_basic(total: PrivacyParams, k: int) -> PrivacyParams:
+    """Per-interaction budget so that ``k`` basic compositions meet ``total``."""
+    k = check_int("k", k, minimum=1)
+    return PrivacyParams(total.epsilon / k, total.delta / k)
+
+
+def split_budget_advanced(total: PrivacyParams, k: int) -> PrivacyParams:
+    """Per-interaction budget so that ``k`` advanced compositions meet ``total``.
+
+    Reproduces the split from the proof of Theorem 3.1 (with ``δ* = δ/2``)::
+
+        ε′ = ε / (2 √(2k ln(2/δ))),    δ′ = δ / (2k).
+
+    The returned budget is verified to actually compose within ``total``
+    (the ``2kε′²`` second-order term is checked, not assumed).
+
+    Raises
+    ------
+    repro.exceptions.PrivacyBudgetError
+        If the verification fails, which can only happen for extremely large
+        ``ε`` where the quadratic term dominates; the paper's regime
+        (``ε = O(1)``) always passes.
+    """
+    from ..exceptions import PrivacyBudgetError
+
+    k = check_int("k", k, minimum=1)
+    eps_prime = total.epsilon / (2.0 * math.sqrt(2.0 * k * math.log(2.0 / total.delta)))
+    delta_prime = total.delta / (2.0 * k)
+    per_step = PrivacyParams(eps_prime, delta_prime)
+    achieved = advanced_composition(per_step, k, delta_slack=total.delta / 2.0)
+    if achieved.epsilon > total.epsilon * (1 + 1e-9) or achieved.delta > total.delta * (1 + 1e-9):
+        raise PrivacyBudgetError(
+            f"advanced split failed verification: k={k} per-step {per_step} "
+            f"composes to {achieved}, exceeding target {total}"
+        )
+    return per_step

@@ -1,0 +1,144 @@
+"""Output-perturbation mechanisms calibrated by global sensitivity.
+
+The paper relies on the *framework of global sensitivity* (its Theorem A.2,
+originally Dwork et al. 2006): a function ``f`` with L2-sensitivity ``Δ₂``
+released as ``f(Γ) + N(0, σ² I_d)`` with
+
+    ``σ² = 2 Δ₂² ln(2/δ) / ε²``
+
+is ``(ε, δ)``-differentially private.  :func:`gaussian_sigma` implements this
+exact calibration (the same constant the Tree Mechanism in Appendix C uses
+per node), and :class:`GaussianMechanism` wraps it as a reusable object.
+
+The Laplace mechanism (ε-DP, L1 sensitivity) is included because the private
+Frank-Wolfe solver (Talwar et al.) uses report-noisy-max with Laplace noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import check_positive, check_rng, check_vector
+from .parameters import PrivacyParams
+
+__all__ = [
+    "gaussian_sigma",
+    "laplace_scale",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+]
+
+
+def gaussian_sigma(l2_sensitivity: float, params: PrivacyParams) -> float:
+    """Per-coordinate Gaussian noise scale for an ``(ε, δ)``-DP release.
+
+    Implements the calibration of the paper's Theorem A.2:
+    ``σ = Δ₂ · sqrt(2 ln(2/δ)) / ε``.
+
+    Parameters
+    ----------
+    l2_sensitivity:
+        Global L2-sensitivity ``Δ₂`` of the released function — the maximum
+        L2 distance between outputs on neighboring inputs.
+    params:
+        The ``(ε, δ)`` budget for this single release.
+
+    Returns
+    -------
+    float
+        The standard deviation of the independent Gaussian noise to add to
+        every coordinate.
+    """
+    l2_sensitivity = check_positive("l2_sensitivity", l2_sensitivity)
+    return l2_sensitivity * math.sqrt(2.0 * math.log(2.0 / params.delta)) / params.epsilon
+
+
+def laplace_scale(l1_sensitivity: float, epsilon: float) -> float:
+    """Laplace noise scale ``b = Δ₁ / ε`` for a pure ``ε``-DP release."""
+    l1_sensitivity = check_positive("l1_sensitivity", l1_sensitivity)
+    epsilon = check_positive("epsilon", epsilon)
+    return l1_sensitivity / epsilon
+
+
+class GaussianMechanism:
+    """The Gaussian mechanism for vector-valued queries.
+
+    A stateless, reusable release object: every call to :meth:`release`
+    consumes one copy of the configured budget (callers who make repeated
+    releases must account composition themselves, e.g. via
+    :class:`repro.privacy.accountant.PrivacyAccountant`).
+
+    Parameters
+    ----------
+    l2_sensitivity:
+        Global L2 sensitivity of the query being released.
+    params:
+        Per-release ``(ε, δ)`` budget.
+    rng:
+        Seed or ``numpy`` Generator for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        l2_sensitivity: float,
+        params: PrivacyParams,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.l2_sensitivity = check_positive("l2_sensitivity", l2_sensitivity)
+        self.params = params
+        self.sigma = gaussian_sigma(l2_sensitivity, params)
+        self._rng = check_rng(rng)
+
+    def release(self, value: np.ndarray) -> np.ndarray:
+        """Return ``value`` plus i.i.d. ``N(0, σ²)`` noise per coordinate."""
+        value = np.asarray(value, dtype=float)
+        return value + self._rng.normal(0.0, self.sigma, size=value.shape)
+
+    def release_scalar(self, value: float) -> float:
+        """Scalar convenience wrapper around :meth:`release`."""
+        return float(value) + float(self._rng.normal(0.0, self.sigma))
+
+
+class LaplaceMechanism:
+    """The Laplace mechanism for pure ``ε``-DP vector releases.
+
+    Parameters
+    ----------
+    l1_sensitivity:
+        Global L1 sensitivity of the query being released.
+    epsilon:
+        Per-release privacy-loss bound.
+    rng:
+        Seed or ``numpy`` Generator for reproducible noise.
+    """
+
+    def __init__(
+        self,
+        l1_sensitivity: float,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.l1_sensitivity = check_positive("l1_sensitivity", l1_sensitivity)
+        self.epsilon = check_positive("epsilon", epsilon)
+        self.scale = laplace_scale(l1_sensitivity, epsilon)
+        self._rng = check_rng(rng)
+
+    def release(self, value: np.ndarray) -> np.ndarray:
+        """Return ``value`` plus i.i.d. ``Lap(0, b)`` noise per coordinate."""
+        value = np.asarray(value, dtype=float)
+        return value + self._rng.laplace(0.0, self.scale, size=value.shape)
+
+    def noisy_argmin(self, scores: np.ndarray) -> int:
+        """Report-noisy-min: index of the smallest perturbed score.
+
+        This is the selection primitive used by the private Frank-Wolfe
+        solver: each candidate vertex's score ``⟨∇, v⟩`` is perturbed with
+        independent Laplace noise, and the argmin of the noisy scores is
+        returned.  Releasing only the argmin of Laplace-perturbed scores is
+        ``ε``-DP when each score has L1 sensitivity ``l1_sensitivity``.
+        """
+        scores = check_vector("scores", scores)
+        noisy = scores + self._rng.laplace(0.0, self.scale, size=scores.shape)
+        return int(np.argmin(noisy))

@@ -1,0 +1,84 @@
+"""The ``(ε, δ)`` differential-privacy budget value type.
+
+The paper works throughout with event-level ``(ε, δ)``-differential privacy
+on streams (Definition 4): two streams are *neighbors* when they differ in a
+single datapoint, and the whole output **sequence** of the mechanism must be
+``(ε, δ)``-indistinguishable between neighbors.
+
+:class:`PrivacyParams` is an immutable value object used everywhere a budget
+is passed around.  It validates its fields eagerly, supports the halving /
+splitting arithmetic used by Algorithms 2 and 3 (which split their budget
+across two Tree Mechanism instances), and provides comparison helpers used
+by the accountant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_positive, check_probability
+
+__all__ = ["PrivacyParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyParams:
+    """An immutable ``(ε, δ)`` differential-privacy budget.
+
+    Parameters
+    ----------
+    epsilon:
+        The privacy-loss bound ``ε > 0``.  Smaller is more private.
+    delta:
+        The failure probability ``δ ∈ (0, 1)``.  The paper's mechanisms all
+        require ``δ > 0`` because they rely on the Gaussian mechanism and on
+        advanced composition; pure ``δ = 0`` privacy is intentionally not
+        representable here.
+
+    Examples
+    --------
+    >>> budget = PrivacyParams(epsilon=1.0, delta=1e-6)
+    >>> left, right = budget.split(2)
+    >>> left.epsilon
+    0.5
+    """
+
+    epsilon: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", check_positive("epsilon", self.epsilon))
+        object.__setattr__(self, "delta", check_probability("delta", self.delta))
+
+    def split(self, parts: int) -> tuple["PrivacyParams", ...]:
+        """Split the budget evenly into ``parts`` independent budgets.
+
+        By basic composition (Theorem A.3), running ``parts`` mechanisms each
+        satisfying ``(ε/parts, δ/parts)``-DP yields ``(ε, δ)``-DP overall.
+        This is exactly how Algorithms 2 and 3 divide their budget between
+        the ``Σ x_i y_i`` tree and the ``Σ x_i x_iᵀ`` tree.
+        """
+        if not isinstance(parts, int) or parts < 1:
+            raise ValueError(f"parts must be a positive integer, got {parts!r}")
+        piece = PrivacyParams(self.epsilon / parts, self.delta / parts)
+        return tuple(piece for _ in range(parts))
+
+    def halve(self) -> "PrivacyParams":
+        """Return the ``(ε/2, δ/2)`` budget (the paper's ε′, δ′)."""
+        return PrivacyParams(self.epsilon / 2.0, self.delta / 2.0)
+
+    def scaled(self, factor: float) -> "PrivacyParams":
+        """Return the budget with both parameters multiplied by ``factor``."""
+        factor = check_positive("factor", factor)
+        return PrivacyParams(self.epsilon * factor, min(self.delta * factor, 1 - 1e-15))
+
+    def is_weaker_than(self, other: "PrivacyParams") -> bool:
+        """True if this budget is component-wise at least as large as ``other``.
+
+        A "weaker" guarantee allows more privacy loss; an algorithm proven
+        ``other``-DP automatically satisfies any weaker budget.
+        """
+        return self.epsilon >= other.epsilon and self.delta >= other.delta
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(ε={self.epsilon:.4g}, δ={self.delta:.3g})"

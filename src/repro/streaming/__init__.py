@@ -1,0 +1,24 @@
+"""Streaming substrate: stream model, adjacency, runner, metrics.
+
+The paper's incremental setting (§1) fixes a stream length ``T``; one
+covariate-response pair arrives per timestep; the algorithm outputs an
+estimator after *seeing* the point (unlike online learning, which commits
+first — see the paper's "Comparison to Online Learning").  The runner in
+this package drives any incremental estimator over a stream and measures
+the Definition-1 excess risk at every timestep against the exact
+constrained minimizer.
+"""
+
+from .stream import RegressionStream
+from .adjacency import is_neighbor, replace_point
+from .metrics import ExcessRiskTrace
+from .runner import IncrementalRunner, RunResult
+
+__all__ = [
+    "RegressionStream",
+    "replace_point",
+    "is_neighbor",
+    "ExcessRiskTrace",
+    "IncrementalRunner",
+    "RunResult",
+]

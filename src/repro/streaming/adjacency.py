@@ -1,0 +1,47 @@
+"""Neighboring-stream utilities for event-level differential privacy.
+
+The paper's Definition 4 declares two streams *neighbors* when one datapoint
+is changed (same length, one index differs).  These helpers construct and
+recognize neighbors; the end-to-end privacy tests use them to verify that
+the mechanisms' *noise-free statistics* move by no more than the declared
+sensitivities between neighbors — the calibration fact every privacy proof
+in the paper reduces to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int, check_vector
+from .stream import RegressionStream
+
+__all__ = ["replace_point", "is_neighbor"]
+
+
+def replace_point(
+    stream: RegressionStream, index: int, x: np.ndarray, y: float
+) -> RegressionStream:
+    """A neighboring stream with position ``index`` replaced by ``(x, y)``.
+
+    The replacement pair must obey the same unit-ball normalization; the
+    :class:`RegressionStream` constructor enforces it.
+    """
+    index = check_int("index", index, minimum=0)
+    if index >= stream.length:
+        raise ValueError(f"index {index} out of range for stream of length {stream.length}")
+    x = check_vector("x", x, dim=stream.dim)
+    xs = stream.xs.copy()
+    ys = stream.ys.copy()
+    xs[index] = x
+    ys[index] = float(y)
+    return RegressionStream(xs, ys, stream.theta_star)
+
+
+def is_neighbor(a: RegressionStream, b: RegressionStream, tol: float = 0.0) -> bool:
+    """Whether two streams differ in at most one position (Definition 4)."""
+    if a.length != b.length or a.dim != b.dim:
+        return False
+    x_diff = np.any(np.abs(a.xs - b.xs) > tol, axis=1)
+    y_diff = np.abs(a.ys - b.ys) > tol
+    differing = np.logical_or(x_diff, y_diff)
+    return int(differing.sum()) <= 1

@@ -1,0 +1,80 @@
+"""Metric containers for incremental runs.
+
+:class:`ExcessRiskTrace` records, per evaluated timestep, the private
+estimator's risk and the exact minimum risk, exposing the Definition-1
+quantity ``max_t [J(θ_t; Γ_t) − J(θ̂_t; Γ_t)]`` plus the summaries the
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ExcessRiskTrace"]
+
+
+@dataclass
+class ExcessRiskTrace:
+    """Per-timestep risk trajectory of an incremental estimator.
+
+    Attributes
+    ----------
+    timesteps:
+        The evaluated ``t`` values (ascending).
+    estimator_risk:
+        ``J(θ_t; Γ_t)`` at each evaluated ``t``.
+    optimal_risk:
+        ``J(θ̂_t; Γ_t)`` (exact constrained minimum) at each evaluated ``t``.
+    """
+
+    timesteps: list[int] = field(default_factory=list)
+    estimator_risk: list[float] = field(default_factory=list)
+    optimal_risk: list[float] = field(default_factory=list)
+
+    def record(self, t: int, estimator_risk: float, optimal_risk: float) -> None:
+        """Append one evaluation point (clamping tiny negative excess to 0)."""
+        self.timesteps.append(int(t))
+        self.estimator_risk.append(float(estimator_risk))
+        self.optimal_risk.append(float(optimal_risk))
+
+    @property
+    def excess(self) -> np.ndarray:
+        """Per-step excess risk, floored at zero against solver noise."""
+        est = np.asarray(self.estimator_risk)
+        opt = np.asarray(self.optimal_risk)
+        return np.maximum(est - opt, 0.0)
+
+    def max_excess(self) -> float:
+        """Definition 1's ``α``: the worst excess risk over the stream."""
+        if not self.timesteps:
+            return 0.0
+        return float(self.excess.max())
+
+    def final_excess(self) -> float:
+        """Excess risk at the last evaluated timestep."""
+        if not self.timesteps:
+            return 0.0
+        return float(self.excess[-1])
+
+    def mean_excess(self) -> float:
+        """Average excess risk across evaluated timesteps."""
+        if not self.timesteps:
+            return 0.0
+        return float(self.excess.mean())
+
+    def final_optimal_risk(self) -> float:
+        """``OPT`` — the minimum empirical risk at the last timestep."""
+        if not self.optimal_risk:
+            return 0.0
+        return float(self.optimal_risk[-1])
+
+    def summary(self) -> dict[str, float]:
+        """The dictionary benchmarks attach as ``extra_info``."""
+        return {
+            "max_excess": self.max_excess(),
+            "final_excess": self.final_excess(),
+            "mean_excess": self.mean_excess(),
+            "final_opt": self.final_optimal_risk(),
+        }

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import L1Ball, L2Ball, PrivacyParams
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing other seeds make their own."""
+    return np.random.default_rng(20170104)
+
+
+@pytest.fixture
+def budget():
+    """A generous default budget so utility checks are not noise-dominated."""
+    return PrivacyParams(epsilon=1.0, delta=1e-6)
+
+
+@pytest.fixture
+def ball5():
+    return L2Ball(dim=5)
+
+
+@pytest.fixture
+def l1ball5():
+    return L1Ball(dim=5)

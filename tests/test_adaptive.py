@@ -1,0 +1,61 @@
+"""Tests for the adaptive (projection-aware) adversary.
+
+These verify the §5 story end-to-end: an adversary that sees Φ can zero out
+an *unrestricted* JL embedding, but cannot break a Gordon-sized embedding
+within a low-width domain.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GaussianProjection, SparseVectors, gordon_dimension
+from repro.data import adaptive_null_space_points, adaptive_sparse_points
+
+
+class TestNullSpaceAttack:
+    def test_attack_annihilates_unrestricted_embedding(self):
+        """With m < d the adversary finds x with ‖Φx‖ ≈ 0 but ‖x‖ = 1 —
+        the paper's footnote-10 observation."""
+        proj = GaussianProjection(40, 10, rng=0)
+        attack = adaptive_null_space_points(proj, count=3)
+        for x in attack:
+            assert np.linalg.norm(x) == pytest.approx(1.0)
+            assert np.linalg.norm(proj.apply(x)) < 1e-10
+
+    def test_attack_distortion_total(self):
+        proj = GaussianProjection(30, 5, rng=1)
+        attack = adaptive_null_space_points(proj)
+        assert proj.distortion(attack) == pytest.approx(1.0)
+
+    def test_square_projection_has_no_kernel(self):
+        proj = GaussianProjection(10, 10, rng=2)
+        attack = adaptive_null_space_points(proj)
+        # Full-rank square Φ: even the best adversarial point survives.
+        assert np.linalg.norm(proj.apply(attack[0])) > 1e-3
+
+
+class TestSparseAttack:
+    def test_attack_points_are_sparse_unit_vectors(self):
+        proj = GaussianProjection(50, 20, rng=3)
+        attack = adaptive_sparse_points(proj, sparsity=3, count=2, candidates=30, rng=4)
+        for x in attack:
+            assert np.count_nonzero(x) <= 3
+            assert np.linalg.norm(x) == pytest.approx(1.0)
+
+    def test_gordon_sized_embedding_resists_sparse_attack(self):
+        """With m from Gordon's theorem for the sparse domain, even the
+        adaptive sparse adversary cannot push distortion past γ."""
+        dim, k, gamma = 120, 2, 0.5
+        domain = SparseVectors(dim, k)
+        m = gordon_dimension(domain.gaussian_width(), gamma, beta=0.05, max_dim=dim)
+        proj = GaussianProjection(dim, m, rng=5)
+        attack = adaptive_sparse_points(proj, sparsity=k, count=3, candidates=150, rng=6)
+        assert proj.distortion(attack) < gamma
+
+    def test_undersized_embedding_fails_sparse_attack(self):
+        """The same adversary against a tiny m finds large distortion —
+        the contrast that motivates Gordon sizing."""
+        dim, k = 120, 2
+        proj = GaussianProjection(dim, 3, rng=7)
+        attack = adaptive_sparse_points(proj, sparsity=k, count=3, candidates=150, rng=8)
+        assert proj.distortion(attack) > 0.5

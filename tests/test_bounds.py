@@ -1,0 +1,129 @@
+"""Tests for the Table-1 bound formulas and crossover calculators."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    bound_generic_convex,
+    bound_generic_frank_wolfe,
+    bound_mech1,
+    bound_mech2,
+    bound_strongly_convex,
+    generic_transform_penalty,
+    mech2_beats_mech1_dimension,
+    naive_recompute_penalty,
+    trivial_bound,
+)
+
+EPS, DELTA = 1.0, 1e-6
+
+
+class TestTrivialBound:
+    def test_formula(self):
+        assert trivial_bound(100, 2.0, 1.5) == pytest.approx(600.0)
+
+    def test_all_bounds_capped_by_trivial(self):
+        tiny_horizon = 2
+        for bound in (
+            bound_generic_convex(tiny_horizon, 10**6, EPS, DELTA),
+            bound_strongly_convex(tiny_horizon, 10**6, EPS, DELTA, nu=1e-9),
+            bound_mech1(tiny_horizon, 10**6, EPS, DELTA),
+            bound_mech2(tiny_horizon, 10**6, EPS, DELTA),
+        ):
+            assert bound <= trivial_bound(tiny_horizon, 4.0, 1.0) + 1e-9
+
+
+class TestScalingShapes:
+    def test_generic_convex_td_cuberoot(self):
+        """Doubling T·d multiplies the bound by 2^{1/3}."""
+        base = bound_generic_convex(1 << 16, 8, EPS, DELTA)
+        double = bound_generic_convex(1 << 17, 8, EPS, DELTA)
+        assert double / base == pytest.approx(2 ** (1 / 3), rel=1e-6)
+
+    def test_generic_convex_epsilon_power(self):
+        # Large T so the min{·, trivial} cap does not bind at small ε.
+        base = bound_generic_convex(1 << 24, 8, 1.0, DELTA)
+        tight = bound_generic_convex(1 << 24, 8, 0.125, DELTA)
+        assert tight / base == pytest.approx(8 ** (2 / 3), rel=1e-6)
+
+    def test_strongly_convex_flat_in_horizon(self):
+        a = bound_strongly_convex(10**6, 16, EPS, DELTA, nu=1.0)
+        b = bound_strongly_convex(10**8, 16, EPS, DELTA, nu=1.0)
+        assert a == b
+
+    def test_strongly_convex_capped_at_small_horizon(self):
+        """At small T the trivial bound takes over — the min{T, ·} clause."""
+        capped = bound_strongly_convex(10**4, 16, EPS, DELTA, nu=1.0)
+        assert capped == trivial_bound(10**4, 1.0, 1.0)
+
+    def test_strongly_convex_sqrt_d(self):
+        a = bound_strongly_convex(10**6, 16, EPS, DELTA, nu=1.0)
+        b = bound_strongly_convex(10**6, 64, EPS, DELTA, nu=1.0)
+        assert b / a == pytest.approx(2.0, rel=1e-9)
+
+    def test_mech1_sqrt_d_dominates_eventually(self):
+        a = bound_mech1(1 << 20, 100, EPS, DELTA)
+        b = bound_mech1(1 << 20, 400, EPS, DELTA)
+        # √400/√100 = 2, softened by the additive √log(T/β) term.
+        assert 1.5 < b / a <= 2.0
+
+    def test_mech1_polylog_in_horizon(self):
+        a = bound_mech1(1 << 10, 64, EPS, DELTA)
+        b = bound_mech1(1 << 20, 64, EPS, DELTA)
+        assert b / a < 4.0  # log^{3/2} growth: (20/10)^{1.5} ≈ 2.8
+
+    def test_mech2_t_third_w_twothirds(self):
+        base = bound_mech2(1 << 15, 4.0, EPS, DELTA)
+        double_t = bound_mech2(1 << 16, 4.0, EPS, DELTA)
+        # T^{1/3}·log²T growth.
+        expected = 2 ** (1 / 3) * (math.log(1 << 16) / math.log(1 << 15)) ** 2
+        assert double_t / base == pytest.approx(expected, rel=1e-6)
+
+    def test_mech2_width_power(self):
+        base = bound_mech2(1 << 15, 4.0, EPS, DELTA)
+        double_w = bound_mech2(1 << 15, 8.0, EPS, DELTA)
+        assert double_w / base == pytest.approx(2 ** (2 / 3), rel=1e-6)
+
+    def test_mech2_opt_terms_increase_bound(self):
+        assert bound_mech2(1 << 15, 4.0, EPS, DELTA, opt=100.0) > bound_mech2(
+            1 << 15, 4.0, EPS, DELTA, opt=0.0
+        )
+
+    def test_frank_wolfe_sqrt_t(self):
+        # Large T keeps both values below the trivial cap.
+        a = bound_generic_frank_wolfe(1 << 24, 2.0, 1.0, EPS, DELTA)
+        b = bound_generic_frank_wolfe(1 << 26, 2.0, 1.0, EPS, DELTA)
+        assert b / a == pytest.approx(2.0, rel=1e-6)
+
+
+class TestComparisons:
+    def test_mech1_beats_generic_transform(self):
+        """Remark 4.3: min{√d, T} ≤ min{(Td)^{1/3}, T} for all T, d."""
+        for horizon in (1 << 8, 1 << 12, 1 << 16):
+            for dim in (4, 64, 1024):
+                assert bound_mech1(horizon, dim, EPS, DELTA) <= bound_generic_convex(
+                    horizon, dim, EPS, DELTA
+                ) * math.log(1 / DELTA) ** 2  # generic carries extra polylog(1/δ)
+
+    def test_naive_penalty(self):
+        assert naive_recompute_penalty(10_000) == pytest.approx(100.0)
+
+    def test_generic_transform_penalty(self):
+        assert generic_transform_penalty(1 << 12, 1 << 6) == pytest.approx(
+            (1 << 12) ** (1 / 3) / (1 << 6) ** (1 / 6)
+        )
+        # Large d: the penalty floors at 1.
+        assert generic_transform_penalty(8, 1 << 30) == 1.0
+
+    def test_crossover_exists_for_small_width(self):
+        """§5.2: with W = polylog(d), Mech 2 eventually beats Mech 1."""
+        crossover = mech2_beats_mech1_dimension(1 << 14, width=3.0, epsilon=EPS, delta=DELTA)
+        assert crossover > 0
+        # Sanity: at the crossover, the ordering actually flips.
+        assert bound_mech1(1 << 14, crossover, EPS, DELTA) > bound_mech2(
+            1 << 14, 3.0, EPS, DELTA
+        )
+        assert bound_mech1(1 << 14, max(crossover // 4, 1), EPS, DELTA) <= bound_mech2(
+            1 << 14, 3.0, EPS, DELTA
+        )

@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_dense_stream,
+    make_drift_stream,
+    make_l1_stream,
+    make_mixed_width_stream,
+    make_sparse_stream,
+    sample_sparse_theta,
+)
+
+
+class TestSampleSparseTheta:
+    def test_sparsity_and_norm(self):
+        theta = sample_sparse_theta(20, 3, norm=0.8, rng=0)
+        assert np.count_nonzero(theta) <= 3
+        assert np.linalg.norm(theta) == pytest.approx(0.8)
+
+    def test_l1_norm_option(self):
+        theta = sample_sparse_theta(20, 3, norm=1.0, ord=1, rng=1)
+        assert np.abs(theta).sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            sample_sparse_theta(10, 2, rng=7), sample_sparse_theta(10, 2, rng=7)
+        )
+
+
+class TestDenseStream:
+    def test_normalization(self):
+        stream = make_dense_stream(30, 5, rng=0)
+        norms = np.linalg.norm(stream.xs, axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+        assert np.abs(stream.ys).max() <= 1.0
+
+    def test_theta_star_recorded(self):
+        stream = make_dense_stream(10, 4, rng=1)
+        assert stream.theta_star is not None
+        assert np.linalg.norm(stream.theta_star) == pytest.approx(1.0)
+
+    def test_custom_theta_used(self):
+        theta = np.array([1.0, 0.0, 0.0])
+        stream = make_dense_stream(10, 3, theta_star=theta, noise_std=0.0, rng=2)
+        np.testing.assert_allclose(stream.ys, np.clip(stream.xs @ theta, -1, 1))
+
+    def test_noise_controls_opt(self):
+        """Higher label noise ⇒ higher best-fit residual risk."""
+        quiet = make_dense_stream(200, 3, noise_std=0.0, rng=3)
+        noisy = make_dense_stream(200, 3, noise_std=0.3, rng=3)
+        from repro import L2Ball
+        from repro.erm.solvers import exact_least_squares
+
+        def opt(stream):
+            theta = exact_least_squares(stream.xs, stream.ys, L2Ball(3), iterations=500)
+            return float(np.sum((stream.ys - stream.xs @ theta) ** 2))
+
+        assert opt(quiet) < 1e-6
+        assert opt(noisy) > 1.0
+
+
+class TestSparseStream:
+    def test_per_row_sparsity(self):
+        stream = make_sparse_stream(25, 30, sparsity=4, rng=0)
+        for row in stream.xs:
+            assert np.count_nonzero(row) <= 4
+            assert np.linalg.norm(row) == pytest.approx(1.0)
+
+    def test_dimension_check(self):
+        stream = make_sparse_stream(5, 10, sparsity=2, rng=1)
+        assert stream.dim == 10
+
+
+class TestL1Stream:
+    def test_covariates_inside_l1_ball(self):
+        stream = make_l1_stream(25, 12, rng=0)
+        assert np.abs(stream.xs).sum(axis=1).max() <= 1.0 + 1e-9
+
+    def test_covariates_nontrivial(self):
+        stream = make_l1_stream(25, 12, rng=1)
+        assert np.abs(stream.xs).sum(axis=1).min() > 0.1
+
+
+class TestMixedStream:
+    def test_mask_marks_sparse_rows(self):
+        stream, in_g = make_mixed_width_stream(
+            60, 20, sparsity=3, outlier_fraction=0.4, rng=0
+        )
+        assert in_g.shape == (60,)
+        for row, good in zip(stream.xs, in_g):
+            if good:
+                assert np.count_nonzero(row) <= 3
+
+    def test_outlier_fraction_roughly_respected(self):
+        _, in_g = make_mixed_width_stream(400, 10, sparsity=2, outlier_fraction=0.3, rng=1)
+        assert 0.2 < 1.0 - in_g.mean() < 0.4
+
+    def test_zero_fraction_all_good(self):
+        _, in_g = make_mixed_width_stream(30, 10, sparsity=2, outlier_fraction=0.0, rng=2)
+        assert in_g.all()
+
+
+class TestDriftStream:
+    def test_segment_parameters_returned(self):
+        stream, thetas = make_drift_stream(40, 5, n_segments=4, rng=0)
+        assert thetas.shape == (4, 5)
+        np.testing.assert_array_equal(stream.theta_star, thetas[-1])
+
+    def test_segments_have_different_truths(self):
+        _, thetas = make_drift_stream(40, 5, n_segments=2, rng=1)
+        assert np.linalg.norm(thetas[0] - thetas[1]) > 0.1
+
+    def test_stream_valid(self):
+        stream, _ = make_drift_stream(30, 4, rng=2)
+        assert np.linalg.norm(stream.xs, axis=1).max() <= 1.0 + 1e-9

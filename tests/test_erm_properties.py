@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the ERM substrate invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    EmpiricalRisk,
+    HingeLoss,
+    HuberLoss,
+    L2Ball,
+    LogisticLoss,
+    QuadraticRisk,
+    RegularizedLoss,
+    SquaredLoss,
+)
+
+unit_vec3 = st.lists(
+    st.floats(min_value=-0.57, max_value=0.57, allow_nan=False), min_size=3, max_size=3
+).map(np.array)
+responses = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+thetas = st.lists(
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False), min_size=3, max_size=3
+).map(np.array)
+
+ALL_LOSSES = [SquaredLoss(), LogisticLoss(), HingeLoss(), HuberLoss(0.5)]
+
+
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda l: type(l).__name__)
+class TestLossInvariants:
+    @given(theta=thetas, x=unit_vec3, y=responses)
+    @settings(max_examples=40, deadline=None)
+    def test_non_negative(self, loss, theta, x, y):
+        assert loss.value(theta, x, y) >= 0.0
+
+    @given(theta=thetas, x=unit_vec3, y=responses)
+    @settings(max_examples=40, deadline=None)
+    def test_subgradient_inequality(self, loss, theta, x, y):
+        """ℓ(θ') ≥ ℓ(θ) + ⟨∇ℓ(θ), θ' − θ⟩ — the convexity certificate."""
+        other = theta + np.array([0.3, -0.2, 0.1])
+        gradient = loss.gradient(theta, x, y)
+        assert loss.value(other, x, y) >= (
+            loss.value(theta, x, y) + float(gradient @ (other - theta)) - 1e-9
+        )
+
+    @given(theta=thetas, x=unit_vec3, y=responses)
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_norm_within_lipschitz(self, loss, theta, x, y):
+        ball = L2Ball(3, radius=2.0)
+        inside = ball.project(theta)
+        bound = loss.lipschitz(ball.diameter())
+        assert np.linalg.norm(loss.gradient(inside, x, y)) <= bound + 1e-9
+
+
+class TestRegularizedInvariants:
+    @given(theta=thetas, x=unit_vec3, y=responses, nu=st.floats(0.01, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_strong_convexity_certificate(self, theta, x, y, nu):
+        """ℓ(θ') ≥ ℓ(θ) + ⟨g, θ'−θ⟩ + (ν/2)‖θ'−θ‖² for the regularized loss."""
+        loss = RegularizedLoss(SquaredLoss(), nu=nu)
+        other = theta + np.array([0.2, 0.2, -0.1])
+        gradient = loss.gradient(theta, x, y)
+        gap = other - theta
+        lower = (
+            loss.value(theta, x, y)
+            + float(gradient @ gap)
+            + 0.5 * nu * float(gap @ gap)
+        )
+        assert loss.value(other, x, y) >= lower - 1e-9
+
+
+class TestQuadraticRiskEquivalence:
+    @given(
+        data=st.lists(st.tuples(unit_vec3, responses), min_size=1, max_size=12),
+        theta=thetas,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_moment_path_matches_generic(self, data, theta):
+        xs = np.array([d[0] for d in data])
+        ys = np.array([d[1] for d in data])
+        generic = EmpiricalRisk(SquaredLoss(), xs, ys)
+        fast = QuadraticRisk.from_data(xs, ys)
+        assert fast.value(theta) == pytest.approx(generic.value(theta), abs=1e-8)
+        np.testing.assert_allclose(fast.gradient(theta), generic.gradient(theta), atol=1e-8)
+
+    @given(data=st.lists(st.tuples(unit_vec3, responses), min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_order_irrelevant(self, data):
+        """Moment statistics are order-invariant (sums commute)."""
+        forward = QuadraticRisk(3)
+        backward = QuadraticRisk(3)
+        for x, y in data:
+            forward.add_point(x, y)
+        for x, y in reversed(data):
+            backward.add_point(x, y)
+        np.testing.assert_allclose(forward.gram, backward.gram, atol=1e-12)
+        np.testing.assert_allclose(forward.cross, backward.cross, atol=1e-12)

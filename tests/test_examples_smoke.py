@@ -1,0 +1,50 @@
+"""Smoke checks for the example scripts.
+
+Full runs of the examples take minutes (they are demos, not tests); here we
+verify each script imports cleanly, exposes a ``main`` entry point, and
+guards execution behind ``__main__`` — the contract that keeps them safe to
+import for documentation tooling.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+class TestExampleContracts:
+    def test_parses(self, script):
+        ast.parse(script.read_text())
+
+    def test_has_main_and_guard(self, script):
+        tree = ast.parse(script.read_text())
+        function_names = {
+            node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{script.name} must define main()"
+        guard_found = any(
+            isinstance(node, ast.If)
+            and isinstance(node.test, ast.Compare)
+            and getattr(node.test.left, "id", "") == "__name__"
+            for node in tree.body
+        )
+        assert guard_found, f"{script.name} must guard main() behind __main__"
+
+    def test_imports_without_side_effects(self, script):
+        spec = importlib.util.spec_from_file_location(f"example_{script.stem}", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # must not run main()
+        assert callable(module.main)
+
+    def test_has_module_docstring(self, script):
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), f"{script.name} needs a docstring"
+
+
+def test_at_least_five_examples_exist():
+    assert len(SCRIPTS) >= 5

@@ -1,0 +1,80 @@
+"""Tests for the private Frank-Wolfe batch solver (Talwar et al.)."""
+
+import numpy as np
+import pytest
+
+from repro import L1Ball, L2Ball, PrivacyParams, PrivateFrankWolfe, Simplex, SquaredLoss
+from repro.exceptions import ValidationError
+
+
+def _dataset(n=40, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=(n, d))
+    xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+    theta = np.zeros(d)
+    theta[0], theta[1] = 0.6, -0.4
+    ys = np.clip(xs @ theta, -1, 1)
+    return xs, ys, theta
+
+
+class TestConstruction:
+    def test_requires_vertices(self):
+        with pytest.raises(ValidationError, match="vertices"):
+            PrivateFrankWolfe(SquaredLoss(), L2Ball(3), PrivacyParams(1.0, 1e-6))
+
+    def test_accepts_l1_ball_and_simplex(self):
+        PrivateFrankWolfe(SquaredLoss(), L1Ball(3), PrivacyParams(1.0, 1e-6))
+        PrivateFrankWolfe(SquaredLoss(), Simplex(3), PrivacyParams(1.0, 1e-6))
+
+
+class TestSolve:
+    def test_output_in_hull(self):
+        """FW iterates are convex combinations of vertices — always feasible."""
+        xs, ys, _ = _dataset()
+        ball = L1Ball(5)
+        solver = PrivateFrankWolfe(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=0)
+        theta = solver.solve(xs, ys)
+        assert ball.contains(theta, tol=1e-9)
+
+    def test_empty_dataset(self):
+        ball = L1Ball(4)
+        solver = PrivateFrankWolfe(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=0)
+        np.testing.assert_array_equal(solver.solve(np.zeros((0, 4)), np.zeros(0)), np.zeros(4))
+
+    def test_deterministic_with_seed(self):
+        xs, ys, _ = _dataset()
+        ball = L1Ball(5)
+        a = PrivateFrankWolfe(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=4).solve(xs, ys)
+        b = PrivateFrankWolfe(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=4).solve(xs, ys)
+        np.testing.assert_array_equal(a, b)
+
+    def test_high_budget_finds_good_solution(self):
+        xs, ys, theta_true = _dataset(n=80, seed=1)
+        ball = L1Ball(5, radius=1.0)
+        solver = PrivateFrankWolfe(
+            SquaredLoss(), ball, PrivacyParams(1e5, 1e-2), steps=200, rng=2
+        )
+        theta = solver.solve(xs, ys)
+        risk = lambda t: float(np.sum((ys - xs @ t) ** 2))  # noqa: E731
+        assert risk(theta) < 0.5 * risk(np.zeros(5))
+
+    def test_step_count_default_capped(self):
+        solver = PrivateFrankWolfe(
+            SquaredLoss(), L1Ball(5), PrivacyParams(1.0, 1e-6), step_cap=50
+        )
+        assert solver._step_count(10_000) == 50
+
+    def test_explicit_steps_respected(self):
+        solver = PrivateFrankWolfe(SquaredLoss(), L1Ball(5), PrivacyParams(1.0, 1e-6), steps=7)
+        assert solver._step_count(10_000) == 7
+
+    def test_laplace_scale_grows_with_steps(self):
+        """More adaptive selections → more noise per selection."""
+        solver = PrivateFrankWolfe(SquaredLoss(), L1Ball(5), PrivacyParams(1.0, 1e-6))
+        assert solver._laplace_scale(100) > solver._laplace_scale(10)
+
+    def test_excess_risk_bound_uses_width(self):
+        """The bound must track w(C): L1 ball ≪ a hypothetical √d set."""
+        small = PrivateFrankWolfe(SquaredLoss(), L1Ball(100), PrivacyParams(1.0, 1e-6))
+        tiny_width = small.excess_risk_bound(50)
+        assert tiny_width > 0

@@ -1,0 +1,116 @@
+"""Tests for the group-L1 ball and the sparse-vectors domain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import GroupL1Ball, SparseVectors
+
+
+class TestGroupL1Ball:
+    def test_block_partition(self):
+        ball = GroupL1Ball(dim=7, block_size=3)
+        assert ball.n_blocks == 3  # blocks of size 3, 3, 1
+
+    def test_norm_matches_definition(self):
+        ball = GroupL1Ball(dim=4, block_size=2)
+        point = np.array([3.0, 4.0, 0.0, 1.0])
+        assert ball.norm(point) == pytest.approx(5.0 + 1.0)
+
+    def test_projection_feasible(self):
+        ball = GroupL1Ball(dim=6, block_size=2, radius=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            projected = ball.project(rng.normal(size=6) * 3)
+            assert ball.contains(projected, tol=1e-8)
+
+    def test_projection_inside_untouched(self):
+        ball = GroupL1Ball(dim=4, block_size=2, radius=2.0)
+        point = np.array([0.3, 0.4, 0.0, 0.1])
+        np.testing.assert_array_equal(ball.project(point), point)
+
+    def test_projection_preserves_block_directions(self):
+        ball = GroupL1Ball(dim=4, block_size=2, radius=1.0)
+        point = np.array([3.0, 4.0, 6.0, 8.0])
+        projected = ball.project(point)
+        # Both blocks point along (3,4)/(6,8) ∝ (0.6, 0.8).
+        for block in (projected[:2], projected[2:]):
+            if np.linalg.norm(block) > 0:
+                np.testing.assert_allclose(
+                    block / np.linalg.norm(block), [0.6, 0.8], atol=1e-9
+                )
+
+    def test_projection_optimality_vs_samples(self):
+        ball = GroupL1Ball(dim=6, block_size=3, radius=1.0)
+        rng = np.random.default_rng(1)
+        point = rng.normal(size=6) * 2
+        projected = ball.project(point)
+        for _ in range(200):
+            other = ball.project(rng.normal(size=6) * 2)
+            assert np.linalg.norm(point - projected) <= np.linalg.norm(point - other) + 1e-9
+
+    def test_gauge(self):
+        ball = GroupL1Ball(dim=4, block_size=2, radius=2.0)
+        point = np.array([3.0, 4.0, 0.0, 0.0])  # group norm 5
+        assert ball.gauge(point) == pytest.approx(2.5)
+
+    def test_support_max_block_norm(self):
+        ball = GroupL1Ball(dim=4, block_size=2, radius=2.0)
+        g = np.array([3.0, 4.0, 1.0, 0.0])
+        assert ball.support(g) == pytest.approx(10.0)
+
+    def test_width_k_log_scaling(self):
+        """w = O(√(k log(d/k))): nearly flat as d grows with k fixed."""
+        w_small = GroupL1Ball(dim=20, block_size=2).gaussian_width()
+        w_large = GroupL1Ball(dim=500, block_size=2).gaussian_width()
+        assert w_large / w_small < 2.0
+
+    def test_diameter_is_radius(self):
+        assert GroupL1Ball(dim=8, block_size=2, radius=3.0).diameter() == 3.0
+
+
+class TestSparseVectors:
+    def test_contains(self):
+        domain = SparseVectors(dim=6, sparsity=2)
+        assert domain.contains(np.array([0.6, 0.0, 0.0, 0.8, 0.0, 0.0]))
+        assert not domain.contains(np.array([0.5, 0.5, 0.5, 0.0, 0.0, 0.0]))
+        assert not domain.contains(np.array([2.0, 0.0, 0.0, 0.0, 0.0, 0.0]))
+
+    def test_support_top_k(self):
+        domain = SparseVectors(dim=4, sparsity=2)
+        g = np.array([1.0, -3.0, 2.0, 0.5])
+        # top-2 magnitudes are 3, 2 → √13.
+        assert domain.support(g) == pytest.approx(math.sqrt(13.0))
+
+    def test_support_full_sparsity_is_norm(self):
+        domain = SparseVectors(dim=3, sparsity=3)
+        g = np.array([1.0, 2.0, 2.0])
+        assert domain.support(g) == pytest.approx(3.0)
+
+    def test_width_matches_formula_order(self):
+        domain = SparseVectors(dim=200, sparsity=5)
+        mc = domain.gaussian_width()
+        formula = domain.width_formula()
+        assert 0.5 * formula < mc < 2.0 * formula
+
+    def test_width_much_below_sqrt_d(self):
+        domain = SparseVectors(dim=400, sparsity=3)
+        assert domain.gaussian_width() < 0.5 * math.sqrt(400)
+
+    def test_clip_produces_member(self):
+        domain = SparseVectors(dim=6, sparsity=2)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            clipped = domain.clip(rng.normal(size=6) * 2)
+            assert domain.contains(clipped, tol=1e-9)
+
+    def test_clip_keeps_largest(self):
+        domain = SparseVectors(dim=4, sparsity=2)
+        clipped = domain.clip(np.array([0.1, 0.5, -0.6, 0.2]))
+        assert clipped[0] == 0.0 and clipped[3] == 0.0
+        assert clipped[1] != 0.0 and clipped[2] != 0.0
+
+    def test_sparsity_cannot_exceed_dim(self):
+        with pytest.raises(ValueError):
+            SparseVectors(dim=3, sparsity=4)

@@ -1,0 +1,131 @@
+"""Tests for the probability simplex and vertex polytopes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Polytope, Simplex
+from repro.exceptions import NotSupportedError
+from repro.geometry.simplex import project_onto_simplex
+
+
+class TestSimplexProjection:
+    def test_interior_point_untouched(self):
+        point = np.array([0.3, 0.3, 0.4])
+        np.testing.assert_allclose(project_onto_simplex(point), point)
+
+    def test_result_is_distribution(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            projected = project_onto_simplex(rng.normal(size=6) * 3)
+            assert projected.sum() == pytest.approx(1.0)
+            assert np.all(projected >= 0)
+
+    def test_optimality_vs_samples(self):
+        rng = np.random.default_rng(1)
+        point = rng.normal(size=5) * 2
+        projected = project_onto_simplex(point)
+        for _ in range(200):
+            other = project_onto_simplex(rng.normal(size=5))
+            assert np.linalg.norm(point - projected) <= np.linalg.norm(point - other) + 1e-9
+
+    def test_vertex_attraction(self):
+        projected = project_onto_simplex(np.array([10.0, 0.0, 0.0]))
+        np.testing.assert_allclose(projected, [1.0, 0.0, 0.0])
+
+
+class TestSimplexSet:
+    def test_contains(self):
+        simplex = Simplex(3)
+        assert simplex.contains(np.array([0.2, 0.3, 0.5]))
+        assert not simplex.contains(np.array([0.5, 0.6, 0.2]))
+        assert not simplex.contains(np.array([-0.1, 0.6, 0.5]))
+
+    def test_gauge_on_nonnegative(self):
+        simplex = Simplex(3)
+        assert simplex.gauge(np.array([0.5, 0.25, 0.25])) == pytest.approx(1.0)
+        assert simplex.gauge(np.array([1.0, 1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_gauge_infinite_off_orthant(self):
+        simplex = Simplex(3)
+        assert simplex.gauge(np.array([0.5, -0.1, 0.6])) == math.inf
+
+    def test_gauge_zero_at_origin(self):
+        assert Simplex(3).gauge(np.zeros(3)) == 0.0
+
+    def test_support_is_max(self):
+        assert Simplex(4).support(np.array([1.0, 5.0, -2.0, 3.0])) == pytest.approx(5.0)
+
+    def test_width_log_d(self):
+        """w(simplex) = E max g_i = Θ(√log d)."""
+        w = Simplex(100).gaussian_width()
+        assert 1.5 < w < math.sqrt(2 * math.log(100)) + 0.2
+
+    def test_diameter_one(self):
+        assert Simplex(6).diameter() == 1.0
+
+    def test_vertices_are_basis(self):
+        np.testing.assert_array_equal(Simplex(3).vertices(), np.eye(3))
+
+
+class TestPolytope:
+    def _square(self):
+        return Polytope(np.array([[1.0, 1.0], [1.0, -1.0], [-1.0, 1.0], [-1.0, -1.0]]))
+
+    def test_projection_inside(self):
+        square = self._square()
+        point = np.array([0.5, -0.3])
+        np.testing.assert_allclose(square.project(point), point, atol=1e-5)
+
+    def test_projection_outside_onto_face(self):
+        square = self._square()
+        np.testing.assert_allclose(square.project(np.array([3.0, 0.0])), [1.0, 0.0], atol=1e-4)
+
+    def test_projection_onto_vertex(self):
+        square = self._square()
+        np.testing.assert_allclose(square.project(np.array([5.0, 5.0])), [1.0, 1.0], atol=1e-4)
+
+    def test_contains(self):
+        square = self._square()
+        assert square.contains(np.array([0.9, 0.9]))
+        assert not square.contains(np.array([1.5, 0.0]))
+
+    def test_gauge_lp(self):
+        square = self._square()  # the L∞ ball: gauge = ‖·‖∞
+        assert square.gauge(np.array([0.5, -0.25])) == pytest.approx(0.5, abs=1e-6)
+        assert square.gauge(np.array([2.0, 1.0])) == pytest.approx(2.0, abs=1e-6)
+
+    def test_gauge_infeasible_direction(self):
+        # A segment through the origin along e1: e2 is unreachable.
+        segment = Polytope(np.array([[1.0, 0.0], [-1.0, 0.0]]))
+        assert segment.gauge(np.array([0.0, 1.0])) == math.inf
+
+    def test_support_max_over_vertices(self):
+        square = self._square()
+        assert square.support(np.array([1.0, 2.0])) == pytest.approx(3.0)
+
+    def test_width_sqrt_log_vertices(self):
+        """w(conv{a_i}) = O(max‖a_i‖·√log l) — §5.2's polytope bound."""
+        rng = np.random.default_rng(3)
+        dim = 50
+        verts = rng.normal(size=(20, dim))
+        verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+        poly = Polytope(verts)
+        assert poly.gaussian_width() < math.sqrt(2 * math.log(2 * 20)) + 0.5
+
+    def test_centroid_feasible(self):
+        square = self._square()
+        assert square.contains(square.centroid())
+
+    def test_require_origin(self):
+        shifted = Polytope(np.array([[2.0, 2.0], [3.0, 2.0], [2.0, 3.0]]))
+        with pytest.raises(NotSupportedError):
+            shifted.require_origin()
+
+    def test_diameter(self):
+        assert self._square().diameter() == pytest.approx(math.sqrt(2.0))
+
+    def test_single_vertex(self):
+        point_set = Polytope(np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(point_set.project(np.array([9.0, 9.0])), [1.0, 2.0])

@@ -1,0 +1,93 @@
+"""Tests for Gaussian-width estimators (closed forms vs Monte Carlo)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    L2Ball,
+    expected_gaussian_norm,
+    expected_max_abs_gaussian,
+    expected_max_gaussian,
+    monte_carlo_width,
+)
+from repro.geometry.width import expected_l1_norm_gaussian
+
+
+class TestExpectedGaussianNorm:
+    def test_dim_one(self):
+        # E|g| = √(2/π).
+        assert expected_gaussian_norm(1) == pytest.approx(math.sqrt(2 / math.pi))
+
+    def test_between_bounds(self):
+        for dim in (2, 10, 100, 10_000):
+            value = expected_gaussian_norm(dim)
+            assert dim / math.sqrt(dim + 1) <= value <= math.sqrt(dim)
+
+    def test_large_dim_stability(self):
+        """The log-gamma formulation must not overflow at large d."""
+        value = expected_gaussian_norm(10**6)
+        assert value == pytest.approx(math.sqrt(10**6), rel=1e-3)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = np.linalg.norm(rng.normal(size=(20000, 8)), axis=1)
+        assert expected_gaussian_norm(8) == pytest.approx(samples.mean(), rel=0.02)
+
+
+class TestExpectedMaxAbs:
+    def test_dim_one(self):
+        assert expected_max_abs_gaussian(1) == pytest.approx(math.sqrt(2 / math.pi), rel=1e-6)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        samples = np.abs(rng.normal(size=(20000, 30))).max(axis=1)
+        assert expected_max_abs_gaussian(30) == pytest.approx(samples.mean(), rel=0.02)
+
+    def test_log_growth(self):
+        v100 = expected_max_abs_gaussian(100)
+        v10000 = expected_max_abs_gaussian(10000)
+        assert v10000 / v100 == pytest.approx(
+            math.sqrt(math.log(10000) / math.log(100)), rel=0.15
+        )
+
+
+class TestExpectedMax:
+    def test_dim_one_is_zero(self):
+        assert expected_max_gaussian(1) == 0.0
+
+    def test_dim_two(self):
+        # E max(g1, g2) = 1/√π.
+        assert expected_max_gaussian(2) == pytest.approx(1 / math.sqrt(math.pi), rel=1e-6)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(size=(20000, 50)).max(axis=1)
+        assert expected_max_gaussian(50) == pytest.approx(samples.mean(), rel=0.02)
+
+
+class TestL1NormExpectation:
+    def test_formula(self):
+        assert expected_l1_norm_gaussian(7) == pytest.approx(7 * math.sqrt(2 / math.pi))
+
+
+class TestMonteCarloWidth:
+    def test_matches_closed_form_for_l2_ball(self):
+        ball = L2Ball(6)
+        mc = monte_carlo_width(ball.support, 6, n_samples=20000, rng=3)
+        assert mc == pytest.approx(ball.gaussian_width(), rel=0.03)
+
+    def test_deterministic_with_seed(self):
+        ball = L2Ball(4)
+        a = monte_carlo_width(ball.support, 4, n_samples=100, rng=9)
+        b = monte_carlo_width(ball.support, 4, n_samples=100, rng=9)
+        assert a == b
+
+    def test_scales_linearly(self):
+        """w(2S) = 2w(S) since the support function is homogeneous."""
+        small = L2Ball(5, 1.0)
+        big = L2Ball(5, 2.0)
+        ws = monte_carlo_width(small.support, 5, 4000, rng=4)
+        wb = monte_carlo_width(big.support, 5, 4000, rng=4)
+        assert wb == pytest.approx(2 * ws, rel=1e-12)

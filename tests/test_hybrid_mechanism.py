@@ -1,0 +1,78 @@
+"""Tests for the unknown-horizon Hybrid Mechanism."""
+
+import numpy as np
+import pytest
+
+from repro import HybridMechanism, PrivacyParams
+from repro.exceptions import ValidationError
+
+HUGE_EPS = PrivacyParams(1e9, 0.5)
+NORMAL = PrivacyParams(1.0, 1e-6)
+
+
+class TestExactness:
+    def test_prefix_sums_without_noise(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 3)) * 0.2
+        mech = HybridMechanism((3,), 2.0, HUGE_EPS, rng=1)
+        for t in range(50):
+            released = mech.observe(data[t])
+            np.testing.assert_allclose(released, data[: t + 1].sum(axis=0), atol=1e-3)
+
+    def test_unbounded_length(self):
+        """No horizon: the mechanism must accept arbitrarily many points."""
+        mech = HybridMechanism((1,), 1.0, NORMAL, rng=0)
+        for _ in range(200):
+            mech.observe(np.array([0.01]))
+        assert mech.steps_taken == 200
+
+    def test_scalar_shape(self):
+        mech = HybridMechanism((), 1.0, HUGE_EPS, rng=0)
+        out = mech.observe(1.0)
+        assert out.shape == ()
+
+
+class TestEpochStructure:
+    def test_epoch_doubling(self):
+        """After 2^k - 1 points, k epochs are complete."""
+        mech = HybridMechanism((1,), 1.0, NORMAL, rng=0)
+        for _ in range(15):  # epochs of length 1, 2, 4, 8
+            mech.observe(np.array([0.1]))
+        assert mech._completed_epochs == 3
+
+    def test_memory_stays_logarithmic(self):
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=0)
+        for _ in range(100):
+            mech.observe(np.zeros(2))
+        # Live tree of epoch ~7 has ≤ 8 levels: memory ≤ 2·8·2 + 2 ≈ 34.
+        assert mech.memory_floats() < 64
+
+    def test_error_bound_grows_slowly(self):
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=0)
+        bounds = []
+        for step in range(1, 65):
+            mech.observe(np.zeros(2))
+            if step in (4, 64):
+                bounds.append(mech.error_bound())
+        # 16x more data should cost well under 16x error (polylog growth).
+        assert bounds[1] / bounds[0] < 8.0
+
+
+class TestDiscipline:
+    def test_wrong_shape_rejected(self):
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=0)
+        with pytest.raises(ValidationError):
+            mech.observe(np.zeros(3))
+
+    def test_current_sum_stable(self):
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=0)
+        mech.observe(np.ones(2) * 0.3)
+        np.testing.assert_array_equal(mech.current_sum(), mech.current_sum())
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            mech = HybridMechanism((2,), 1.0, NORMAL, rng=seed)
+            return [mech.observe(np.ones(2) * 0.1).copy() for _ in range(10)]
+
+        for a, b in zip(run(5), run(5)):
+            np.testing.assert_array_equal(a, b)

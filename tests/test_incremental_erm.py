@@ -1,0 +1,131 @@
+"""Tests for Mechanism 1 (the generic transformation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    L1Ball,
+    L2Ball,
+    NoisySGD,
+    PrivacyParams,
+    PrivIncERM,
+    SquaredLoss,
+    tau_convex,
+    tau_frank_wolfe,
+    tau_strongly_convex,
+)
+from repro.data import make_dense_stream
+
+
+def _factory(ball, seed=0, cap=200):
+    return lambda budget: NoisySGD(SquaredLoss(), ball, budget, rng=seed, iteration_cap=cap)
+
+
+class TestTauSchedules:
+    def test_tau_convex_formula(self):
+        # τ = ⌈(Td)^{1/3} / ε^{2/3}⌉.
+        assert tau_convex(1000, 8, 1.0) == math.ceil(8000 ** (1 / 3))
+
+    def test_tau_convex_epsilon_dependence(self):
+        assert tau_convex(1000, 8, 0.125) > tau_convex(1000, 8, 1.0)
+
+    def test_tau_strongly_convex_formula(self):
+        value = tau_strongly_convex(dim=16, lipschitz=2.0, nu=1.0, epsilon=1.0, diameter=1.0)
+        assert value == math.ceil(4.0 * 2.0)
+
+    def test_tau_frank_wolfe_grows_with_horizon(self):
+        small = tau_frank_wolfe(100, 2.0, 1.0, 1.0, 1.0, 1.0)
+        large = tau_frank_wolfe(10_000, 2.0, 1.0, 1.0, 1.0, 1.0)
+        assert large == pytest.approx(small * 10, abs=2)
+
+    def test_minimum_one(self):
+        assert tau_convex(1, 1, 100.0) == 1
+
+
+class TestMechanismBehavior:
+    def test_refresh_only_on_multiples_of_tau(self):
+        ball = L2Ball(3)
+        mech = PrivIncERM(
+            horizon=9,
+            constraint=ball,
+            params=PrivacyParams(1.0, 1e-6),
+            tau=3,
+            solver_factory=_factory(ball),
+        )
+        stream = make_dense_stream(9, 3, rng=0)
+        outputs = [mech.observe(x, y) for x, y in stream]
+        # Outputs within a window replay the last refresh.
+        np.testing.assert_array_equal(outputs[0], np.zeros(3))  # before 1st refresh
+        np.testing.assert_array_equal(outputs[1], np.zeros(3))
+        np.testing.assert_array_equal(outputs[3], outputs[2])
+        np.testing.assert_array_equal(outputs[4], outputs[2])
+        assert not np.array_equal(outputs[5], outputs[2])  # refreshed at t=6
+
+    def test_budget_split_matches_paper(self):
+        """ε′ = ε/(2√(2(T/τ) ln(2/δ))) and δ′ = δτ/(2T)."""
+        ball = L2Ball(2)
+        total = PrivacyParams(1.0, 1e-6)
+        mech = PrivIncERM(
+            horizon=32, constraint=ball, params=total, tau=4, solver_factory=_factory(ball)
+        )
+        k = 8
+        expected_eps = 1.0 / (2.0 * math.sqrt(2.0 * k * math.log(2.0 / 1e-6)))
+        assert mech.per_invocation.epsilon == pytest.approx(expected_eps)
+        assert mech.per_invocation.delta == pytest.approx(1e-6 / (2 * k))
+
+    def test_accountant_tracks_invocations(self):
+        ball = L2Ball(2)
+        mech = PrivIncERM(
+            horizon=6,
+            constraint=ball,
+            params=PrivacyParams(1.0, 1e-6),
+            tau=2,
+            solver_factory=_factory(ball),
+        )
+        stream = make_dense_stream(6, 2, rng=1)
+        for x, y in stream:
+            mech.observe(x, y)
+        assert len(mech.accountant.charges) == 3
+        assert mech.accountant.within_budget()
+
+    def test_output_feasible(self):
+        ball = L1Ball(3, radius=0.8)
+        mech = PrivIncERM(
+            horizon=4,
+            constraint=ball,
+            params=PrivacyParams(1.0, 1e-6),
+            tau=2,
+            solver_factory=_factory(ball),
+        )
+        stream = make_dense_stream(4, 3, rng=2)
+        for x, y in stream:
+            theta = mech.observe(x, y)
+            assert ball.contains(theta, tol=1e-6)
+
+    def test_staleness_bound(self):
+        ball = L2Ball(2)
+        mech = PrivIncERM(
+            horizon=10,
+            constraint=ball,
+            params=PrivacyParams(1.0, 1e-6),
+            tau=5,
+            solver_factory=_factory(ball),
+        )
+        assert mech.staleness_bound(lipschitz=4.0) == pytest.approx(5 * 4.0 * 1.0)
+
+    def test_current_estimate_matches_last_observe(self):
+        ball = L2Ball(2)
+        mech = PrivIncERM(
+            horizon=4,
+            constraint=ball,
+            params=PrivacyParams(1.0, 1e-6),
+            tau=2,
+            solver_factory=_factory(ball),
+        )
+        stream = make_dense_stream(4, 2, rng=3)
+        last = None
+        for x, y in stream:
+            last = mech.observe(x, y)
+        np.testing.assert_array_equal(mech.current_estimate(), last)

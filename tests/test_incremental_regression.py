@@ -1,0 +1,121 @@
+"""Tests for PrivIncReg1 (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import IncrementalRunner, L2Ball, PrivacyParams, PrivIncReg1
+from repro.data import make_dense_stream
+from repro.exceptions import DomainViolationError, ValidationError
+
+LOOSE = PrivacyParams(1e6, 1e-2)  # essentially no noise — tests the plumbing
+NORMAL = PrivacyParams(1.0, 1e-6)
+
+
+class TestConstruction:
+    def test_budget_split_between_trees(self):
+        mech = PrivIncReg1(horizon=8, constraint=L2Ball(3), params=NORMAL, rng=0)
+        charges = {c.label: c.params for c in mech.accountant.charges}
+        assert charges["tree:cross-moments"].epsilon == pytest.approx(0.5)
+        assert charges["tree:second-moments"].epsilon == pytest.approx(0.5)
+        assert mech.accountant.within_budget()
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(ValidationError):
+            PrivIncReg1(horizon=4, constraint=L2Ball(2), params=NORMAL, fidelity="quick")
+
+
+class TestDomainEnforcement:
+    def test_rejects_large_covariate(self):
+        mech = PrivIncReg1(horizon=4, constraint=L2Ball(2), params=NORMAL, rng=0)
+        with pytest.raises(DomainViolationError):
+            mech.observe(np.array([1.5, 0.0]), 0.0)
+
+    def test_rejects_large_response(self):
+        mech = PrivIncReg1(horizon=4, constraint=L2Ball(2), params=NORMAL, rng=0)
+        with pytest.raises(DomainViolationError):
+            mech.observe(np.array([0.5, 0.0]), 1.5)
+
+
+class TestUtility:
+    def test_feasible_outputs(self):
+        ball = L2Ball(3)
+        mech = PrivIncReg1(horizon=8, constraint=ball, params=NORMAL, rng=1)
+        stream = make_dense_stream(8, 3, rng=2)
+        for x, y in stream:
+            theta = mech.observe(x, y)
+            assert ball.contains(theta, tol=1e-6)
+
+    def test_near_noiseless_tracks_exact_minimizer(self):
+        """With ε → ∞ the mechanism is plain PGD on exact moments and must
+        achieve near-zero excess risk."""
+        ball = L2Ball(3)
+        stream = make_dense_stream(32, 3, noise_std=0.05, rng=3)
+        mech = PrivIncReg1(horizon=32, constraint=ball, params=LOOSE, rng=4,
+                           iteration_cap=2000)
+        runner = IncrementalRunner(ball, eval_every=8, solver_iterations=400)
+        result = runner.run(mech, stream)
+        assert result.trace.final_excess() < 0.15
+
+    def test_excess_risk_below_theorem_bound(self):
+        """The measured excess risk must respect the Theorem 4.2 value."""
+        ball = L2Ball(4)
+        stream = make_dense_stream(32, 4, rng=5)
+        mech = PrivIncReg1(horizon=32, constraint=ball, params=NORMAL, rng=6)
+        runner = IncrementalRunner(ball, eval_every=8)
+        result = runner.run(mech, stream)
+        assert result.trace.max_excess() < mech.excess_risk_bound()
+
+    def test_noisier_at_smaller_epsilon(self):
+        """Across seeds, excess risk should degrade as ε shrinks."""
+        ball = L2Ball(3)
+
+        def mean_excess(eps):
+            values = []
+            for seed in range(3):
+                stream = make_dense_stream(24, 3, rng=100 + seed)
+                mech = PrivIncReg1(
+                    horizon=24, constraint=ball,
+                    params=PrivacyParams(eps, 1e-6), rng=seed,
+                )
+                runner = IncrementalRunner(ball, eval_every=8)
+                values.append(runner.run(mech, stream).trace.mean_excess())
+            return float(np.mean(values))
+
+        assert mean_excess(0.1) > mean_excess(100.0)
+
+
+class TestResources:
+    def test_memory_logarithmic(self):
+        small = PrivIncReg1(horizon=64, constraint=L2Ball(4), params=NORMAL, rng=0)
+        large = PrivIncReg1(horizon=64 * 64, constraint=L2Ball(4), params=NORMAL, rng=0)
+        # 4096 vs 64: memory grows by the ratio of tree levels (13/7), not 64x.
+        assert large.memory_floats() / small.memory_floats() < 2.5
+
+    def test_gradient_error_scales_with_sqrt_d(self):
+        lo = PrivIncReg1(horizon=64, constraint=L2Ball(4), params=NORMAL, rng=0)
+        hi = PrivIncReg1(horizon=64, constraint=L2Ball(4 * 16), params=NORMAL, rng=0)
+        # Lemma 4.1: both trees contribute ∝ √d (the gram tree through the
+        # spectral norm of its noise), so 16x in d gives ≈ 4x, diluted by
+        # the additive √log(1/β) terms.
+        assert 2.0 < hi.gradient_error() / lo.gradient_error() <= 4.0
+
+    def test_paper_fidelity_iterations_exceed_fast(self):
+        fast = PrivIncReg1(horizon=32, constraint=L2Ball(3), params=NORMAL,
+                           fidelity="fast", iteration_cap=50, rng=0)
+        paper = PrivIncReg1(horizon=32, constraint=L2Ball(3), params=NORMAL,
+                            fidelity="paper", rng=0)
+        alpha = fast.gradient_error()
+        assert paper._iterations(1, alpha) >= fast._iterations(1, alpha)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        ball = L2Ball(2)
+        stream = make_dense_stream(8, 2, rng=7)
+
+        def run(seed):
+            mech = PrivIncReg1(horizon=8, constraint=ball, params=NORMAL, rng=seed)
+            return [mech.observe(x, y).copy() for x, y in stream]
+
+        for a, b in zip(run(9), run(9)):
+            np.testing.assert_array_equal(a, b)

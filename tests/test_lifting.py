@@ -1,0 +1,142 @@
+"""Tests for the lifting solvers (Algorithm 3 Step 9 / Theorem 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro import GaussianProjection, GroupL1Ball, L1Ball, L2Ball, Polytope, Simplex
+from repro.sketching.lifting import (
+    lift,
+    lift_l1_basis_pursuit,
+    lift_least_norm,
+    lift_polytope,
+)
+
+
+class TestLeastNorm:
+    def test_exact_constraint_satisfaction(self):
+        rng = np.random.default_rng(0)
+        phi = rng.normal(size=(4, 10))
+        target = rng.normal(size=4)
+        theta = lift_least_norm(phi, target)
+        np.testing.assert_allclose(phi @ theta, target, atol=1e-9)
+
+    def test_minimal_norm_among_solutions(self):
+        rng = np.random.default_rng(1)
+        phi = rng.normal(size=(3, 8))
+        target = rng.normal(size=3)
+        theta = lift_least_norm(phi, target)
+        # Any other solution differs by a kernel vector; adding one must
+        # increase the norm (orthogonality of the least-norm solution).
+        _, _, vt = np.linalg.svd(phi)
+        kernel = vt[3:]
+        for direction in kernel:
+            assert np.linalg.norm(theta + 0.1 * direction) >= np.linalg.norm(theta)
+
+
+class TestBasisPursuit:
+    def test_recovers_sparse_vector(self):
+        """Classic compressed sensing: basis pursuit recovers a sparse
+        ground truth from enough Gaussian measurements."""
+        rng = np.random.default_rng(2)
+        d, m, k = 60, 30, 3
+        phi = rng.normal(size=(m, d)) / np.sqrt(m)
+        truth = np.zeros(d)
+        truth[rng.choice(d, k, replace=False)] = rng.normal(size=k)
+        theta = lift_l1_basis_pursuit(phi, phi @ truth)
+        np.testing.assert_allclose(theta, truth, atol=1e-6)
+
+    def test_constraint_satisfied(self):
+        rng = np.random.default_rng(3)
+        phi = rng.normal(size=(5, 20))
+        target = rng.normal(size=5)
+        theta = lift_l1_basis_pursuit(phi, target)
+        np.testing.assert_allclose(phi @ theta, target, atol=1e-7)
+
+    def test_l1_minimality_vs_least_norm(self):
+        rng = np.random.default_rng(4)
+        phi = rng.normal(size=(5, 20))
+        target = rng.normal(size=5)
+        bp = lift_l1_basis_pursuit(phi, target)
+        ln = lift_least_norm(phi, target)
+        assert np.abs(bp).sum() <= np.abs(ln).sum() + 1e-9
+
+
+class TestPolytopeLifting:
+    def test_simplex_case(self):
+        rng = np.random.default_rng(5)
+        d, m = 12, 6
+        phi = rng.normal(size=(m, d)) / np.sqrt(m)
+        vertices = np.eye(d)
+        weights = rng.dirichlet(np.ones(d))
+        point = vertices.T @ weights
+        theta = lift_polytope(phi, phi @ point, vertices)
+        np.testing.assert_allclose(phi @ theta, phi @ point, atol=1e-8)
+        # The recovered point must have gauge ≤ 1 w.r.t. the simplex.
+        assert theta.sum() <= 1.0 + 1e-8
+        assert np.all(theta >= -1e-10)
+
+
+class TestDispatch:
+    def test_l2_dispatch(self):
+        rng = np.random.default_rng(6)
+        phi = rng.normal(size=(3, 9))
+        target = rng.normal(size=3) * 0.1
+        via_dispatch = lift(phi, target, L2Ball(9))
+        direct = lift_least_norm(phi, target)
+        np.testing.assert_allclose(via_dispatch, direct)
+
+    def test_l1_dispatch(self):
+        rng = np.random.default_rng(7)
+        phi = rng.normal(size=(4, 12))
+        target = rng.normal(size=4) * 0.1
+        via_dispatch = lift(phi, target, L1Ball(12))
+        direct = lift_l1_basis_pursuit(phi, target)
+        np.testing.assert_allclose(via_dispatch, direct)
+
+    def test_simplex_dispatch(self):
+        rng = np.random.default_rng(8)
+        d, m = 8, 5
+        phi = rng.normal(size=(m, d))
+        point = np.full(d, 1.0 / d)
+        theta = lift(phi, phi @ point, Simplex(d))
+        np.testing.assert_allclose(phi @ theta, phi @ point, atol=1e-7)
+
+    def test_generic_dispatch_group_ball(self):
+        """The generic bisection path handles sets without a specialized LP."""
+        rng = np.random.default_rng(9)
+        d, m = 10, 6
+        phi = rng.normal(size=(m, d)) / np.sqrt(m)
+        ball = GroupL1Ball(d, block_size=2, radius=1.0)
+        truth = ball.project(rng.normal(size=d))
+        theta = lift(phi, phi @ truth, ball)
+        np.testing.assert_allclose(phi @ theta, phi @ truth, atol=1e-3)
+        assert ball.gauge(theta) <= ball.gauge(truth) + 0.05
+
+    def test_lifted_member_stays_in_set(self):
+        """Theorem 5.3's feasibility argument: ϑ ∈ ΦC ⇒ gauge(lift) ≤ 1."""
+        rng = np.random.default_rng(10)
+        d, m = 20, 8
+        phi = rng.normal(size=(m, d)) / np.sqrt(m)
+        ball = L1Ball(d)
+        member = ball.project(rng.normal(size=d) * 2)
+        theta = lift(phi, phi @ member, ball)
+        assert ball.gauge(theta) <= 1.0 + 1e-6
+
+
+class TestTheorem53Accuracy:
+    def test_recovery_error_shrinks_with_m(self):
+        """‖u − û‖ = O(w(C)/√m): doubling m must reduce the error."""
+        rng = np.random.default_rng(11)
+        d = 80
+        ball = L1Ball(d)
+        truth = np.zeros(d)
+        truth[:2] = [0.5, -0.5]
+        errors = {}
+        for m in (10, 40):
+            errs = []
+            for seed in range(5):
+                proj = GaussianProjection(d, m, rng=100 + seed)
+                theta = lift(proj.matrix * np.sqrt(m), (proj.matrix * np.sqrt(m)) @ truth, ball)
+                errs.append(float(np.linalg.norm(theta - truth)))
+            errors[m] = float(np.mean(errs))
+        assert errors[40] <= errors[10] + 1e-9

@@ -1,0 +1,173 @@
+"""Tests for per-point loss functions (values, gradients, constants)."""
+
+import numpy as np
+import pytest
+
+from repro import HingeLoss, HuberLoss, LogisticLoss, RegularizedLoss, SquaredLoss
+from repro.exceptions import ValidationError
+
+ALL_LOSSES = [SquaredLoss(), LogisticLoss(), HingeLoss(), HuberLoss(kink=0.5)]
+LOSS_IDS = ["squared", "logistic", "hinge", "huber"]
+
+
+def numerical_gradient(loss, theta, x, y, h=1e-6):
+    grad = np.zeros_like(theta)
+    for i in range(theta.size):
+        plus, minus = theta.copy(), theta.copy()
+        plus[i] += h
+        minus[i] -= h
+        grad[i] = (loss.value(plus, x, y) - loss.value(minus, x, y)) / (2 * h)
+    return grad
+
+
+@pytest.mark.parametrize("loss", ALL_LOSSES, ids=LOSS_IDS)
+class TestGenericLossProperties:
+    def test_non_negative(self, loss):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            theta = rng.normal(size=4)
+            x = rng.normal(size=4)
+            x /= max(np.linalg.norm(x), 1.0)
+            y = float(rng.uniform(-1, 1))
+            assert loss.value(theta, x, y) >= 0.0
+
+    def test_gradient_matches_finite_differences(self, loss):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            theta = rng.normal(size=3) * 0.5
+            x = rng.normal(size=3)
+            x /= max(np.linalg.norm(x), 1.0)
+            y = float(rng.uniform(-1, 1))
+            if isinstance(loss, (HingeLoss, HuberLoss)):
+                # Skip points too close to the kink for finite differences.
+                margin = y * float(x @ theta)
+                if abs(margin - 1.0) < 1e-3:
+                    continue
+            analytic = loss.gradient(theta, x, y)
+            numeric = numerical_gradient(loss, theta, x, y)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_convexity_along_segments(self, loss):
+        """ℓ(λa + (1−λ)b) ≤ λℓ(a) + (1−λ)ℓ(b)."""
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a, b = rng.normal(size=3), rng.normal(size=3)
+            x = rng.normal(size=3)
+            x /= max(np.linalg.norm(x), 1.0)
+            y = float(rng.uniform(-1, 1))
+            lam = float(rng.uniform())
+            mid = loss.value(lam * a + (1 - lam) * b, x, y)
+            chord = lam * loss.value(a, x, y) + (1 - lam) * loss.value(b, x, y)
+            assert mid <= chord + 1e-9
+
+    def test_lipschitz_bound_holds_empirically(self, loss):
+        """sup ‖∇ℓ‖ over the declared domain must respect lipschitz()."""
+        rng = np.random.default_rng(3)
+        diameter = 1.0
+        bound = loss.lipschitz(diameter)
+        for _ in range(200):
+            theta = rng.normal(size=4)
+            norm = np.linalg.norm(theta)
+            if norm > diameter:
+                theta *= diameter / norm
+            x = rng.normal(size=4)
+            x /= max(np.linalg.norm(x), 1.0)
+            y = float(rng.uniform(-1, 1))
+            assert np.linalg.norm(loss.gradient(theta, x, y)) <= bound + 1e-9
+
+
+class TestSquaredLoss:
+    def test_value(self):
+        loss = SquaredLoss()
+        assert loss.value(np.array([1.0, 0.0]), np.array([0.5, 0.5]), 1.0) == pytest.approx(0.25)
+
+    def test_lipschitz_formula(self):
+        assert SquaredLoss().lipschitz(1.0) == pytest.approx(4.0)
+
+    def test_curvature_is_diameter_squared(self):
+        assert SquaredLoss().curvature(2.0) == pytest.approx(4.0)
+
+    def test_smoothness(self):
+        assert SquaredLoss().smoothness() == 2.0
+
+    def test_not_strongly_convex(self):
+        assert SquaredLoss().strong_convexity() == 0.0
+
+
+class TestLogisticLoss:
+    def test_value_at_zero_margin(self):
+        loss = LogisticLoss()
+        assert loss.value(np.zeros(2), np.ones(2) * 0.5, 1.0) == pytest.approx(np.log(2.0))
+
+    def test_extreme_margins_stable(self):
+        """No overflow at |margin| up to 1 with any θ magnitude."""
+        loss = LogisticLoss()
+        theta = np.array([1000.0])
+        x = np.array([1.0])
+        assert np.isfinite(loss.value(theta, x, 1.0))
+        assert np.isfinite(loss.value(theta, x, -1.0))
+        assert np.all(np.isfinite(loss.gradient(theta, x, -1.0)))
+
+    def test_lipschitz_is_one(self):
+        assert LogisticLoss().lipschitz(10.0) == 1.0
+
+
+class TestHingeLoss:
+    def test_zero_beyond_margin(self):
+        loss = HingeLoss()
+        theta = np.array([2.0])
+        assert loss.value(theta, np.array([1.0]), 1.0) == 0.0
+        np.testing.assert_array_equal(loss.gradient(theta, np.array([1.0]), 1.0), [0.0])
+
+    def test_linear_inside_margin(self):
+        loss = HingeLoss()
+        assert loss.value(np.zeros(1), np.array([1.0]), 1.0) == pytest.approx(1.0)
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_squared(self):
+        huber = HuberLoss(kink=1.0)
+        squared = SquaredLoss()
+        theta = np.array([0.3])
+        x, y = np.array([1.0]), 0.8
+        assert huber.value(theta, x, y) == pytest.approx(squared.value(theta, x, y))
+
+    def test_linear_region_gradient_capped(self):
+        huber = HuberLoss(kink=0.5)
+        theta = np.array([5.0])
+        grad = huber.gradient(theta, np.array([1.0]), 0.0)
+        assert abs(grad[0]) == pytest.approx(2 * 0.5)
+
+    def test_continuity_at_kink(self):
+        huber = HuberLoss(kink=0.5)
+        x = np.array([1.0])
+        below = huber.value(np.array([0.4999]), x, 0.0)
+        above = huber.value(np.array([0.5001]), x, 0.0)
+        assert below == pytest.approx(above, abs=1e-3)
+
+    def test_rejects_bad_kink(self):
+        with pytest.raises(Exception):
+            HuberLoss(kink=0.0)
+
+
+class TestRegularizedLoss:
+    def test_adds_quadratic(self):
+        base = SquaredLoss()
+        reg = RegularizedLoss(base, nu=0.5)
+        theta = np.array([2.0, 0.0])
+        x, y = np.array([0.0, 0.0]), 0.0
+        assert reg.value(theta, x, y) == pytest.approx(base.value(theta, x, y) + 0.25 * 4.0)
+
+    def test_gradient_adds_nu_theta(self):
+        reg = RegularizedLoss(SquaredLoss(), nu=0.5)
+        theta = np.array([1.0, -1.0])
+        x, y = np.zeros(2), 0.0
+        np.testing.assert_allclose(reg.gradient(theta, x, y), 0.5 * theta)
+
+    def test_strong_convexity_reported(self):
+        assert RegularizedLoss(SquaredLoss(), nu=0.3).strong_convexity() == 0.3
+
+    def test_lipschitz_grows_with_nu(self):
+        base = SquaredLoss()
+        reg = RegularizedLoss(base, nu=1.0)
+        assert reg.lipschitz(2.0) == pytest.approx(base.lipschitz(2.0) + 2.0)

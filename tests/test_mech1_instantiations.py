@@ -1,0 +1,115 @@
+"""Mechanism 1 exercised with all three of the paper's batch solvers.
+
+Theorem 3.1 has three parts, each pairing PrivIncERM with a different batch
+ERM algorithm; these tests run each pairing end-to-end on a small stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    L1Ball,
+    L2Ball,
+    NoisySGD,
+    OutputPerturbation,
+    PrivacyParams,
+    PrivateFrankWolfe,
+    PrivIncERM,
+    RegularizedLoss,
+    Simplex,
+    SquaredLoss,
+    tau_convex,
+    tau_frank_wolfe,
+    tau_strongly_convex,
+)
+from repro.data import make_dense_stream
+
+BUDGET = PrivacyParams(2.0, 1e-6)
+
+
+def _drive(mech, stream, constraint):
+    for x, y in stream:
+        theta = mech.observe(x, y)
+        assert constraint.contains(theta, tol=1e-6)
+    return theta
+
+
+class TestPart1NoisySGD:
+    def test_end_to_end(self):
+        ball = L2Ball(3)
+        stream = make_dense_stream(8, 3, rng=0)
+        mech = PrivIncERM(
+            horizon=8,
+            constraint=ball,
+            params=BUDGET,
+            tau=tau_convex(8, 3, BUDGET.epsilon),
+            solver_factory=lambda b: NoisySGD(
+                SquaredLoss(), ball, b, rng=1, iteration_cap=100
+            ),
+        )
+        _drive(mech, stream, ball)
+        assert mech.accountant.within_budget()
+
+
+class TestPart2OutputPerturbation:
+    def test_end_to_end(self):
+        ball = L2Ball(3)
+        loss = RegularizedLoss(SquaredLoss(), nu=1.0)
+        stream = make_dense_stream(8, 3, rng=2)
+        tau = tau_strongly_convex(3, loss.lipschitz(1.0), 1.0, BUDGET.epsilon, 1.0)
+        mech = PrivIncERM(
+            horizon=8,
+            constraint=ball,
+            params=BUDGET,
+            tau=tau,
+            solver_factory=lambda b: OutputPerturbation(
+                loss, ball, b, solver_iterations=100, rng=3
+            ),
+        )
+        _drive(mech, stream, ball)
+        assert mech.accountant.within_budget()
+
+
+class TestPart3FrankWolfe:
+    def test_l1_ball_end_to_end(self):
+        """The low-Gaussian-width pairing: Frank-Wolfe over the L1 ball."""
+        ball = L1Ball(4)
+        loss = SquaredLoss()
+        stream = make_dense_stream(8, 4, rng=4)
+        tau = tau_frank_wolfe(
+            horizon=8,
+            width=ball.gaussian_width(),
+            curvature=loss.curvature(ball.diameter()),
+            lipschitz=loss.lipschitz(ball.diameter()),
+            diameter=ball.diameter(),
+            epsilon=BUDGET.epsilon,
+        )
+        mech = PrivIncERM(
+            horizon=8,
+            constraint=ball,
+            params=BUDGET,
+            tau=tau,
+            solver_factory=lambda b: PrivateFrankWolfe(
+                loss, ball, b, steps=30, rng=5
+            ),
+        )
+        final = _drive(mech, stream, ball)
+        # Frank-Wolfe iterates stay in the hull by construction.
+        assert ball.gauge(final) <= 1.0 + 1e-9
+
+    def test_simplex_end_to_end(self):
+        simplex = Simplex(4)
+        loss = SquaredLoss()
+        stream = make_dense_stream(6, 4, rng=6)
+        mech = PrivIncERM(
+            horizon=6,
+            constraint=simplex,
+            params=BUDGET,
+            tau=3,
+            solver_factory=lambda b: PrivateFrankWolfe(
+                loss, simplex, b, steps=20, rng=7
+            ),
+        )
+        final = _drive(mech, stream, simplex)
+        assert final.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(final >= -1e-12)

@@ -1,0 +1,97 @@
+"""Tests for noisy entropic mirror descent."""
+
+import numpy as np
+import pytest
+
+from repro import L1Ball, L2Ball, Simplex
+from repro.erm import NoisyMirrorDescent
+from repro.exceptions import NotSupportedError
+
+
+class TestConstruction:
+    def test_rejects_unsupported_geometry(self):
+        with pytest.raises(NotSupportedError):
+            NoisyMirrorDescent(L2Ball(3), 1.0, 0.1, 10)
+
+    def test_step_size_uses_log_dimension(self):
+        """The entropic step must scale with √log d, not √d."""
+        small = NoisyMirrorDescent(Simplex(10), 1.0, 0.1, 100)
+        large = NoisyMirrorDescent(Simplex(10_000), 1.0, 0.1, 100)
+        ratio = large.step_size / small.step_size
+        assert ratio == pytest.approx(np.sqrt(np.log(10_000) / np.log(10)), rel=1e-9)
+
+
+class TestSimplexConvergence:
+    def test_exact_oracle_converges(self):
+        simplex = Simplex(4)
+        target = np.array([0.5, 0.3, 0.1, 0.1])
+        oracle = lambda w: 2.0 * (w - target)  # noqa: E731
+        md = NoisyMirrorDescent(simplex, linf_bound=2.0, gradient_error=1e-9,
+                                iterations=2000)
+        result = md.run(oracle)
+        assert simplex.contains(result, tol=1e-9)
+        np.testing.assert_allclose(result, target, atol=0.05)
+
+    def test_noisy_oracle_within_bound(self):
+        rng = np.random.default_rng(0)
+        simplex = Simplex(5)
+        target = np.full(5, 0.2)
+        alpha = 0.3
+
+        def objective(w):
+            return float(np.sum((w - target) ** 2))
+
+        def noisy_oracle(w):
+            noise = rng.normal(size=5)
+            noise *= alpha / max(np.abs(noise).max(), 1e-12)  # L∞-bounded error
+            return 2.0 * (w - target) + noise
+
+        md = NoisyMirrorDescent(simplex, linf_bound=2.0, gradient_error=alpha,
+                                iterations=800)
+        result = md.run(noisy_oracle)
+        assert objective(result) - objective(target) <= md.risk_bound()
+
+    def test_custom_start_normalized(self):
+        simplex = Simplex(3)
+        md = NoisyMirrorDescent(simplex, 1.0, 0.1, 5)
+        result = md.run(lambda w: np.zeros(3), start=np.array([2.0, 1.0, 1.0]))
+        assert result.sum() == pytest.approx(1.0)
+
+
+class TestL1Convergence:
+    def test_signed_solution_recovered(self):
+        """The vertex lift must reach targets with negative coordinates."""
+        ball = L1Ball(3, radius=1.0)
+        target = np.array([0.6, -0.4, 0.0])
+        oracle = lambda theta: 2.0 * (theta - target)  # noqa: E731
+        md = NoisyMirrorDescent(ball, linf_bound=2.0, gradient_error=1e-9,
+                                iterations=4000)
+        result = md.run(oracle)
+        assert ball.contains(result, tol=1e-9)
+        np.testing.assert_allclose(result, target, atol=0.07)
+
+    def test_respects_radius(self):
+        ball = L1Ball(4, radius=0.5)
+        oracle = lambda theta: -np.ones(4)  # pull outward  # noqa: E731
+        md = NoisyMirrorDescent(ball, linf_bound=1.0, gradient_error=0.01,
+                                iterations=300)
+        result = md.run(oracle)
+        assert np.abs(result).sum() <= 0.5 + 1e-9
+
+    def test_warm_start_accepted(self):
+        ball = L1Ball(3)
+        md = NoisyMirrorDescent(ball, 1.0, 0.1, 10)
+        result = md.run(lambda theta: np.zeros(3), start=np.array([0.3, -0.2, 0.0]))
+        assert ball.contains(result, tol=1e-9)
+
+
+class TestDropInForPgd:
+    def test_consumes_private_gradient_function(self):
+        """Mirror descent must accept the Definition-5 object directly."""
+        from repro import PrivateGradientFunction
+
+        ball = L1Ball(3)
+        gradient_fn = PrivateGradientFunction(np.eye(3), np.array([0.3, 0.0, 0.0]), 0.1)
+        md = NoisyMirrorDescent(ball, linf_bound=3.0, gradient_error=0.1, iterations=200)
+        result = md.run(gradient_fn)
+        assert ball.contains(result, tol=1e-9)

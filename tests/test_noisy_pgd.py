@@ -1,0 +1,94 @@
+"""Tests for the Appendix-B noisy projected gradient descent."""
+
+import numpy as np
+import pytest
+
+from repro import L1Ball, L2Ball, NoisyProjectedGradient
+from repro.erm.noisy_pgd import noisy_pgd_iterations
+from repro.exceptions import ValidationError
+
+
+class TestIterationCount:
+    def test_corollary_b2_formula(self):
+        # r = ceil((1 + L/α)²).
+        assert noisy_pgd_iterations(lipschitz=9.0, gradient_error=1.0, cap=None) == 100
+
+    def test_cap_applies(self):
+        assert noisy_pgd_iterations(1e6, 1.0, cap=500) == 500
+
+    def test_minimum_one(self):
+        assert noisy_pgd_iterations(0.0, 10.0) == 1
+
+    def test_rejects_zero_error(self):
+        with pytest.raises(ValidationError):
+            noisy_pgd_iterations(1.0, 0.0)
+
+
+class TestConvergence:
+    def test_exact_oracle_converges(self):
+        """With α → 0 the procedure is plain PGD and must converge."""
+        target = np.array([0.4, -0.3])
+        oracle = lambda theta: 2.0 * (theta - target)  # noqa: E731
+        pgd = NoisyProjectedGradient(
+            L2Ball(2), lipschitz=4.0, gradient_error=1e-6, iterations=3000
+        )
+        result = pgd.run(oracle)
+        np.testing.assert_allclose(result, target, atol=0.05)
+
+    def test_noisy_oracle_respects_proposition_b1(self):
+        """f(θ̄) − f(θ*) ≤ (α+L)‖C‖/√r + α‖C‖ must hold empirically."""
+        rng = np.random.default_rng(0)
+        target = np.array([0.3, 0.1, -0.2])
+        alpha = 0.5
+
+        def objective(theta):
+            return float(np.sum((theta - target) ** 2))
+
+        def noisy_oracle(theta):
+            noise = rng.normal(size=3)
+            noise *= alpha / max(np.linalg.norm(noise), 1e-12)
+            return 2.0 * (theta - target) + noise
+
+        ball = L2Ball(3)
+        pgd = NoisyProjectedGradient(ball, lipschitz=4.0, gradient_error=alpha, iterations=400)
+        theta_bar = pgd.run(noisy_oracle)
+        assert objective(theta_bar) - objective(target) <= pgd.risk_bound()
+
+    def test_result_feasible(self):
+        ball = L1Ball(4, radius=0.5)
+        oracle = lambda theta: -np.ones(4)  # noqa: E731
+        pgd = NoisyProjectedGradient(ball, 1.0, 0.1, iterations=50)
+        result = pgd.run(oracle)
+        assert ball.contains(result, tol=1e-6)
+
+    def test_custom_start_projected(self):
+        ball = L2Ball(2)
+        oracle = lambda theta: np.zeros(2)  # noqa: E731
+        pgd = NoisyProjectedGradient(ball, 1.0, 0.1, iterations=5)
+        result = pgd.run(oracle, start=np.array([10.0, 0.0]))
+        assert ball.contains(result, tol=1e-9)
+
+    def test_step_size_formula(self):
+        """η = ‖C‖/(√r(α+L)) — Appendix B's constant step."""
+        ball = L2Ball(2, radius=2.0)
+        pgd = NoisyProjectedGradient(ball, lipschitz=3.0, gradient_error=1.0, iterations=16)
+        assert pgd.step_size == pytest.approx(2.0 / (4.0 * 4.0))
+
+    def test_risk_bound_formula(self):
+        ball = L2Ball(2, radius=1.0)
+        pgd = NoisyProjectedGradient(ball, lipschitz=3.0, gradient_error=1.0, iterations=16)
+        assert pgd.risk_bound() == pytest.approx((1.0 + 3.0) / 4.0 + 1.0)
+
+    def test_evaluations_are_free_post_processing(self):
+        """Many runs against the same (fixed) oracle must not interact —
+        the privacy-free evaluation property of Definition 5."""
+        oracle_calls = []
+
+        def oracle(theta):
+            oracle_calls.append(theta.copy())
+            return 2.0 * theta
+
+        pgd = NoisyProjectedGradient(L2Ball(2), 2.0, 0.1, iterations=7)
+        pgd.run(oracle)
+        pgd.run(oracle)
+        assert len(oracle_calls) == 14  # evaluation count is unbounded & harmless

@@ -1,0 +1,98 @@
+"""Tests for the aggregate empirical-risk objectives."""
+
+import numpy as np
+import pytest
+
+from repro import EmpiricalRisk, LogisticLoss, QuadraticRisk, SquaredLoss
+
+
+def _dataset(n=12, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=(n, d))
+    xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+    ys = np.clip(xs @ rng.normal(size=d) + rng.normal(0, 0.1, n), -1, 1)
+    return xs, ys
+
+
+class TestEmpiricalRisk:
+    def test_value_sums_pointwise(self):
+        xs, ys = _dataset()
+        loss = SquaredLoss()
+        risk = EmpiricalRisk(loss, xs, ys)
+        theta = np.ones(4) * 0.1
+        manual = sum(loss.value(theta, x, y) for x, y in zip(xs, ys))
+        assert risk.value(theta) == pytest.approx(manual)
+
+    def test_gradient_sums_pointwise(self):
+        xs, ys = _dataset(seed=1)
+        loss = LogisticLoss()
+        risk = EmpiricalRisk(loss, xs, ys)
+        theta = np.ones(4) * -0.2
+        manual = sum(loss.gradient(theta, x, y) for x, y in zip(xs, ys))
+        np.testing.assert_allclose(risk.gradient(theta), manual)
+
+    def test_lipschitz_scales_with_n(self):
+        xs, ys = _dataset()
+        risk = EmpiricalRisk(SquaredLoss(), xs, ys)
+        assert risk.lipschitz(1.0) == pytest.approx(12 * 4.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalRisk(SquaredLoss(), np.zeros((3, 2)), np.zeros(4))
+
+    def test_properties(self):
+        xs, ys = _dataset()
+        risk = EmpiricalRisk(SquaredLoss(), xs, ys)
+        assert risk.n_points == 12
+        assert risk.dim == 4
+
+
+class TestQuadraticRisk:
+    def test_matches_empirical_risk(self):
+        """The moment fast path must agree with the generic objective."""
+        xs, ys = _dataset(seed=2)
+        generic = EmpiricalRisk(SquaredLoss(), xs, ys)
+        fast = QuadraticRisk.from_data(xs, ys)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            theta = rng.normal(size=4)
+            assert fast.value(theta) == pytest.approx(generic.value(theta), abs=1e-9)
+            np.testing.assert_allclose(
+                fast.gradient(theta), generic.gradient(theta), atol=1e-9
+            )
+
+    def test_incremental_matches_batch(self):
+        xs, ys = _dataset(seed=4)
+        batch = QuadraticRisk.from_data(xs, ys)
+        streaming = QuadraticRisk(4)
+        for x, y in zip(xs, ys):
+            streaming.add_point(x, y)
+        theta = np.ones(4) * 0.3
+        assert streaming.value(theta) == pytest.approx(batch.value(theta))
+        assert streaming.n_points == batch.n_points
+
+    def test_empty_risk_is_zero(self):
+        risk = QuadraticRisk(3)
+        assert risk.value(np.ones(3)) == 0.0
+        np.testing.assert_array_equal(risk.gradient(np.ones(3)), np.zeros(3))
+
+    def test_value_non_negative_always(self):
+        xs, ys = _dataset(seed=5)
+        risk = QuadraticRisk.from_data(xs, ys)
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            assert risk.value(rng.normal(size=4) * 3) >= 0.0
+
+    def test_gradient_lipschitz_is_spectral(self):
+        xs, ys = _dataset(seed=7)
+        risk = QuadraticRisk.from_data(xs, ys)
+        expected = 2.0 * np.linalg.norm(xs.T @ xs, 2)
+        assert risk.gradient_lipschitz() == pytest.approx(expected)
+
+    def test_copy_is_independent(self):
+        risk = QuadraticRisk(2)
+        risk.add_point(np.array([0.5, 0.0]), 0.5)
+        clone = risk.copy()
+        clone.add_point(np.array([0.0, 0.5]), 0.5)
+        assert risk.n_points == 1
+        assert clone.n_points == 2

@@ -1,0 +1,76 @@
+"""Tests for the privacy accountant/ledger."""
+
+import pytest
+
+from repro import PrivacyAccountant, PrivacyParams
+from repro.exceptions import PrivacyBudgetError
+
+
+class TestBasicMode:
+    def test_within_budget_after_valid_charges(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        acct.charge("a", PrivacyParams(0.5, 5e-7))
+        acct.charge("b", PrivacyParams(0.5, 5e-7))
+        assert acct.within_budget()
+        assert acct.spent().epsilon == pytest.approx(1.0)
+
+    def test_overcharge_raises_and_rolls_back(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        acct.charge("a", PrivacyParams(0.9, 1e-7))
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge("b", PrivacyParams(0.2, 1e-7))
+        # The failed charge must not linger in the ledger.
+        assert len(acct.charges) == 1
+        assert acct.within_budget()
+
+    def test_count_multiplies(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        acct.charge("rounds", PrivacyParams(0.1, 1e-8), count=10)
+        assert acct.spent().epsilon == pytest.approx(1.0)
+
+    def test_empty_ledger_spends_nothing(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        assert acct.spent().epsilon < 1e-100
+        assert acct.remaining_epsilon() == pytest.approx(1.0)
+
+    def test_delta_overcharge_raises(self):
+        acct = PrivacyAccountant(PrivacyParams(10.0, 1e-8))
+        with pytest.raises(PrivacyBudgetError):
+            acct.charge("a", PrivacyParams(0.1, 1e-6))
+
+    def test_rejects_zero_count(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        with pytest.raises(ValueError):
+            acct.charge("a", PrivacyParams(0.1, 1e-8), count=0)
+
+    def test_summary_mentions_labels(self):
+        acct = PrivacyAccountant(PrivacyParams(1.0, 1e-6))
+        acct.charge("tree:xy", PrivacyParams(0.5, 5e-7))
+        assert "tree:xy" in acct.summary()
+
+
+class TestAdvancedMode:
+    def test_matches_theorem_a4_for_uniform_charges(self):
+        import math
+
+        total = PrivacyParams(1.0, 1e-6)
+        acct = PrivacyAccountant(total, mode="advanced")
+        per = PrivacyParams(0.01, 1e-9)
+        acct.charge("steps", per, count=50)
+        spent = acct.spent()
+        expected = 0.01 * math.sqrt(2 * 50 * math.log(2.0 / 1e-6)) + 2 * 50 * 0.01**2
+        assert spent.epsilon == pytest.approx(expected)
+
+    def test_advanced_tracks_more_rounds_than_basic(self):
+        """Advanced accounting should accept a workload basic rejects."""
+        per = PrivacyParams(0.02, 1e-10)
+        basic = PrivacyAccountant(PrivacyParams(1.0, 1e-6), mode="basic")
+        with pytest.raises(PrivacyBudgetError):
+            basic.charge("steps", per, count=100)  # 100·0.02 = 2.0 > 1.0
+        adv = PrivacyAccountant(PrivacyParams(2.0, 1e-6), mode="advanced")
+        adv.charge("steps", per, count=100)  # ≈ 1.16 < 2.0 under Thm A.4
+        assert adv.within_budget()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(PrivacyParams(1.0, 1e-6), mode="renyi")

@@ -1,0 +1,92 @@
+"""Tests for basic/advanced composition and the Mechanism-1 budget split."""
+
+import math
+
+import pytest
+
+from repro import PrivacyParams
+from repro.exceptions import PrivacyBudgetError
+from repro.privacy import (
+    advanced_composition,
+    basic_composition,
+    split_budget_advanced,
+    split_budget_basic,
+)
+
+
+class TestBasicComposition:
+    def test_theorem_a3(self):
+        total = basic_composition(PrivacyParams(0.1, 1e-8), k=10)
+        assert total.epsilon == pytest.approx(1.0)
+        assert total.delta == pytest.approx(1e-7)
+
+    def test_single_interaction_identity(self):
+        p = PrivacyParams(0.3, 1e-7)
+        assert basic_composition(p, 1) == p
+
+    def test_split_inverts(self):
+        total = PrivacyParams(1.0, 1e-6)
+        per = split_budget_basic(total, 4)
+        recomposed = basic_composition(per, 4)
+        assert recomposed.epsilon == pytest.approx(total.epsilon)
+        assert recomposed.delta == pytest.approx(total.delta)
+
+
+class TestAdvancedComposition:
+    def test_theorem_a4_formula(self):
+        per = PrivacyParams(0.01, 1e-9)
+        k, slack = 100, 1e-6
+        total = advanced_composition(per, k, slack)
+        expected_eps = 0.01 * math.sqrt(2 * k * math.log(1 / slack)) + 2 * k * 0.01**2
+        assert total.epsilon == pytest.approx(expected_eps)
+        assert total.delta == pytest.approx(k * 1e-9 + slack)
+
+    def test_beats_basic_for_many_small_steps(self):
+        """For small ε and large k, advanced composition wins (≈√k vs k)."""
+        per = PrivacyParams(0.01, 1e-10)
+        k = 400
+        assert advanced_composition(per, k, 1e-6).epsilon < basic_composition(per, k).epsilon
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(Exception):
+            advanced_composition(PrivacyParams(0.1, 1e-9), 10, delta_slack=0.0)
+
+
+class TestAdvancedSplit:
+    def test_paper_split_formula(self):
+        """ε' = ε/(2√(2k ln(2/δ))), δ' = δ/(2k) — Theorem 3.1's proof."""
+        total = PrivacyParams(1.0, 1e-6)
+        k = 16
+        per = split_budget_advanced(total, k)
+        expected_eps = 1.0 / (2.0 * math.sqrt(2.0 * k * math.log(2.0 / 1e-6)))
+        assert per.epsilon == pytest.approx(expected_eps)
+        assert per.delta == pytest.approx(1e-6 / (2 * k))
+
+    @pytest.mark.parametrize("k", [1, 2, 7, 64, 1000])
+    def test_split_composes_within_budget(self, k):
+        total = PrivacyParams(1.0, 1e-6)
+        per = split_budget_advanced(total, k)
+        achieved = advanced_composition(per, k, delta_slack=total.delta / 2)
+        assert achieved.epsilon <= total.epsilon * (1 + 1e-9)
+        assert achieved.delta <= total.delta * (1 + 1e-9)
+
+    @pytest.mark.parametrize("eps", [0.1, 1.0, 5.0])
+    def test_split_valid_across_epsilons(self, eps):
+        total = PrivacyParams(eps, 1e-6)
+        per = split_budget_advanced(total, 32)
+        assert per.epsilon > 0
+
+    def test_per_step_shrinks_like_sqrt_k(self):
+        total = PrivacyParams(1.0, 1e-6)
+        e4 = split_budget_advanced(total, 4).epsilon
+        e16 = split_budget_advanced(total, 16).epsilon
+        assert e4 / e16 == pytest.approx(2.0, rel=1e-9)
+
+    def test_naive_vs_periodic_gap(self):
+        """The §1 argument: per-step budget at k=T is √(T/τ)-fold smaller
+        than at k=T/τ — the source of the naive approach's √T penalty."""
+        total = PrivacyParams(1.0, 1e-6)
+        t_len, tau = 256, 16
+        naive = split_budget_advanced(total, t_len).epsilon
+        periodic = split_budget_advanced(total, t_len // tau).epsilon
+        assert periodic / naive == pytest.approx(math.sqrt(tau), rel=1e-9)

@@ -1,0 +1,79 @@
+"""Tests for the Gaussian and Laplace mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams
+from repro.privacy import GaussianMechanism, LaplaceMechanism, gaussian_sigma, laplace_scale
+
+
+class TestGaussianSigma:
+    def test_theorem_a2_formula(self):
+        # σ = Δ₂ √(2 ln(2/δ)) / ε, exactly.
+        params = PrivacyParams(2.0, 1e-5)
+        expected = 3.0 * math.sqrt(2.0 * math.log(2.0 / 1e-5)) / 2.0
+        assert gaussian_sigma(3.0, params) == pytest.approx(expected)
+
+    def test_scales_inverse_epsilon(self):
+        lo = gaussian_sigma(1.0, PrivacyParams(0.5, 1e-6))
+        hi = gaussian_sigma(1.0, PrivacyParams(1.0, 1e-6))
+        assert lo == pytest.approx(2.0 * hi)
+
+    def test_scales_linear_sensitivity(self):
+        params = PrivacyParams(1.0, 1e-6)
+        assert gaussian_sigma(2.0, params) == pytest.approx(2.0 * gaussian_sigma(1.0, params))
+
+    def test_rejects_zero_sensitivity(self):
+        with pytest.raises(Exception):
+            gaussian_sigma(0.0, PrivacyParams(1.0, 1e-6))
+
+
+class TestGaussianMechanism:
+    def test_release_shape(self):
+        mech = GaussianMechanism(1.0, PrivacyParams(1.0, 1e-6), rng=0)
+        out = mech.release(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_noise_statistics(self):
+        """Empirical noise std should match σ within Monte Carlo error."""
+        mech = GaussianMechanism(1.0, PrivacyParams(1.0, 1e-6), rng=0)
+        noise = mech.release(np.zeros(200_000))
+        assert abs(float(noise.mean())) < 0.05
+        assert float(noise.std()) == pytest.approx(mech.sigma, rel=0.02)
+
+    def test_release_scalar(self):
+        mech = GaussianMechanism(1.0, PrivacyParams(1.0, 1e-6), rng=0)
+        value = mech.release_scalar(10.0)
+        assert isinstance(value, float)
+        assert abs(value - 10.0) < 20 * mech.sigma
+
+    def test_deterministic_with_seed(self):
+        a = GaussianMechanism(1.0, PrivacyParams(1.0, 1e-6), rng=7).release(np.zeros(5))
+        b = GaussianMechanism(1.0, PrivacyParams(1.0, 1e-6), rng=7).release(np.zeros(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLaplaceMechanism:
+    def test_scale_formula(self):
+        assert laplace_scale(2.0, 0.5) == pytest.approx(4.0)
+
+    def test_noise_statistics(self):
+        mech = LaplaceMechanism(1.0, 1.0, rng=0)
+        noise = mech.release(np.zeros(200_000))
+        # Laplace(b) has std b·√2.
+        assert float(noise.std()) == pytest.approx(mech.scale * math.sqrt(2.0), rel=0.02)
+
+    def test_noisy_argmin_prefers_clear_minimum(self):
+        """With tiny noise the argmin must be the true one."""
+        mech = LaplaceMechanism(1.0, 1000.0, rng=0)  # huge ε → tiny noise
+        scores = np.array([5.0, 1.0, 9.0])
+        assert mech.noisy_argmin(scores) == 1
+
+    def test_noisy_argmin_randomizes_under_noise(self):
+        """With huge noise, the argmin distribution must not be degenerate."""
+        mech = LaplaceMechanism(1.0, 1e-3, rng=0)  # tiny ε → huge noise
+        scores = np.array([0.0, 0.1, 0.2])
+        picks = {mech.noisy_argmin(scores) for _ in range(100)}
+        assert len(picks) > 1

@@ -1,0 +1,88 @@
+"""Tests for the (ε, δ) budget value type."""
+
+import pytest
+
+from repro import PrivacyParams
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = PrivacyParams(1.0, 1e-6)
+        assert p.epsilon == 1.0
+        assert p.delta == 1e-6
+
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(ValidationError):
+            PrivacyParams(0.0, 1e-6)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValidationError):
+            PrivacyParams(-1.0, 1e-6)
+
+    def test_rejects_zero_delta(self):
+        # The paper's mechanisms are inherently (ε, δ>0); pure DP is not
+        # representable.
+        with pytest.raises(ValidationError):
+            PrivacyParams(1.0, 0.0)
+
+    def test_rejects_delta_one(self):
+        with pytest.raises(ValidationError):
+            PrivacyParams(1.0, 1.0)
+
+    def test_immutable(self):
+        p = PrivacyParams(1.0, 1e-6)
+        with pytest.raises(AttributeError):
+            p.epsilon = 2.0
+
+    def test_hashable_and_equal(self):
+        assert PrivacyParams(1.0, 1e-6) == PrivacyParams(1.0, 1e-6)
+        assert hash(PrivacyParams(1.0, 1e-6)) == hash(PrivacyParams(1.0, 1e-6))
+
+
+class TestArithmetic:
+    def test_split_two(self):
+        left, right = PrivacyParams(1.0, 1e-6).split(2)
+        assert left.epsilon == pytest.approx(0.5)
+        assert left.delta == pytest.approx(5e-7)
+        assert left == right
+
+    def test_split_sums_back(self):
+        parts = PrivacyParams(0.9, 3e-6).split(3)
+        assert sum(p.epsilon for p in parts) == pytest.approx(0.9)
+        assert sum(p.delta for p in parts) == pytest.approx(3e-6)
+
+    def test_split_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            PrivacyParams(1.0, 1e-6).split(0)
+
+    def test_halve_matches_paper_step1(self):
+        # Algorithms 2 and 3 set ε' = ε/2, δ' = δ/2.
+        half = PrivacyParams(2.0, 2e-6).halve()
+        assert half.epsilon == pytest.approx(1.0)
+        assert half.delta == pytest.approx(1e-6)
+
+    def test_scaled(self):
+        p = PrivacyParams(1.0, 1e-6).scaled(3.0)
+        assert p.epsilon == pytest.approx(3.0)
+        assert p.delta == pytest.approx(3e-6)
+
+    def test_scaled_caps_delta_below_one(self):
+        p = PrivacyParams(1.0, 0.5).scaled(10.0)
+        assert p.delta < 1.0
+
+
+class TestComparison:
+    def test_weaker_than_self(self):
+        p = PrivacyParams(1.0, 1e-6)
+        assert p.is_weaker_than(p)
+
+    def test_larger_epsilon_is_weaker(self):
+        assert PrivacyParams(2.0, 1e-6).is_weaker_than(PrivacyParams(1.0, 1e-6))
+
+    def test_smaller_epsilon_not_weaker(self):
+        assert not PrivacyParams(0.5, 1e-6).is_weaker_than(PrivacyParams(1.0, 1e-6))
+
+    def test_mixed_not_weaker(self):
+        # Larger ε but smaller δ: incomparable, hence not weaker.
+        assert not PrivacyParams(2.0, 1e-8).is_weaker_than(PrivacyParams(1.0, 1e-6))

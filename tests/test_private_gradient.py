@@ -1,0 +1,63 @@
+"""Tests for the Definition-5 private gradient function object."""
+
+import numpy as np
+import pytest
+
+from repro import PrivateGradientFunction, QuadraticRisk
+
+
+class TestEvaluation:
+    def test_linear_form(self):
+        gram = np.array([[2.0, 0.0], [0.0, 1.0]])
+        cross = np.array([1.0, -1.0])
+        g = PrivateGradientFunction(gram, cross, error_bound=0.0)
+        theta = np.array([1.0, 1.0])
+        np.testing.assert_allclose(g(theta), 2.0 * (gram @ theta - cross))
+
+    def test_matches_true_gradient_with_exact_moments(self):
+        """With noiseless moments, g(θ) must equal ∇L(θ; Γ) exactly."""
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=(10, 3))
+        xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+        ys = rng.uniform(-1, 1, 10)
+        risk = QuadraticRisk.from_data(xs, ys)
+        g = PrivateGradientFunction(risk.gram, risk.cross, 0.0)
+        for _ in range(5):
+            theta = rng.normal(size=3)
+            np.testing.assert_allclose(g(theta), risk.gradient(theta), atol=1e-12)
+
+    def test_rejects_non_square_gram(self):
+        with pytest.raises(ValueError):
+            PrivateGradientFunction(np.zeros((2, 3)), np.zeros(2), 0.0)
+
+    def test_rejects_mismatched_cross(self):
+        with pytest.raises(Exception):
+            PrivateGradientFunction(np.eye(3), np.zeros(2), 0.0)
+
+
+class TestErrorBound:
+    def test_lemma_41_reduction(self):
+        """α = 2(ΔQ·‖C‖ + Δq)."""
+        assert PrivateGradientFunction.moment_error_bound(3.0, 2.0, 1.5) == pytest.approx(
+            2.0 * (3.0 * 1.5 + 2.0)
+        )
+
+    def test_reduction_is_valid_bound(self):
+        """Empirically: perturbing moments by (ΔQ, Δq) keeps the gradient
+        error within the reduction's bound, uniformly over the ball."""
+        rng = np.random.default_rng(1)
+        dim, diameter = 4, 1.0
+        gram = rng.normal(size=(dim, dim))
+        gram = gram @ gram.T / dim
+        cross = rng.normal(size=dim) * 0.3
+        gram_noise = rng.normal(size=(dim, dim))
+        cross_noise = rng.normal(size=dim)
+        delta_q = float(np.linalg.norm(gram_noise, "fro"))
+        delta_c = float(np.linalg.norm(cross_noise))
+        g_clean = PrivateGradientFunction(gram, cross, 0.0)
+        g_noisy = PrivateGradientFunction(gram + gram_noise, cross + cross_noise, 0.0)
+        bound = PrivateGradientFunction.moment_error_bound(delta_q, delta_c, diameter)
+        for _ in range(50):
+            theta = rng.normal(size=dim)
+            theta /= max(np.linalg.norm(theta), 1.0)
+            assert np.linalg.norm(g_noisy(theta) - g_clean(theta)) <= bound + 1e-9

@@ -1,0 +1,92 @@
+"""Tests for the Bassily-Smith-Thakurta noisy SGD batch solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import L2Ball, NoisySGD, PrivacyParams, SquaredLoss
+from repro.exceptions import ValidationError
+
+
+def _dataset(n=40, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=(n, d))
+    xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+    theta = np.array([0.5, -0.3, 0.2])
+    ys = np.clip(xs @ theta, -1, 1)
+    return xs, ys, theta
+
+
+class TestCalibration:
+    def test_noise_sigma_formula(self):
+        """σ = 4Ln√(ln(1/δ))/ε, pinned regardless of fidelity mode."""
+        ball = L2Ball(3)
+        solver = NoisySGD(SquaredLoss(), ball, PrivacyParams(2.0, 1e-6))
+        lipschitz = SquaredLoss().lipschitz(1.0)
+        n = 25
+        expected = 4.0 * lipschitz * n * math.sqrt(math.log(1e6)) / 2.0
+        assert solver.noise_sigma(n) == pytest.approx(expected)
+
+    def test_fast_mode_never_reduces_noise(self):
+        ball = L2Ball(3)
+        fast = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), fidelity="fast")
+        paper = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), fidelity="paper")
+        assert fast.noise_sigma(30) == paper.noise_sigma(30)
+
+    def test_step_counts(self):
+        ball = L2Ball(3)
+        fast = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), iteration_cap=100)
+        paper = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), fidelity="paper")
+        assert fast._step_count(50) == 100
+        assert paper._step_count(50) == 2500
+        # Small n: n² below the cap, both agree.
+        assert fast._step_count(5) == 25
+
+    def test_invalid_fidelity(self):
+        with pytest.raises(ValidationError):
+            NoisySGD(SquaredLoss(), L2Ball(3), PrivacyParams(1.0, 1e-6), fidelity="turbo")
+
+
+class TestSolve:
+    def test_output_feasible(self):
+        xs, ys, _ = _dataset()
+        ball = L2Ball(3)
+        solver = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=0)
+        theta = solver.solve(xs, ys)
+        assert ball.contains(theta, tol=1e-9)
+
+    def test_empty_dataset_returns_origin_projection(self):
+        ball = L2Ball(3)
+        solver = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=0)
+        np.testing.assert_array_equal(solver.solve(np.zeros((0, 3)), np.zeros(0)), np.zeros(3))
+
+    def test_deterministic_with_seed(self):
+        xs, ys, _ = _dataset()
+        ball = L2Ball(3)
+        a = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=5).solve(xs, ys)
+        b = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6), rng=5).solve(xs, ys)
+        np.testing.assert_array_equal(a, b)
+
+    def test_high_budget_beats_trivial(self):
+        """With a huge ε the solver should clearly beat the zero estimator."""
+        xs, ys, theta = _dataset(n=60, seed=1)
+        ball = L2Ball(3)
+        solver = NoisySGD(
+            SquaredLoss(), ball, PrivacyParams(1000.0, 1e-2), rng=2, iteration_cap=3000
+        )
+        estimate = solver.solve(xs, ys)
+        risk = lambda t: float(np.sum((ys - xs @ t) ** 2))  # noqa: E731
+        assert risk(estimate) < risk(np.zeros(3))
+
+    def test_excess_risk_bound_shape(self):
+        """The reference bound must scale like √d and 1/ε."""
+        ball = L2Ball(3)
+        tight = NoisySGD(SquaredLoss(), ball, PrivacyParams(0.5, 1e-6))
+        loose = NoisySGD(SquaredLoss(), ball, PrivacyParams(1.0, 1e-6))
+        assert tight.excess_risk_bound(100, 16) == pytest.approx(
+            2.0 * loose.excess_risk_bound(100, 16)
+        )
+        assert loose.excess_risk_bound(100, 64) == pytest.approx(
+            2.0 * loose.excess_risk_bound(100, 16)
+        )

@@ -1,0 +1,162 @@
+"""Tests for PrivIncReg2 (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IncrementalRunner,
+    L1Ball,
+    PrivacyParams,
+    PrivIncReg2,
+    SparseVectors,
+)
+from repro.data import make_sparse_stream
+from repro.exceptions import DomainViolationError, ValidationError
+
+NORMAL = PrivacyParams(1.0, 1e-6)
+LOOSE = PrivacyParams(1e6, 1e-2)
+
+
+def _mechanism(horizon=16, dim=30, sparsity=3, params=NORMAL, **kwargs):
+    kwargs.setdefault("rng", 0)
+    return PrivIncReg2(
+        horizon=horizon,
+        constraint=L1Ball(dim),
+        x_domain=SparseVectors(dim, sparsity),
+        params=params,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_gamma_default_is_theorem_57_choice(self):
+        mech = _mechanism(horizon=64)
+        expected = mech.total_width ** (1 / 3) / 64 ** (1 / 3)
+        assert mech.gamma == pytest.approx(expected)
+
+    def test_projected_dim_capped_at_d(self):
+        mech = _mechanism(dim=20)
+        assert mech.projected_dim <= 20
+
+    def test_explicit_overrides(self):
+        mech = _mechanism(gamma=0.4, projected_dim=7)
+        assert mech.gamma == pytest.approx(0.4)
+        assert mech.projected_dim == 7
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivIncReg2(
+                horizon=4,
+                constraint=L1Ball(10),
+                x_domain=SparseVectors(12, 2),
+                params=NORMAL,
+            )
+
+    def test_budget_split_between_trees(self):
+        mech = _mechanism()
+        assert mech.accountant.within_budget()
+        assert len(mech.accountant.charges) == 2
+
+    def test_width_combines_domain_and_constraint(self):
+        mech = _mechanism(dim=40, sparsity=2)
+        domain_w = SparseVectors(40, 2).gaussian_width()
+        constraint_w = L1Ball(40).gaussian_width()
+        assert mech.total_width == pytest.approx(domain_w + constraint_w)
+
+
+class TestPluggableProjection:
+    def test_sparse_projection_accepted(self):
+        """Footnote 16: a sparse Φ drops in without touching privacy."""
+        from repro.sketching import SparseProjection
+
+        projection = SparseProjection(30, 8, rng=9)
+        mech = _mechanism(horizon=4, projection=projection)
+        assert mech.projected_dim == 8
+        assert mech.projection is projection
+        x = np.zeros(30)
+        x[0] = 0.5
+        theta = mech.observe(x, 0.2)
+        assert L1Ball(30).contains(theta, tol=1e-5)
+
+    def test_projection_dim_mismatch_rejected(self):
+        from repro.sketching import SparseProjection
+
+        with pytest.raises(ValidationError):
+            _mechanism(projection=SparseProjection(29, 8, rng=0))
+
+
+class TestDomainEnforcement:
+    def test_rejects_unnormalized_covariate(self):
+        mech = _mechanism()
+        bad = np.zeros(30)
+        bad[0] = 1.4
+        with pytest.raises(DomainViolationError):
+            mech.observe(bad, 0.0)
+
+
+class TestUtility:
+    def test_outputs_feasible(self):
+        mech = _mechanism(horizon=8, projected_dim=6)
+        stream = make_sparse_stream(8, 30, sparsity=3, rng=1)
+        ball = L1Ball(30)
+        for x, y in stream:
+            theta = mech.observe(x, y)
+            assert ball.contains(theta, tol=1e-5)
+
+    def test_near_noiseless_beats_static(self):
+        """At huge ε the mechanism should do clearly better than θ = 0."""
+        dim = 25
+        stream = make_sparse_stream(24, dim, sparsity=3, noise_std=0.02, rng=2)
+        mech = _mechanism(horizon=24, dim=dim, params=LOOSE, rng=3,
+                          iteration_cap=1500, solve_every=4)
+        runner = IncrementalRunner(L1Ball(dim), eval_every=8)
+        result = runner.run(mech, stream)
+        zero_risk = float(np.sum(stream.ys**2))
+        assert result.trace.estimator_risk[-1] < zero_risk
+
+    def test_excess_risk_below_theorem_bound(self):
+        dim = 30
+        stream = make_sparse_stream(16, dim, sparsity=3, rng=4)
+        mech = _mechanism(horizon=16, dim=dim, rng=5, solve_every=4)
+        runner = IncrementalRunner(L1Ball(dim), eval_every=8)
+        result = runner.run(mech, stream)
+        opt = result.trace.final_optimal_risk()
+        assert result.trace.max_excess() < mech.excess_risk_bound(opt)
+
+    def test_solve_every_amortization(self):
+        """With solve_every=k the released θ only changes every k steps."""
+        mech = _mechanism(horizon=8, solve_every=4, rng=6)
+        stream = make_sparse_stream(8, 30, sparsity=3, rng=7)
+        outputs = [mech.observe(x, y).copy() for x, y in stream]
+        np.testing.assert_array_equal(outputs[4], outputs[5])
+        np.testing.assert_array_equal(outputs[5], outputs[6])
+
+
+class TestResources:
+    def test_memory_scales_with_m_not_d(self):
+        """Tree memory must be m²-level, independent of the ambient d."""
+        small_d = _mechanism(dim=30, projected_dim=6)
+        large_d = _mechanism(dim=300, sparsity=3, projected_dim=6)
+        tree_small = small_d._tree_gram.memory_floats()
+        tree_large = large_d._tree_gram.memory_floats()
+        assert tree_small == tree_large
+
+    def test_gradient_error_scales_with_m(self):
+        small = _mechanism(projected_dim=4)
+        large = _mechanism(projected_dim=64)
+        # Lemma 4.1 analog: error ∝ √m (spectral gram noise), so 16x in m
+        # gives ≈ 4x, diluted by additive √log(1/β) terms.
+        ratio = large.gradient_error() / small.gradient_error()
+        assert 2.0 < ratio <= 4.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outputs(self):
+        stream = make_sparse_stream(6, 30, sparsity=3, rng=8)
+
+        def run(seed):
+            mech = _mechanism(horizon=6, rng=seed, solve_every=3)
+            return [mech.observe(x, y).copy() for x, y in stream]
+
+        for a, b in zip(run(11), run(11)):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,75 @@
+"""Tests for the projected constraint set ΦC."""
+
+import numpy as np
+import pytest
+
+from repro import GaussianProjection, L1Ball, L2Ball
+from repro.sketching.projected_set import ProjectedConvexSet
+
+
+def _setup(d=12, m=5, seed=0, base=None):
+    proj = GaussianProjection(d, m, rng=seed)
+    base = base if base is not None else L2Ball(d)
+    return proj, ProjectedConvexSet(proj.matrix, base)
+
+
+class TestProjection:
+    def test_members_project_to_themselves(self):
+        proj, phi_c = _setup()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            theta = L2Ball(12).project(rng.normal(size=12))
+            v = proj.apply(theta)
+            np.testing.assert_allclose(phi_c.project(v), v, atol=1e-4)
+
+    def test_projection_feasible(self):
+        proj, phi_c = _setup(seed=2)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            z = rng.normal(size=5) * 3
+            projected = phi_c.project(z)
+            assert phi_c.contains(projected, tol=1e-3)
+
+    def test_projection_reduces_distance(self):
+        proj, phi_c = _setup(seed=4)
+        rng = np.random.default_rng(5)
+        z = rng.normal(size=5) * 3
+        projected = phi_c.project(z)
+        # Any other member must be at least as far from z.
+        for _ in range(20):
+            theta = L2Ball(12).project(rng.normal(size=12))
+            other = proj.apply(theta)
+            assert np.linalg.norm(z - projected) <= np.linalg.norm(z - other) + 1e-3
+
+
+class TestSupportAndDiameter:
+    def test_support_identity(self):
+        """h_{ΦC}(g) = h_C(Φᵀg)."""
+        proj, phi_c = _setup(seed=6, base=L1Ball(12))
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            g = rng.normal(size=5)
+            expected = L1Ball(12).support(proj.matrix.T @ g)
+            assert phi_c.support(g) == pytest.approx(expected)
+
+    def test_diameter_upper_bound(self):
+        proj, phi_c = _setup(seed=8)
+        rng = np.random.default_rng(9)
+        # Every member's norm is below the reported diameter bound.
+        for _ in range(20):
+            theta = L2Ball(12).project(rng.normal(size=12) * 2)
+            assert np.linalg.norm(proj.apply(theta)) <= phi_c.diameter() + 1e-9
+
+    def test_dimension_mismatch_rejected(self):
+        proj = GaussianProjection(12, 5, rng=0)
+        with pytest.raises(ValueError):
+            ProjectedConvexSet(proj.matrix, L2Ball(10))
+
+
+class TestGauge:
+    def test_gauge_of_projected_member(self):
+        proj, phi_c = _setup(seed=10, base=L1Ball(12))
+        member = np.zeros(12)
+        member[0] = 0.5  # gauge 0.5 in the L1 ball
+        v = proj.apply(member)
+        assert phi_c.gauge(v) == pytest.approx(0.5, abs=0.05)

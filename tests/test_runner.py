@@ -1,0 +1,61 @@
+"""Tests for the incremental runner."""
+
+import numpy as np
+import pytest
+
+from repro import IncrementalRunner, L2Ball, NonPrivateIncremental, StaticOutput
+from repro.data import make_dense_stream
+from repro.erm.solvers import exact_least_squares
+
+
+class TestRunner:
+    def test_nonprivate_has_negligible_excess(self):
+        stream = make_dense_stream(24, 3, rng=0)
+        ball = L2Ball(3)
+        runner = IncrementalRunner(ball, eval_every=1, solver_iterations=300)
+        result = runner.run(NonPrivateIncremental(ball, solver_iterations=300), stream)
+        assert result.trace.max_excess() < 1e-4
+
+    def test_static_output_excess_matches_manual(self):
+        """The runner's excess for the static estimator must equal the
+        directly computed risk gap at the final step."""
+        stream = make_dense_stream(16, 3, rng=1)
+        ball = L2Ball(3)
+        runner = IncrementalRunner(ball, eval_every=16, solver_iterations=500)
+        static = StaticOutput(ball)
+        result = runner.run(static, stream)
+        theta_hat = exact_least_squares(stream.xs, stream.ys, ball, iterations=800)
+        manual_static = float(np.sum((stream.ys - stream.xs @ static.current_estimate()) ** 2))
+        manual_opt = float(np.sum((stream.ys - stream.xs @ theta_hat) ** 2))
+        assert result.trace.final_excess() == pytest.approx(
+            manual_static - manual_opt, rel=0.02, abs=1e-6
+        )
+
+    def test_eval_every_controls_trace_length(self):
+        stream = make_dense_stream(20, 3, rng=2)
+        ball = L2Ball(3)
+        runner = IncrementalRunner(ball, eval_every=5)
+        result = runner.run(StaticOutput(ball), stream)
+        assert result.trace.timesteps == [5, 10, 15, 20]
+
+    def test_final_step_always_evaluated(self):
+        stream = make_dense_stream(7, 2, rng=3)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=3)
+        result = runner.run(StaticOutput(ball), stream)
+        assert result.trace.timesteps[-1] == 7
+
+    def test_keep_thetas(self):
+        stream = make_dense_stream(6, 2, rng=4)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=2, keep_thetas=True)
+        result = runner.run(StaticOutput(ball), stream)
+        assert len(result.thetas) == len(result.trace.timesteps)
+
+    def test_final_theta_returned(self):
+        stream = make_dense_stream(5, 2, rng=5)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball)
+        estimator = NonPrivateIncremental(ball)
+        result = runner.run(estimator, stream)
+        np.testing.assert_array_equal(result.final_theta, estimator.current_estimate())

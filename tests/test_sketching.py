@@ -1,0 +1,104 @@
+"""Tests for the Gaussian projection and Gordon-dimension sizing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import GaussianProjection, L1Ball, SparseVectors, gordon_dimension
+from repro.exceptions import ValidationError
+from repro.sketching.gordon import gordon_distortion
+
+
+class TestGaussianProjection:
+    def test_matrix_shape_and_scale(self):
+        proj = GaussianProjection(100, 20, rng=0)
+        assert proj.matrix.shape == (20, 100)
+        # Entries ~ N(0, 1/m): column norms concentrate near 1.
+        col_norms = np.linalg.norm(proj.matrix, axis=0)
+        assert col_norms.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_apply_vector_and_batch_agree(self):
+        proj = GaussianProjection(10, 4, rng=1)
+        batch = np.random.default_rng(2).normal(size=(6, 10))
+        batched = proj.apply(batch)
+        for i in range(6):
+            np.testing.assert_allclose(batched[i], proj.apply(batch[i]))
+
+    def test_apply_rejects_wrong_dim(self):
+        proj = GaussianProjection(10, 4, rng=1)
+        with pytest.raises(ValidationError):
+            proj.apply(np.zeros(9))
+
+    def test_rescale_pins_projected_norm(self):
+        """Step 4 of Algorithm 3: ‖Φx̃‖ = ‖x‖ exactly."""
+        proj = GaussianProjection(30, 8, rng=3)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            x = rng.normal(size=30)
+            x /= np.linalg.norm(x) * rng.uniform(1.0, 3.0)
+            x_tilde, projected = proj.rescale_covariate(x)
+            assert np.linalg.norm(projected) == pytest.approx(np.linalg.norm(x))
+            np.testing.assert_allclose(projected, proj.apply(x_tilde))
+
+    def test_rescale_zero_vector(self):
+        proj = GaussianProjection(5, 2, rng=0)
+        x_tilde, projected = proj.rescale_covariate(np.zeros(5))
+        np.testing.assert_array_equal(x_tilde, np.zeros(5))
+        np.testing.assert_array_equal(projected, np.zeros(2))
+
+    def test_distortion_zero_for_preserved_points(self):
+        proj = GaussianProjection(6, 6, rng=5)
+        assert proj.distortion(np.zeros((3, 6))) == 0.0
+
+    def test_jl_distortion_small_for_fixed_points(self):
+        """Non-adaptive points enjoy the classical JL guarantee."""
+        proj = GaussianProjection(500, 200, rng=6)
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(20, 500))
+        assert proj.distortion(points) < 0.5
+
+
+class TestGordonDimension:
+    def test_formula(self):
+        m = gordon_dimension(total_width=5.0, gamma=0.5, beta=0.05, constant=2.0)
+        assert m == math.ceil((2.0 / 0.25) * max(25.0, math.log(20)))
+
+    def test_log_beta_floor(self):
+        """Tiny widths are floored by the ln(1/β) term."""
+        m = gordon_dimension(total_width=0.1, gamma=0.5, beta=1e-6, constant=1.0)
+        assert m == math.ceil(math.log(1e6) / 0.25)
+
+    def test_max_dim_cap(self):
+        assert gordon_dimension(100.0, 0.1, max_dim=50) == 50
+
+    def test_inverse_relationship(self):
+        """gordon_distortion(gordon_dimension(W, γ)) ≈ γ."""
+        width, gamma = 8.0, 0.3
+        m = gordon_dimension(width, gamma, beta=0.05)
+        recovered = gordon_distortion(width, m, beta=0.05)
+        assert recovered <= gamma
+        assert recovered > gamma * 0.9
+
+    def test_dimension_scales_with_width_squared(self):
+        m1 = gordon_dimension(4.0, 0.2)
+        m2 = gordon_dimension(8.0, 0.2)
+        assert m2 == pytest.approx(4 * m1, rel=0.01)
+
+    def test_gordon_embedding_preserves_sparse_set(self):
+        """End-to-end: an m sized by w(sparse set) keeps distortion ≤ γ for
+        random members of the set."""
+        dim, k = 200, 3
+        domain = SparseVectors(dim, k)
+        gamma = 0.5
+        m = gordon_dimension(domain.gaussian_width(), gamma, beta=0.05, max_dim=dim)
+        proj = GaussianProjection(dim, m, rng=8)
+        rng = np.random.default_rng(9)
+        points = []
+        for _ in range(50):
+            x = np.zeros(dim)
+            support = rng.choice(dim, size=k, replace=False)
+            x[support] = rng.normal(size=k)
+            x /= np.linalg.norm(x)
+            points.append(x)
+        assert proj.distortion(np.array(points)) < gamma

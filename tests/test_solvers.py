@@ -1,0 +1,99 @@
+"""Tests for the exact (non-private) constrained solvers."""
+
+import numpy as np
+import pytest
+
+from repro import L1Ball, L2Ball, QuadraticRisk
+from repro.erm.solvers import exact_least_squares, fista_quadratic, projected_gradient
+
+
+def _dataset(n=30, d=4, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(size=(n, d))
+    xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+    theta = rng.normal(size=d)
+    theta /= np.linalg.norm(theta) * 2  # well inside the unit ball
+    ys = np.clip(xs @ theta + rng.normal(0, noise, n), -1, 1)
+    return xs, ys, theta
+
+
+class TestFistaQuadratic:
+    def test_recovers_interior_minimizer(self):
+        """When the unconstrained optimum is inside C, FISTA must find it."""
+        xs, ys, theta_true = _dataset()
+        risk = QuadraticRisk.from_data(xs, ys)
+        solution = fista_quadratic(risk, L2Ball(4), iterations=3000, tol=0.0)
+        unconstrained = np.linalg.solve(xs.T @ xs, xs.T @ ys)
+        np.testing.assert_allclose(solution, unconstrained, atol=1e-5)
+
+    def test_boundary_solution_feasible(self):
+        xs, _, _ = _dataset(seed=1)
+        ys = np.clip(xs @ (np.ones(4) * 2.0), -1, 1)  # optimum outside the ball
+        risk = QuadraticRisk.from_data(xs, ys)
+        ball = L2Ball(4, radius=0.5)
+        solution = fista_quadratic(risk, ball, iterations=500)
+        assert ball.contains(solution, tol=1e-7)
+        assert np.linalg.norm(solution) == pytest.approx(0.5, abs=1e-4)
+
+    def test_empty_risk_returns_projection_of_zero(self):
+        risk = QuadraticRisk(3)
+        np.testing.assert_array_equal(fista_quadratic(risk, L2Ball(3)), np.zeros(3))
+
+    def test_warm_start_converges_faster(self):
+        """A warm start at the optimum should terminate almost immediately."""
+        xs, ys, _ = _dataset(seed=2)
+        risk = QuadraticRisk.from_data(xs, ys)
+        cold = fista_quadratic(risk, L2Ball(4), iterations=500)
+        warm = fista_quadratic(risk, L2Ball(4), iterations=5, start=cold)
+        assert risk.value(warm) <= risk.value(cold) + 1e-8
+
+    def test_objective_decreases_with_iterations(self):
+        xs, ys, _ = _dataset(seed=3)
+        risk = QuadraticRisk.from_data(xs, ys)
+        few = fista_quadratic(risk, L1Ball(4, 0.3), iterations=3, tol=0.0)
+        many = fista_quadratic(risk, L1Ball(4, 0.3), iterations=300, tol=0.0)
+        assert risk.value(many) <= risk.value(few) + 1e-10
+
+
+class TestProjectedGradient:
+    def test_minimizes_simple_quadratic(self):
+        target = np.array([0.3, -0.2, 0.0])
+        gradient = lambda theta: 2.0 * (theta - target)  # noqa: E731
+        ball = L2Ball(3)
+        solution = projected_gradient(gradient, ball, iterations=800, step_size=0.02)
+        np.testing.assert_allclose(solution, target, atol=0.02)
+
+    def test_average_vs_last_iterate(self):
+        target = np.array([0.5, 0.0])
+        gradient = lambda theta: 2.0 * (theta - target)  # noqa: E731
+        ball = L2Ball(2)
+        last = projected_gradient(gradient, ball, 400, 0.05, average=False)
+        np.testing.assert_allclose(last, target, atol=1e-3)
+
+    def test_stays_feasible(self):
+        gradient = lambda theta: -np.ones_like(theta)  # push outward  # noqa: E731
+        ball = L2Ball(3, radius=0.5)
+        solution = projected_gradient(gradient, ball, 50, 0.1, average=False)
+        assert ball.contains(solution, tol=1e-9)
+
+
+class TestExactLeastSquares:
+    def test_matches_fista_path(self):
+        xs, ys, _ = _dataset(seed=4)
+        direct = exact_least_squares(xs, ys, L2Ball(4), iterations=400)
+        risk = QuadraticRisk.from_data(xs, ys)
+        via_risk = fista_quadratic(risk, L2Ball(4), iterations=400)
+        np.testing.assert_allclose(direct, via_risk, atol=1e-9)
+
+    def test_lasso_produces_sparse_solution(self):
+        """A tight L1 ball should zero out most coordinates."""
+        rng = np.random.default_rng(5)
+        d = 10
+        xs = rng.normal(size=(50, d))
+        xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
+        theta = np.zeros(d)
+        theta[:2] = [0.5, -0.5]
+        ys = np.clip(xs @ theta, -1, 1)
+        solution = exact_least_squares(xs, ys, L1Ball(d, radius=0.4), iterations=800)
+        dominant = np.sort(np.abs(solution))[::-1]
+        assert dominant[:2].sum() > 0.8 * np.abs(solution).sum()

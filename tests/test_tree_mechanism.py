@@ -1,0 +1,157 @@
+"""Tests for the Tree Mechanism (Algorithm 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PrivacyParams, TreeMechanism
+from repro.exceptions import StreamExhaustedError, ValidationError
+from repro.privacy import tree_error_bound, tree_levels
+
+HUGE_EPS = PrivacyParams(1e9, 0.5)  # effectively zero noise
+NORMAL = PrivacyParams(1.0, 1e-6)
+
+
+class TestLevels:
+    @pytest.mark.parametrize(
+        "horizon,expected",
+        [(1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10), (1024, 11)],
+    )
+    def test_bit_length(self, horizon, expected):
+        assert tree_levels(horizon) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(Exception):
+            tree_levels(0)
+
+
+class TestExactnessWithoutNoise:
+    """With ε → ∞ the released sums must equal the exact prefix sums."""
+
+    def test_vector_prefix_sums(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(16, 4)) * 0.3
+        mech = TreeMechanism(16, (4,), 2.0, HUGE_EPS, rng=1)
+        for t in range(16):
+            released = mech.observe(data[t])
+            np.testing.assert_allclose(released, data[: t + 1].sum(axis=0), atol=1e-4)
+
+    def test_matrix_stream(self):
+        """Matrices flow through as flattened d²-vectors (Algorithm 2 usage)."""
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(8, 3, 3)) * 0.2
+        mech = TreeMechanism(8, (3, 3), 2.0, HUGE_EPS, rng=2)
+        for t in range(8):
+            released = mech.observe(data[t])
+            assert released.shape == (3, 3)
+            np.testing.assert_allclose(released, data[: t + 1].sum(axis=0), atol=1e-4)
+
+    def test_scalar_stream(self):
+        mech = TreeMechanism(4, (), 1.0, HUGE_EPS, rng=0)
+        outputs = [float(mech.observe(1.0)) for _ in range(4)]
+        np.testing.assert_allclose(outputs, [1.0, 2.0, 3.0, 4.0], atol=1e-4)
+
+    def test_non_power_of_two_horizon(self):
+        data = np.ones((11, 2)) * 0.1
+        mech = TreeMechanism(11, (2,), 2.0, HUGE_EPS, rng=0)
+        for t in range(11):
+            released = mech.observe(data[t])
+        np.testing.assert_allclose(released, data.sum(axis=0), atol=1e-4)
+
+
+class TestNoiseCalibration:
+    def test_node_sigma_formula(self):
+        """σ_node = levels · Δ₂ · √(2 ln(2/δ)) / ε."""
+        mech = TreeMechanism(8, (2,), 2.0, NORMAL, rng=0)
+        levels = tree_levels(8)
+        expected = levels * 2.0 * math.sqrt(2.0 * math.log(2.0 / 1e-6)) / 1.0
+        assert mech.sigma_node == pytest.approx(expected)
+
+    def test_noise_shrinks_with_epsilon(self):
+        strict = TreeMechanism(8, (2,), 2.0, PrivacyParams(0.1, 1e-6))
+        loose = TreeMechanism(8, (2,), 2.0, PrivacyParams(10.0, 1e-6))
+        assert strict.sigma_node == pytest.approx(100.0 * loose.sigma_node)
+
+    def test_error_bound_polylog_in_horizon(self):
+        """Prop C.1: the error grows polylogarithmically, not linearly, in T."""
+        short = tree_error_bound(64, 4, 2.0, NORMAL)
+        long = tree_error_bound(64 * 1024, 4, 2.0, NORMAL)
+        assert long / short < (math.log2(64 * 1024) / math.log2(64)) ** 2
+
+    def test_error_bound_sqrt_d(self):
+        lo = tree_error_bound(64, 4, 2.0, NORMAL, beta=0.5)
+        hi = tree_error_bound(64, 400, 2.0, NORMAL, beta=0.5)
+        # √(400)/√4 = 10, and the √log(1/β) additive term dilutes it slightly.
+        assert 5.0 < hi / lo <= 10.0
+
+    def test_empirical_error_within_bound(self):
+        """The realized max error should sit below the 1-β bound."""
+        rng = np.random.default_rng(3)
+        horizon, dim = 64, 3
+        data = rng.normal(size=(horizon, dim))
+        data /= np.maximum(np.linalg.norm(data, axis=1, keepdims=True), 1.0)
+        mech = TreeMechanism(horizon, (dim,), 2.0, NORMAL, rng=4)
+        bound = mech.error_bound(beta=0.01)
+        worst = 0.0
+        exact = np.zeros(dim)
+        for t in range(horizon):
+            released = mech.observe(data[t])
+            exact += data[t]
+            worst = max(worst, float(np.linalg.norm(released - exact)))
+        assert worst < bound
+
+
+class TestStreamDiscipline:
+    def test_exhaustion_raises(self):
+        mech = TreeMechanism(2, (1,), 1.0, NORMAL, rng=0)
+        mech.observe(np.array([0.1]))
+        mech.observe(np.array([0.1]))
+        with pytest.raises(StreamExhaustedError):
+            mech.observe(np.array([0.1]))
+
+    def test_wrong_shape_rejected(self):
+        mech = TreeMechanism(4, (2,), 1.0, NORMAL, rng=0)
+        with pytest.raises(ValidationError):
+            mech.observe(np.zeros(3))
+
+    def test_nan_rejected(self):
+        mech = TreeMechanism(4, (2,), 1.0, NORMAL, rng=0)
+        with pytest.raises(ValidationError):
+            mech.observe(np.array([0.1, float("nan")]))
+
+    def test_current_sum_is_stable(self):
+        """Re-reading must not re-randomize (post-processing only)."""
+        mech = TreeMechanism(4, (2,), 1.0, NORMAL, rng=0)
+        mech.observe(np.array([0.5, 0.5]))
+        first = mech.current_sum()
+        second = mech.current_sum()
+        np.testing.assert_array_equal(first, second)
+
+    def test_current_sum_before_any_observation(self):
+        mech = TreeMechanism(4, (2,), 1.0, NORMAL, rng=0)
+        np.testing.assert_array_equal(mech.current_sum(), np.zeros(2))
+
+
+class TestMemory:
+    def test_logarithmic_memory(self):
+        """Memory must be 2·levels·d floats — O(d log T), not O(d·T)."""
+        mech = TreeMechanism(1024, (8,), 2.0, NORMAL, rng=0)
+        assert mech.memory_floats() == 2 * tree_levels(1024) * 8
+
+    def test_memory_independent_of_steps(self):
+        mech = TreeMechanism(64, (4,), 2.0, NORMAL, rng=0)
+        before = mech.memory_floats()
+        for _ in range(32):
+            mech.observe(np.zeros(4))
+        assert mech.memory_floats() == before
+
+
+class TestDeterminism:
+    def test_same_seed_same_outputs(self):
+        def run(seed):
+            mech = TreeMechanism(8, (2,), 2.0, NORMAL, rng=seed)
+            return [mech.observe(np.ones(2) * 0.1).copy() for _ in range(8)]
+
+        for a, b in zip(run(11), run(11)):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the Tree and Hybrid mechanisms.
+
+These check the structural invariants the privacy and utility analyses
+depend on, independent of any specific stream:
+
+* with the noise disabled (ε → ∞) the released prefix sums are *exact* for
+  arbitrary streams of arbitrary (valid) length;
+* the mechanism is linear: summing two streams element-wise equals summing
+  their exact prefix sums (checked via the zero-noise limit);
+* noise is independent of the data: the released error sequence (release
+  minus exact prefix) is identical for any two streams processed under the
+  same seed — the property that makes the privacy proof a pure
+  sensitivity-times-calibration argument.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HybridMechanism, PrivacyParams, TreeMechanism
+
+HUGE_EPS = PrivacyParams(1e12, 0.5)
+NORMAL = PrivacyParams(1.0, 1e-6)
+
+element_lists = st.lists(
+    st.lists(
+        st.floats(min_value=-0.5, max_value=0.5, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    ).map(np.array),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestTreeExactnessProperty:
+    @given(elements=element_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_zero_noise_prefix_sums_exact(self, elements):
+        mech = TreeMechanism(len(elements), (3,), 2.0, HUGE_EPS, rng=0)
+        exact = np.zeros(3)
+        for element in elements:
+            released = mech.observe(element)
+            exact += element
+            np.testing.assert_allclose(released, exact, atol=1e-6)
+
+    @given(elements=element_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_hybrid_zero_noise_prefix_sums_exact(self, elements):
+        mech = HybridMechanism((3,), 2.0, HUGE_EPS, rng=0)
+        exact = np.zeros(3)
+        for element in elements:
+            released = mech.observe(element)
+            exact += element
+            np.testing.assert_allclose(released, exact, atol=1e-6)
+
+
+class TestNoiseDataIndependence:
+    @given(
+        elements_a=element_lists,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_error_sequence_independent_of_data(self, elements_a, seed):
+        """release(stream) − prefix(stream) is the same for any stream
+        under a fixed seed: the noise never looks at the data."""
+        horizon = len(elements_a)
+        elements_b = [np.zeros(3) for _ in range(horizon)]  # a different stream
+
+        def error_sequence(elements):
+            mech = TreeMechanism(horizon, (3,), 2.0, NORMAL, rng=seed)
+            exact = np.zeros(3)
+            errors = []
+            for element in elements:
+                released = mech.observe(element)
+                exact += element
+                errors.append(released - exact)
+            return errors
+
+        for err_a, err_b in zip(error_sequence(elements_a), error_sequence(elements_b)):
+            np.testing.assert_allclose(err_a, err_b, atol=1e-8)
+
+
+class TestMemoryInvariant:
+    @given(horizon=st.integers(min_value=1, max_value=512))
+    @settings(max_examples=25, deadline=None)
+    def test_memory_formula(self, horizon):
+        mech = TreeMechanism(horizon, (2,), 1.0, NORMAL, rng=0)
+        assert mech.memory_floats() == 2 * horizon.bit_length() * 2

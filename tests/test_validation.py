@@ -1,0 +1,145 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_finite,
+    check_int,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_rng,
+    check_vector,
+)
+from repro.exceptions import ValidationError
+
+
+class TestScalarChecks:
+    def test_positive_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValidationError, match="must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_positive_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.0)
+
+    def test_positive_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", float("nan"))
+
+    def test_positive_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive("x", float("inf"))
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -0.1)
+
+    def test_finite_coerces_int(self):
+        result = check_finite("x", 3)
+        assert result == 3.0
+        assert isinstance(result, float)
+
+    def test_finite_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", "abc")
+
+
+class TestProbabilityCheck:
+    def test_accepts_interior(self):
+        assert check_probability("p", 0.5) == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 0.0)
+
+    def test_allows_zero_when_enabled(self):
+        assert check_probability("p", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_one(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.5)
+
+
+class TestIntCheck:
+    def test_accepts_int(self):
+        assert check_int("n", 7) == 7
+
+    def test_accepts_numpy_int(self):
+        assert check_int("n", np.int64(7)) == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_int("n", True)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_int("n", 7.0)
+
+    def test_enforces_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_int("n", 1, minimum=2)
+
+
+class TestArrayChecks:
+    def test_vector_accepts_list(self):
+        result = check_vector("v", [1.0, 2.0])
+        assert isinstance(result, np.ndarray)
+        assert result.shape == (2,)
+
+    def test_vector_rejects_matrix(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_vector("v", np.zeros((2, 2)))
+
+    def test_vector_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_vector("v", [1.0, float("nan")])
+
+    def test_vector_dim_enforced(self):
+        with pytest.raises(ValidationError, match="dimension 3"):
+            check_vector("v", [1.0, 2.0], dim=3)
+
+    def test_matrix_accepts_2d(self):
+        assert check_matrix("m", np.eye(3)).shape == (3, 3)
+
+    def test_matrix_rejects_vector(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            check_matrix("m", np.zeros(3))
+
+    def test_matrix_shape_enforced(self):
+        with pytest.raises(ValidationError):
+            check_matrix("m", np.eye(3), shape=(2, 3))
+
+
+class TestRngCheck:
+    def test_none_gives_generator(self):
+        assert isinstance(check_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = check_rng(42).normal(size=3)
+        b = check_rng(42).normal(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_rng(gen) is gen
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_rng("seed")
