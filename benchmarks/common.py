@@ -54,10 +54,18 @@ def measure_excess(
     stream: RegressionStream,
     constraint: ConvexSet,
     eval_every: int = 64,
+    batch_size: int = 1,
 ) -> dict[str, float]:
-    """Run the estimator over the stream; return the trace summary."""
+    """Run the estimator over the stream; return the trace summary.
+
+    ``batch_size > 1`` drives the estimator's ``observe_batch`` fast path
+    (the batched engine).  Benchmarks that read the ``bench_batch_size``
+    fixture (see ``conftest.py``) let ``--bench-batch-size`` override
+    their choice; others keep the sequential protocol their experiment
+    specifies.
+    """
     runner = IncrementalRunner(constraint, eval_every=eval_every)
-    result = runner.run(estimator, stream)
+    result = runner.run(estimator, stream, batch_size=batch_size)
     return result.trace.summary()
 
 

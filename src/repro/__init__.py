@@ -65,7 +65,16 @@ from .erm import (
     SquaredLoss,
 )
 from .sketching import GaussianProjection, gordon_dimension, lift
-from .streaming import ExcessRiskTrace, IncrementalRunner, RegressionStream, RunResult
+from .streaming import (
+    ExcessRiskTrace,
+    FleetResult,
+    FleetRunner,
+    IncrementalRunner,
+    RegressionStream,
+    ReplicateResult,
+    ReplicateSpec,
+    RunResult,
+)
 from .core import (
     NaiveRecompute,
     NonPrivateIncremental,
@@ -129,6 +138,10 @@ __all__ = [
     "IncrementalRunner",
     "RunResult",
     "ExcessRiskTrace",
+    "FleetRunner",
+    "FleetResult",
+    "ReplicateSpec",
+    "ReplicateResult",
     # core
     "PrivateGradientFunction",
     "PrivIncERM",

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .exceptions import ValidationError
+from .exceptions import DomainViolationError, ValidationError
 
 
 def check_positive(name: str, value: float) -> float:
@@ -84,6 +84,48 @@ def check_matrix(name: str, value: np.ndarray, *, shape: tuple[int, int] | None 
     if shape is not None and array.shape != shape:
         raise ValidationError(f"{name} must have shape {shape}, got {array.shape}")
     return array
+
+
+def check_xy_block(
+    xs: np.ndarray, ys: np.ndarray, *, dim: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a covariate/response block for ``observe_batch`` entry points.
+
+    Returns ``(xs, ys)`` as float arrays of shapes ``(n, d)`` and ``(n,)``
+    with ``n ≥ 1`` and finite entries; raises :class:`ValidationError`
+    otherwise (including for the empty block, which every batched API in
+    the library rejects).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.ndim != 2:
+        raise ValidationError(f"X must be a 2-D (n, d) block, got shape {xs.shape}")
+    if dim is not None and xs.shape[1] != dim:
+        raise ValidationError(f"X must have dimension {dim}, got {xs.shape[1]}")
+    if ys.shape != (xs.shape[0],):
+        raise ValidationError(
+            f"y must have shape ({xs.shape[0]},), got {ys.shape}"
+        )
+    if xs.shape[0] == 0:
+        raise ValidationError("batch must contain at least one point")
+    if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
+        raise ValidationError("batch must contain only finite entries")
+    return xs, ys
+
+
+def check_unit_xy_domain(name: str, xs: np.ndarray, ys: np.ndarray) -> None:
+    """Enforce the paper's unit normalization on a covariate/response block.
+
+    Every privacy calibration in the library derives from ``‖x‖ ≤ 1`` and
+    ``|y| ≤ 1``; the tolerance here must match the per-point checks in the
+    mechanisms' ``observe`` methods.
+    """
+    if np.any(np.linalg.norm(xs, axis=1) > 1.0 + 1e-9) or np.any(
+        np.abs(ys) > 1.0 + 1e-9
+    ):
+        raise DomainViolationError(
+            f"{name} requires ‖x‖ ≤ 1 and |y| ≤ 1 (privacy calibration)"
+        )
 
 
 def check_rng(rng: np.random.Generator | int | None) -> np.random.Generator:

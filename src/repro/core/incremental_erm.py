@@ -38,7 +38,7 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from .._validation import check_int, check_positive, check_vector
+from .._validation import check_int, check_positive, check_vector, check_xy_block
 from ..geometry.base import ConvexSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.composition import split_budget_advanced
@@ -182,13 +182,36 @@ class PrivIncERM:
         self._ys.append(float(y))
         self.steps_taken += 1
         if self.steps_taken % self.tau == 0:
-            self.accountant.charge(
-                f"batch-solve@t={self.steps_taken}", self.per_invocation
-            )
-            self._theta = np.asarray(
-                self.solver.solve(np.asarray(self._xs), np.asarray(self._ys)), dtype=float
-            )
+            self._refresh(self.steps_taken)
         return self._theta.copy()
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Process a block of points; run every ``τ``-refresh it spans.
+
+        The block is appended to the history in one shot and the batch
+        solver is invoked once per multiple of ``τ`` crossed by the block,
+        each on exactly the prefix the sequential path would hand it — the
+        same invocations with the same inputs in the same order, so the
+        outputs (and the privacy accounting) are identical to ``k``
+        :meth:`observe` calls.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        t0 = self.steps_taken
+        self._xs.extend(np.copy(row) for row in xs)
+        self._ys.extend(float(v) for v in ys)
+        self.steps_taken = t0 + xs.shape[0]
+        first = t0 + self.tau - (t0 % self.tau)
+        for t in range(first, self.steps_taken + 1, self.tau):
+            self._refresh(t)
+        return self._theta.copy()
+
+    def _refresh(self, t: int) -> None:
+        """Charge one invocation and re-solve on the length-``t`` prefix."""
+        self.accountant.charge(f"batch-solve@t={t}", self.per_invocation)
+        self._theta = np.asarray(
+            self.solver.solve(np.asarray(self._xs[:t]), np.asarray(self._ys[:t])),
+            dtype=float,
+        )
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter."""

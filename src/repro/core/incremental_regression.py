@@ -26,6 +26,19 @@ Engineering knobs (documented deviations, see DESIGN.md §3):
   ``r = Θ((1 + T‖C‖/α′)²)`` from Algorithm 2's Step 1 (uncapped).
 * the released parameter warm-starts the next step's PGD — pure
   post-processing of already-private quantities, so privacy is unaffected.
+* ``solve_every=s`` runs the PGD refresh only on multiples of ``s``
+  (and at the horizon), replaying the stale parameter in between.  The
+  moment trees still advance every step — the privacy-relevant part is
+  never amortized — so this is pure post-processing scheduling (the same
+  staleness argument as Mechanism 1's τ-window and
+  :class:`~repro.core.projected_regression.PrivIncReg2`'s knob).  1
+  (default) reproduces Algorithm 2 exactly.
+* :meth:`PrivIncReg1.observe_batch` ingests a block of points with
+  vectorized tree updates and runs the PGD refreshes scheduled inside the
+  block.  Each tree owns an independent child generator (spawned from the
+  constructor's ``rng``), so the batched path consumes randomness exactly
+  like the sequential path and the released parameters are bit-identical
+  to point-by-point ``observe`` calls under the same ``solve_every``.
 """
 
 from __future__ import annotations
@@ -34,7 +47,14 @@ import math
 
 import numpy as np
 
-from .._validation import check_int, check_probability, check_rng, check_vector
+from .._validation import (
+    check_int,
+    check_probability,
+    check_rng,
+    check_unit_xy_domain,
+    check_vector,
+    check_xy_block,
+)
 from ..erm.noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
 from ..exceptions import DomainViolationError, ValidationError
 from ..geometry.base import ConvexSet
@@ -43,10 +63,23 @@ from ..privacy.parameters import PrivacyParams
 from ..privacy.tree import TreeMechanism
 from .private_gradient import PrivateGradientFunction
 
-__all__ = ["PrivIncReg1"]
+__all__ = ["PrivIncReg1", "solve_schedule"]
 
 #: L2-sensitivity of both moment streams under the unit normalization.
 MOMENT_SENSITIVITY = 2.0
+
+
+def solve_schedule(t0: int, t1: int, solve_every: int, horizon: int) -> list[int]:
+    """Timesteps in ``(t0, t1]`` at which an amortized PGD refresh runs.
+
+    The single definition of the ``solve_every`` schedule shared by the
+    batched paths of Algorithms 2 and 3: every multiple of ``solve_every``
+    plus the horizon itself, so a sequential run with the same knob solves
+    at exactly the same steps.
+    """
+    return [
+        t for t in range(t0 + 1, t1 + 1) if t % solve_every == 0 or t == horizon
+    ]
 
 
 class PrivIncReg1:
@@ -69,8 +102,14 @@ class PrivIncReg1:
         ``"fast"`` (default) or ``"paper"`` inner-iteration sizing.
     iteration_cap:
         PGD iteration ceiling in ``"fast"`` mode.
+    solve_every:
+        Run the PGD refresh every ``solve_every`` steps (and at the
+        horizon), replaying the stale parameter in between; 1 = paper.
+        Post-processing only — privacy is unchanged.
     rng:
-        Seed or Generator.
+        Seed or Generator.  Each moment tree receives an independent child
+        generator spawned from it, so batched and sequential ingestion
+        draw identical noise.
 
     Examples
     --------
@@ -92,6 +131,7 @@ class PrivIncReg1:
         beta: float = 0.05,
         fidelity: str = "fast",
         iteration_cap: int = 400,
+        solve_every: int = 1,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if fidelity not in ("paper", "fast"):
@@ -102,24 +142,30 @@ class PrivIncReg1:
         self.beta = check_probability("beta", beta)
         self.fidelity = fidelity
         self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
+        self.solve_every = check_int("solve_every", solve_every, minimum=1)
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
-        # Step 1 of Algorithm 2: ε' = ε/2, δ' = δ/2 for each tree.
+        # Step 1 of Algorithm 2: ε' = ε/2, δ' = δ/2 for each tree.  The
+        # trees get independent child generators so their draws never
+        # interleave on a shared stream — the discipline that lets
+        # observe_batch (cross block, then gram block) reproduce the
+        # sequential draw-per-step order exactly.
         half = params.halve()
+        cross_rng, gram_rng = self._rng.spawn(2)
         self._tree_cross = TreeMechanism(
             horizon=self.horizon,
             shape=(self.dim,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=cross_rng,
         )
         self._tree_gram = TreeMechanism(
             horizon=self.horizon,
             shape=(self.dim, self.dim),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=gram_rng,
         )
         self.accountant = PrivacyAccountant(params, mode="basic")
         self.accountant.charge("tree:cross-moments", half)
@@ -178,21 +224,56 @@ class PrivIncReg1:
 
         noisy_cross = self._tree_cross.observe(x * y)
         noisy_gram = self._tree_gram.observe(np.outer(x, x))
+        if t % self.solve_every == 0 or t == self.horizon:
+            self._solve_at(t, noisy_gram, noisy_cross)
+        return self._theta.copy()
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Process a block of points; release ``θ`` after the final one.
+
+        The two moment trees ingest the whole block with vectorized dyadic
+        updates (the privacy-relevant part still advances element by
+        element inside the trees), then the PGD refreshes scheduled inside
+        the block by ``solve_every`` run against the matching per-step tree
+        releases.  Bit-identical to feeding the same points one at a time
+        through :meth:`observe`.
+
+        Parameters
+        ----------
+        xs, ys:
+            Covariates ``(k, d)`` and responses ``(k,)`` with ``k ≥ 1``.
+
+        Returns
+        -------
+        numpy.ndarray
+            The parameter released at the final step of the block.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        check_unit_xy_domain("PrivIncReg1", xs, ys)
+        k = xs.shape[0]
+        cross_all = self._tree_cross.observe_batch(xs * ys[:, None])
+        gram_all = self._tree_gram.observe_batch(xs[:, :, None] * xs[:, None, :])
+        t0 = self.steps_taken
+        self.steps_taken = t0 + k
+        for t in solve_schedule(t0, t0 + k, self.solve_every, self.horizon):
+            idx = t - t0 - 1
+            self._solve_at(t, gram_all[idx], cross_all[idx])
+        return self._theta.copy()
+
+    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
+        """One PGD refresh against the step-``t`` released moments."""
         # Symmetrize: the true moment matrix is symmetric; averaging with the
         # transpose is post-processing and only reduces the error.
         noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
-
         alpha = self.gradient_error()
         gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
-        iterations = self._iterations(t, alpha)
         pgd = NoisyProjectedGradient(
             self.constraint,
             lipschitz=self._prefix_lipschitz(t),
             gradient_error=alpha,
-            iterations=iterations,
+            iterations=self._iterations(t, alpha),
         )
         self._theta = pgd.run(gradient_fn, start=self._theta)
-        return self._theta.copy()
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter (post-processing, free)."""

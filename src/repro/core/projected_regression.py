@@ -37,7 +37,14 @@ import math
 
 import numpy as np
 
-from .._validation import check_int, check_probability, check_rng, check_vector
+from .._validation import (
+    check_int,
+    check_probability,
+    check_rng,
+    check_unit_xy_domain,
+    check_vector,
+    check_xy_block,
+)
 from ..erm.noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
 from ..exceptions import DomainViolationError, ValidationError
 from ..geometry.base import ConvexSet, PointSet
@@ -48,7 +55,7 @@ from ..sketching.gaussian import GaussianProjection
 from ..sketching.gordon import gordon_dimension
 from ..sketching.lifting import lift
 from ..sketching.projected_set import ProjectedConvexSet
-from .incremental_regression import MOMENT_SENSITIVITY
+from .incremental_regression import MOMENT_SENSITIVITY, solve_schedule
 from .private_gradient import PrivateGradientFunction
 
 __all__ = ["PrivIncReg2"]
@@ -167,21 +174,24 @@ class PrivIncReg2:
         )
 
         # -- Steps 5-6 plumbing: two trees over the projected moments -----
+        # Independent child generators per tree (see PrivIncReg1): batched
+        # and sequential ingestion then draw identical noise.
         half = params.halve()
         m = self.projected_dim
+        cross_rng, gram_rng = self._rng.spawn(2)
         self._tree_cross = TreeMechanism(
             horizon=self.horizon,
             shape=(m,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=cross_rng,
         )
         self._tree_gram = TreeMechanism(
             horizon=self.horizon,
             shape=(m, m),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=gram_rng,
         )
         self.accountant = PrivacyAccountant(params, mode="basic")
         self.accountant.charge("tree:projected-cross-moments", half)
@@ -236,27 +246,65 @@ class PrivIncReg2:
         # is the privacy-relevant part and cannot be amortized).
         noisy_cross = self._tree_cross.observe(projected_x * y)
         noisy_gram = self._tree_gram.observe(np.outer(projected_x, projected_x))
-        noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
 
         # Steps 7-9 are post-processing of the released moments and may be
         # amortized across a solve_every-window (staleness ≤ solve_every
         # points, as in Mechanism 1's τ-window argument).
         if t % self.solve_every == 0 or t == self.horizon:
-            alpha = self.gradient_error()
-            gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
-            pgd = NoisyProjectedGradient(
-                self.projected_constraint,
-                lipschitz=self._prefix_lipschitz(t),
-                gradient_error=alpha,
-                iterations=self._iterations(t, alpha),
-            )
-            self._vartheta = pgd.run(gradient_fn, start=self._vartheta)
-
-            lifted = lift(self.projection.matrix, self._vartheta, self.constraint)
-            # Numerical safety: the paper argues gauge(θ) ≤ 1 exactly; we
-            # project to absorb LP/solver round-off.
-            self._theta = self.constraint.project(lifted)
+            self._solve_at(t, noisy_gram, noisy_cross)
         return self._theta.copy()
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Process a block of points; release the lifted ``θ`` after it.
+
+        Step 4's covariate rescaling is applied to the whole block with one
+        matrix product, the two projected-moment trees ingest the block via
+        their vectorized batch path, and the projected-space solves + lifts
+        scheduled inside the block by ``solve_every`` run against the
+        matching per-step releases.  Matches point-by-point :meth:`observe`
+        up to BLAS reduction order in the ``ΦXᵀ`` product (the trees
+        themselves are rng-matched), so released parameters agree to
+        floating-point accuracy rather than bit-for-bit.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        check_unit_xy_domain("PrivIncReg2", xs, ys)
+        k = xs.shape[0]
+        norms = np.linalg.norm(xs, axis=1)
+        # Step 4, vectorized: x̃ = (‖x‖/‖Φx‖)·x so that ‖Φx̃‖ = ‖x‖.
+        projected = self.projection.apply(xs)
+        projected_norms = np.linalg.norm(projected, axis=1)
+        safe = (norms > 0.0) & (projected_norms > 0.0)
+        scale = np.where(safe, norms / np.where(safe, projected_norms, 1.0), 0.0)
+        projected = projected * scale[:, None]
+
+        cross_all = self._tree_cross.observe_batch(projected * ys[:, None])
+        gram_all = self._tree_gram.observe_batch(
+            projected[:, :, None] * projected[:, None, :]
+        )
+        t0 = self.steps_taken
+        self.steps_taken = t0 + k
+        for t in solve_schedule(t0, t0 + k, self.solve_every, self.horizon):
+            idx = t - t0 - 1
+            self._solve_at(t, gram_all[idx], cross_all[idx])
+        return self._theta.copy()
+
+    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
+        """Steps 7-9 against the step-``t`` released projected moments."""
+        noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
+        alpha = self.gradient_error()
+        gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
+        pgd = NoisyProjectedGradient(
+            self.projected_constraint,
+            lipschitz=self._prefix_lipschitz(t),
+            gradient_error=alpha,
+            iterations=self._iterations(t, alpha),
+        )
+        self._vartheta = pgd.run(gradient_fn, start=self._vartheta)
+
+        lifted = lift(self.projection.matrix, self._vartheta, self.constraint)
+        # Numerical safety: the paper argues gauge(θ) ≤ 1 exactly; we
+        # project to absorb LP/solver round-off.
+        self._theta = self.constraint.project(lifted)
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released (lifted) parameter."""

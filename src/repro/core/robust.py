@@ -29,7 +29,7 @@ from typing import Callable
 
 import numpy as np
 
-from .._validation import check_vector
+from .._validation import check_vector, check_xy_block
 from ..geometry.base import ConvexSet, PointSet
 from ..privacy.parameters import PrivacyParams
 from .projected_regression import PrivIncReg2
@@ -87,6 +87,31 @@ class RobustPrivIncReg:
             return self.inner.observe(x, float(y))
         self.substituted += 1
         return self.inner.observe(np.zeros(self.dim), 0.0)
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Filter a block through the oracle, then batch-feed the inner mechanism.
+
+        The membership oracle is consulted per point (it is an arbitrary
+        callable), out-of-domain rows are replaced by the neutral ``(0, 0)``
+        element, and the substituted block flows through
+        :meth:`PrivIncReg2.observe_batch` in one shot — the same
+        per-element preprocessing as the sequential path, so the privacy
+        argument is untouched.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        xs = xs.copy()
+        ys = ys.copy()
+        in_domain = np.array(
+            [bool(self.membership_oracle(x)) for x in xs], dtype=bool
+        )
+        xs[~in_domain] = 0.0
+        ys[~in_domain] = 0.0
+        theta = self.inner.observe_batch(xs, ys)
+        # Count only after the inner mechanism accepted the block: a
+        # rejected block must not inflate the public counters.
+        self.accepted += int(in_domain.sum())
+        self.substituted += int((~in_domain).sum())
+        return theta
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter."""

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_int, check_probability, check_rng, check_vector
+from .._validation import (
+    check_int,
+    check_probability,
+    check_rng,
+    check_unit_xy_domain,
+    check_vector,
+    check_xy_block,
+)
 from ..erm.noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
 from ..exceptions import DomainViolationError
 from ..geometry.base import ConvexSet
@@ -45,8 +52,13 @@ class UnboundedPrivIncReg:
         Confidence parameter for the internal error bounds.
     iteration_cap:
         PGD iteration ceiling per step.
+    solve_every:
+        Run the PGD refresh every ``solve_every`` steps, replaying the
+        stale parameter in between (post-processing only; the hybrid
+        moment mechanisms advance every step).  1 = per-step refresh.
     rng:
-        Seed or Generator.
+        Seed or Generator; each hybrid moment mechanism receives an
+        independent child generator spawned from it.
 
     Examples
     --------
@@ -66,27 +78,30 @@ class UnboundedPrivIncReg:
         params: PrivacyParams,
         beta: float = 0.05,
         iteration_cap: int = 400,
+        solve_every: int = 1,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         self.constraint = constraint
         self.params = params
         self.beta = check_probability("beta", beta)
         self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
+        self.solve_every = check_int("solve_every", solve_every, minimum=1)
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
         half = params.halve()
+        cross_rng, gram_rng = self._rng.spawn(2)
         self._tree_cross = HybridMechanism(
             shape=(self.dim,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=cross_rng,
         )
         self._tree_gram = HybridMechanism(
             shape=(self.dim, self.dim),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
-            rng=self._rng,
+            rng=gram_rng,
         )
         self.steps_taken = 0
         self._theta = constraint.project(np.zeros(self.dim))
@@ -118,8 +133,61 @@ class UnboundedPrivIncReg:
 
         noisy_cross = self._tree_cross.observe(x * y)
         noisy_gram = self._tree_gram.observe(np.outer(x, x))
-        noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
+        if t % self.solve_every == 0:
+            self._solve_at(t, noisy_gram, noisy_cross)
+        return self._theta.copy()
 
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Process a block of points; release ``θ`` after the final one.
+
+        The hybrid moment mechanisms ingest the block through their
+        epoch-chunked batch path (rng-matched to sequential ingestion).
+        The gradient-error bound ``α`` changes only when an epoch
+        completes, so the block is cut at the ``O(log k)`` epoch-full
+        steps ``2^e − 1``; within each piece the scheduled PGD refreshes
+        index into the piece's per-step releases with exactly the epoch
+        state the sequential path would see — bit-identical to ``k``
+        :meth:`observe` calls.  No horizon needed: epochs double as usual.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        check_unit_xy_domain("UnboundedPrivIncReg", xs, ys)
+        k = xs.shape[0]
+        t0 = self.steps_taken
+        for chunk_start, chunk_stop in self._epoch_chunks(t0, t0 + k):
+            lo, hi = chunk_start - t0, chunk_stop - t0
+            chunk_x, chunk_y = xs[lo:hi], ys[lo:hi]
+            cross_all = self._tree_cross.observe_batch(chunk_x * chunk_y[:, None])
+            gram_all = self._tree_gram.observe_batch(
+                chunk_x[:, :, None] * chunk_x[:, None, :]
+            )
+            self.steps_taken = chunk_stop
+            for t in range(chunk_start + 1, chunk_stop + 1):
+                if t % self.solve_every == 0:
+                    idx = t - chunk_start - 1
+                    self._solve_at(t, gram_all[idx], cross_all[idx])
+        return self._theta.copy()
+
+    @staticmethod
+    def _epoch_chunks(t0: int, t1: int) -> list[tuple[int, int]]:
+        """Cut ``(t0, t1]`` at the epoch-full steps ``2^e − 1``.
+
+        The hybrid mechanism rolls an epoch lazily at the step *after* the
+        epoch fills, so the error bound (and hence ``α``) is constant on
+        each interval ``(2^e − 1, 2^{e+1} − 1]``; chunks never straddle one
+        of those boundaries.
+        """
+        cuts = []
+        e = 1
+        while 2**e - 1 < t1:
+            if t0 < 2**e - 1:
+                cuts.append(2**e - 1)
+            e += 1
+        edges = [t0] + cuts + [t1]
+        return list(zip(edges[:-1], edges[1:]))
+
+    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
+        """One PGD refresh against the step-``t`` released moments."""
+        noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
         alpha = self.gradient_error()
         gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
         lipschitz = 2.0 * t * (self.constraint.diameter() + 1.0)
@@ -130,7 +198,6 @@ class UnboundedPrivIncReg:
             iterations=noisy_pgd_iterations(lipschitz, alpha, cap=self.iteration_cap),
         )
         self._theta = pgd.run(gradient_fn, start=self._theta)
-        return self._theta.copy()
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter."""

@@ -24,7 +24,7 @@ import numpy as np
 from .._validation import check_positive, check_rng
 from ..exceptions import ValidationError
 from .parameters import PrivacyParams
-from .tree import TreeMechanism, tree_error_bound
+from .tree import TreeMechanism, coerce_stream_block, tree_error_bound
 
 __all__ = ["HybridMechanism"]
 
@@ -91,13 +91,44 @@ class HybridMechanism:
                 f"stream element has shape {array.shape}, expected {self.shape}"
             )
         if self._current_tree.steps_taken >= self._current_tree.horizon:
-            # Freeze the finished epoch's final noisy total and double.
-            self._frozen_total = self._frozen_total + self._current_tree.current_sum()
-            self._completed_epochs += 1
-            self._epoch_index += 1
-            self._current_tree = self._new_tree()
+            self._roll_epoch()
         self.steps_taken += 1
         return self._frozen_total + self._current_tree.observe(array)
+
+    def observe_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a block of consecutive elements; return all noisy prefix sums.
+
+        The block is split along epoch boundaries and each piece is fed to
+        the corresponding epoch tree's
+        :meth:`~repro.privacy.tree.TreeMechanism.observe_batch`, so the rng
+        consumption, epoch rollovers, and releases are bit-identical to the
+        same elements arriving one at a time.
+        """
+        # Validate the whole block before any epoch piece is consumed: a
+        # failure inside a later piece must not leave earlier pieces
+        # half-ingested.
+        array = coerce_stream_block(values, self.shape)
+        k = array.shape[0]
+        pieces: list[np.ndarray] = []
+        start = 0
+        while start < k:
+            if self._current_tree.steps_taken >= self._current_tree.horizon:
+                self._roll_epoch()
+            capacity = self._current_tree.horizon - self._current_tree.steps_taken
+            stop = min(start + capacity, k)
+            pieces.append(
+                self._frozen_total + self._current_tree.observe_batch(array[start:stop])
+            )
+            start = stop
+        self.steps_taken += k
+        return np.concatenate(pieces, axis=0)
+
+    def _roll_epoch(self) -> None:
+        """Freeze the finished epoch's final noisy total and double."""
+        self._frozen_total = self._frozen_total + self._current_tree.current_sum()
+        self._completed_epochs += 1
+        self._epoch_index += 1
+        self._current_tree = self._new_tree()
 
     def current_sum(self) -> np.ndarray:
         """The most recent noisy prefix sum (post-processing, free)."""

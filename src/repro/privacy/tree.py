@@ -32,12 +32,25 @@ Only ``levels`` partial sums are alive at any time, so memory is
 
 Implementation notes
 --------------------
-* The paper's pseudocode indexes levels by the binary representation of
-  ``t``; we keep two arrays ``a[j]`` (clean partial sums) and ``b[j]``
-  (their noisy releases), exactly mirroring the pseudocode's update:
-  on step ``t`` with lowest set bit ``i``, ``a[i] ← Σ_{j<i} a[j] + υ_t``,
-  the levels below are cleared, ``b[i] ← a[i] + noise``, and the output is
-  ``s_t = Σ_{j : bit j of t is set} b[j]``.
+* Algorithm 4's pseudocode keeps clean partial sums ``a[j]`` and their
+  noisy releases ``b[j] = a[j] + η[j]``, outputting
+  ``s_t = Σ_{j : bit j of t set} b[j]``.  Because the dyadic ranges of the
+  set bits of ``t`` tile ``[1, t]`` exactly, this is algebraically
+
+      ``s_t = (Σ_{i≤t} υ_i)  +  Σ_{j : bit j of t set} η[j]``,
+
+  i.e. *exact prefix sum plus the noise of the currently active nodes*.
+  We store that decomposition directly: a running clean prefix sum plus
+  one frozen noise vector per active level.  The released distribution is
+  identical to the pseudocode's (same nodes, same noise, same reuse of
+  frozen node releases), the state is slightly smaller
+  (``(levels+1)·d`` instead of ``2·levels·d`` floats), and — crucially for
+  :meth:`TreeMechanism.observe_batch` — the update becomes a cumulative
+  sum plus a per-level gather, which vectorizes over a block of stream
+  elements while reproducing the sequential path **bit for bit**.
+* The active-level mask is maintained incrementally (after step ``t`` the
+  active levels are exactly the set bits of ``t``); releases never
+  recompute the set-bit list from scratch.
 * ``levels`` uses the exact tree height ``⌊log₂ T⌋ + 1`` rather than a real
   logarithm, matching the mechanism's analysis (the paper writes
   ``log T`` loosely).
@@ -45,6 +58,17 @@ Implementation notes
   noisy sums are returned in the original shape, which is how Algorithms 2
   and 3 feed ``d×d`` matrices through the mechanism "viewed as
   d²-dimensional vectors".
+
+Batched ingestion contract
+--------------------------
+:meth:`TreeMechanism.observe_batch` consumes a block of ``k`` consecutive
+stream elements and returns all ``k`` noisy prefix sums.  Under a shared
+rng discipline (one generator, one Gaussian draw per node, nodes closed in
+stream order) the batched path draws *the same* noise as ``k`` sequential
+:meth:`TreeMechanism.observe` calls — ``Generator.normal(size=(k, d))``
+consumes the underlying bit stream exactly like ``k`` draws of size ``d``
+— and performs the same floating-point additions in the same order, so the
+two paths produce bit-identical releases and may be freely interleaved.
 """
 
 from __future__ import annotations
@@ -128,6 +152,27 @@ def tree_error_bound_spectral(
     return entry_sigma * (2.0 * math.sqrt(side_dim) + math.sqrt(2.0 * math.log(1.0 / beta)))
 
 
+def coerce_stream_block(values: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate a block of stream elements for batched ingestion.
+
+    The single definition of the block contract shared by the Tree and
+    Hybrid mechanisms: shape ``(k, *shape)`` with ``k ≥ 1`` and finite
+    entries, returned as a float array.  Validating the whole block before
+    any element is consumed is what makes batched rejection atomic.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.ndim == 0 or array.shape[1:] != tuple(shape):
+        raise ValidationError(
+            f"stream block must have shape (k, {', '.join(map(str, shape))})"
+            f", got {array.shape}"
+        )
+    if array.shape[0] == 0:
+        raise ValidationError("stream block must contain at least one element")
+    if not np.all(np.isfinite(array)):
+        raise ValidationError("stream block must contain only finite entries")
+    return array
+
+
 def _node_sigma(levels: int, l2_sensitivity: float, params: PrivacyParams) -> float:
     """Per-node Gaussian noise scale: ``levels · Δ₂ · sqrt(2 ln(2/δ)) / ε``."""
     return (
@@ -192,9 +237,13 @@ class TreeMechanism:
         self.sigma_node = _node_sigma(self.levels, self.l2_sensitivity, params)
         self._rng = check_rng(rng)
         self._flat_dim = int(np.prod(self.shape)) if self.shape else 1
-        # a[j]: clean partial sums, b[j]: their noisy releases (Algorithm 4).
-        self._a = np.zeros((self.levels, self._flat_dim))
-        self._b = np.zeros((self.levels, self._flat_dim))
+        # Running clean prefix sum and one frozen noise vector per active
+        # node (level j's node covers the dyadic range ending at the most
+        # recent step whose lowest set bit is j).  Together these encode
+        # Algorithm 4's a/b arrays: b[j] would be the level-j slice of the
+        # prefix plus eta[j].
+        self._prefix = np.zeros(self._flat_dim)
+        self._eta = np.zeros((self.levels, self._flat_dim))
         self._active = np.zeros(self.levels, dtype=bool)
         self.steps_taken = 0
         self._last_release: np.ndarray | None = None
@@ -223,23 +272,105 @@ class TreeMechanism:
         self.steps_taken += 1
         t = self.steps_taken
 
-        # Lowest set bit of t = the level whose partial sum closes now.
+        self._prefix = self._prefix + flat
+        # Lowest set bit of t = the level whose partial sum closes now; the
+        # nodes at the levels below it merge into it and are discarded.
         i = (t & -t).bit_length() - 1
-        # a_i <- sum of all lower-level partials + current element.
-        self._a[i] = flat + self._a[:i].sum(axis=0)
-        # Clear the lower levels (their ranges merged into level i).
-        self._a[:i] = 0.0
-        self._b[:i] = 0.0
         self._active[:i] = False
-        # Release level i's partial sum with fresh noise.
-        self._b[i] = self._a[i] + self._rng.normal(0.0, self.sigma_node, size=self._flat_dim)
+        # Fresh noise for the newly closed node (its one and only release).
+        self._eta[i] = self._rng.normal(0.0, self.sigma_node, size=self._flat_dim)
         self._active[i] = True
 
-        # s_t = sum of noisy partials at the set bits of t.
-        bits = [j for j in range(self.levels) if (t >> j) & 1]
-        release = self._b[bits].sum(axis=0)
+        # s_t = exact prefix + noise of the active nodes (= set bits of t),
+        # accumulated level-ascending so the batched path can match it
+        # addition for addition.
+        release = self._prefix.copy()
+        for j in range(self.levels):
+            if self._active[j]:
+                release += self._eta[j]
         self._last_release = release
         return release.reshape(self.shape)
+
+    def observe_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a block of consecutive stream elements; return all releases.
+
+        Equivalent to ``k`` successive :meth:`observe` calls — same rng
+        consumption, same noise per node, bit-identical releases — but the
+        dyadic bookkeeping is vectorized: one cumulative sum over the block,
+        one Gaussian draw for all ``k`` nodes, and one gather-accumulate per
+        tree level instead of per step.
+
+        Parameters
+        ----------
+        values:
+            Array of shape ``(k, *shape)`` holding ``k ≥ 1`` consecutive
+            stream elements.
+
+        Returns
+        -------
+        numpy.ndarray
+            The ``k`` noisy prefix sums, shape ``(k, *shape)``.
+
+        Raises
+        ------
+        StreamExhaustedError
+            If the block would push past ``horizon``; the state is left
+            untouched (no element of the block is consumed).
+        ValidationError
+            If the block is empty, misshapen, or contains non-finite
+            entries.
+        """
+        flat = self._coerce_batch(values)
+        k = flat.shape[0]
+        if self.steps_taken + k > self.horizon:
+            raise StreamExhaustedError(
+                f"TreeMechanism configured for horizon {self.horizon} "
+                f"received a block of {k} elements at step {self.steps_taken}"
+            )
+        t0 = self.steps_taken
+        t_arr = np.arange(t0 + 1, t0 + k + 1, dtype=np.int64)
+
+        # One draw for every node closed in the block.  Generator.normal
+        # fills C-order, so this consumes the bit stream exactly like k
+        # sequential draws of size flat_dim.
+        noise = self._rng.normal(0.0, self.sigma_node, size=(k, self._flat_dim))
+
+        # Clean prefix sums chained from the running prefix: cumsum
+        # accumulates strictly left-to-right, reproducing the sequential
+        # `prefix += v` additions bit for bit.
+        chained = np.cumsum(
+            np.concatenate([self._prefix[None, :], flat], axis=0), axis=0
+        )[1:]
+
+        # Releases: prefix plus the noise of each step's active nodes.  The
+        # node at level j active at time t closed at step (t >> j) << j —
+        # inside the block it is a row of `noise`, before the block it is
+        # the frozen self._eta[j].  Accumulating level-ascending matches the
+        # sequential loop's addition order exactly.
+        releases = chained.copy()
+        for j in range(self.levels):
+            bit_set = ((t_arr >> j) & 1).astype(bool)
+            if not bit_set.any():
+                continue
+            closed_at = (t_arr[bit_set] >> j) << j
+            rows = np.empty((int(bit_set.sum()), self._flat_dim))
+            in_block = closed_at > t0
+            rows[in_block] = noise[closed_at[in_block] - t0 - 1]
+            rows[~in_block] = self._eta[j]
+            releases[bit_set] += rows
+
+        # Commit state: prefix, per-level frozen noise, active mask.
+        t_end = t0 + k
+        self._prefix = chained[-1].copy()
+        for j in range(self.levels):
+            if (t_end >> j) & 1:
+                closed_at = (t_end >> j) << j
+                if closed_at > t0:
+                    self._eta[j] = noise[closed_at - t0 - 1]
+            self._active[j] = bool((t_end >> j) & 1)
+        self.steps_taken = t_end
+        self._last_release = releases[-1].copy()
+        return releases.reshape((k,) + self.shape)
 
     def current_sum(self) -> np.ndarray:
         """The most recent noisy prefix sum (re-read without re-randomizing).
@@ -278,8 +409,14 @@ class TreeMechanism:
         )
 
     def memory_floats(self) -> int:
-        """Number of floats held — ``2 · levels · d``, i.e. ``O(d log T)``."""
-        return 2 * self.levels * self._flat_dim
+        """Number of floats held — ``(levels + 1) · d``, i.e. ``O(d log T)``.
+
+        The prefix-plus-noise representation needs one ``d``-vector for the
+        running clean prefix and one per tree level for the active node's
+        frozen noise; this never exceeds the ``2 · levels · d`` of
+        Algorithm 4's a/b arrays.
+        """
+        return (self.levels + 1) * self._flat_dim
 
     def _coerce(self, value: np.ndarray | float) -> np.ndarray:
         array = np.asarray(value, dtype=float)
@@ -290,6 +427,10 @@ class TreeMechanism:
         if not np.all(np.isfinite(array)):
             raise ValidationError("stream element must contain only finite entries")
         return array.reshape(self._flat_dim)
+
+    def _coerce_batch(self, values: np.ndarray) -> np.ndarray:
+        array = coerce_stream_block(values, self.shape)
+        return array.reshape(array.shape[0], self._flat_dim)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

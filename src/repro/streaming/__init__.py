@@ -1,18 +1,21 @@
-"""Streaming substrate: stream model, adjacency, runner, metrics.
+"""Streaming substrate: stream model, adjacency, runner, fleet, metrics.
 
 The paper's incremental setting (§1) fixes a stream length ``T``; one
 covariate-response pair arrives per timestep; the algorithm outputs an
 estimator after *seeing* the point (unlike online learning, which commits
 first — see the paper's "Comparison to Online Learning").  The runner in
-this package drives any incremental estimator over a stream and measures
-the Definition-1 excess risk at every timestep against the exact
-constrained minimizer.
+this package drives any incremental estimator over a stream — point by
+point, or in blocks via the estimators' ``observe_batch`` fast path — and
+measures the Definition-1 excess risk against the exact constrained
+minimizer.  The fleet runner replicates such runs across seeds and worker
+processes for Monte-Carlo sweeps.
 """
 
 from .stream import RegressionStream
 from .adjacency import is_neighbor, replace_point
 from .metrics import ExcessRiskTrace
 from .runner import IncrementalRunner, RunResult
+from .fleet import FleetResult, FleetRunner, ReplicateResult, ReplicateSpec
 
 __all__ = [
     "RegressionStream",
@@ -21,4 +24,8 @@ __all__ = [
     "ExcessRiskTrace",
     "IncrementalRunner",
     "RunResult",
+    "FleetRunner",
+    "FleetResult",
+    "ReplicateSpec",
+    "ReplicateResult",
 ]

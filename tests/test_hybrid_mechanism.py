@@ -76,3 +76,58 @@ class TestDiscipline:
 
         for a, b in zip(run(5), run(5)):
             np.testing.assert_array_equal(a, b)
+
+
+class TestEpochRollover:
+    """Satellite coverage: behavior at and across epoch boundaries."""
+
+    def test_rollover_is_lazy(self):
+        """Filling epoch e does not roll until the next element arrives."""
+        mech = HybridMechanism((1,), 1.0, NORMAL, rng=0)
+        for _ in range(3):  # epochs 1 and 2 exactly filled (1 + 2 elements)
+            mech.observe(np.array([0.1]))
+        assert mech._completed_epochs == 1
+        assert mech._current_tree.steps_taken == mech._current_tree.horizon
+        mech.observe(np.array([0.1]))  # triggers the deferred rollover
+        assert mech._completed_epochs == 2
+        assert mech._current_tree.steps_taken == 1
+
+    def test_current_sum_stable_across_rollover(self):
+        """Re-reading current_sum at an epoch boundary must not change it."""
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=1)
+        for _ in range(3):
+            mech.observe(np.ones(2) * 0.2)
+        at_boundary = mech.current_sum()
+        np.testing.assert_array_equal(at_boundary, mech.current_sum())
+        mech.observe(np.ones(2) * 0.2)  # rollover happens here
+        after = mech.current_sum()
+        assert not np.array_equal(at_boundary, after)
+
+    def test_batch_spanning_multiple_epochs(self):
+        """One block can close several epochs: 1+2+4+8 < 20 < 1+...+16."""
+        mech = HybridMechanism((1,), 1.0, NORMAL, rng=2)
+        out = mech.observe_batch(np.full((20, 1), 0.1))
+        assert out.shape == (20, 1)
+        assert mech._completed_epochs == 4
+        assert mech.steps_taken == 20
+
+    def test_frozen_totals_accumulate_monotonically(self):
+        """With zero noise the frozen total equals the sum of completed
+        epochs' elements after each rollover."""
+        mech = HybridMechanism((1,), 1.0, HUGE_EPS, rng=0)
+        for t in range(1, 16):
+            mech.observe(np.array([1.0]))
+            # completed epochs hold 2^e - 1 elements once rolled; the frozen
+            # total only includes epochs whose rollover has fired.
+            completed = mech._completed_epochs
+            expected_frozen = (2**completed) - 1
+            np.testing.assert_allclose(
+                mech._frozen_total, [expected_frozen], atol=1e-3
+            )
+
+    def test_memory_bounded_through_many_epochs_batched(self):
+        mech = HybridMechanism((2,), 1.0, NORMAL, rng=3)
+        mech.observe_batch(np.zeros((500, 2)))
+        # Live tree of epoch 9 (horizon 256) has <= 9 levels: memory is
+        # (levels+1)*2 for the tree plus the frozen total's 2 floats.
+        assert mech.memory_floats() <= (9 + 1) * 2 + 2

@@ -59,3 +59,80 @@ class TestRunner:
         estimator = NonPrivateIncremental(ball)
         result = runner.run(estimator, stream)
         np.testing.assert_array_equal(result.final_theta, estimator.current_estimate())
+
+
+class TestRunnerEdgeCases:
+    """Satellite coverage: eval_every > T, keep_thetas, empty streams."""
+
+    def test_eval_every_larger_than_stream_evaluates_final_only(self):
+        stream = make_dense_stream(6, 2, rng=6)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=100)
+        result = runner.run(StaticOutput(ball), stream)
+        assert result.trace.timesteps == [6]
+
+    def test_eval_every_larger_than_stream_batched(self):
+        stream = make_dense_stream(6, 2, rng=6)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=100)
+        result = runner.run(StaticOutput(ball), stream, batch_size=4)
+        assert result.trace.timesteps == [6]
+
+    def test_keep_thetas_batched_aligns_with_trace(self):
+        stream = make_dense_stream(10, 2, rng=7)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=4, keep_thetas=True)
+        result = runner.run(NonPrivateIncremental(ball), stream, batch_size=2)
+        assert len(result.thetas) == len(result.trace.timesteps)
+        np.testing.assert_array_equal(result.thetas[-1], result.final_theta)
+
+    def test_empty_stream_rejected(self):
+        from repro.exceptions import ValidationError
+        from repro.streaming.stream import RegressionStream
+
+        empty = RegressionStream(np.empty((0, 2)), np.empty((0,)))
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball)
+        with pytest.raises(ValidationError):
+            runner.run(StaticOutput(ball), empty)
+        with pytest.raises(ValidationError):
+            runner.run(StaticOutput(ball), empty, batch_size=4)
+
+    def test_batch_size_validated(self):
+        stream = make_dense_stream(4, 2, rng=8)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball)
+        with pytest.raises(Exception):
+            runner.run(StaticOutput(ball), stream, batch_size=0)
+
+    def test_batched_falls_back_to_observe_loop(self):
+        """Estimators without observe_batch still run under batch_size > 1."""
+
+        class ObserveOnly:
+            def __init__(self):
+                self.calls = 0
+
+            def observe(self, x, y):
+                self.calls += 1
+                return np.zeros(2)
+
+        stream = make_dense_stream(7, 2, rng=9)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=3)
+        estimator = ObserveOnly()
+        result = runner.run(estimator, stream, batch_size=3)
+        assert estimator.calls == 7
+        assert result.trace.timesteps[-1] == 7
+
+    def test_batched_trace_matches_sequential_when_aligned(self):
+        """batch_size dividing eval_every lands evals on the same steps."""
+        stream = make_dense_stream(12, 2, rng=10)
+        ball = L2Ball(2)
+        runner = IncrementalRunner(ball, eval_every=4, solver_iterations=400)
+        sequential = runner.run(NonPrivateIncremental(ball, 400), stream)
+        batched = runner.run(NonPrivateIncremental(ball, 400), stream, batch_size=2)
+        assert sequential.trace.timesteps == batched.trace.timesteps
+        np.testing.assert_allclose(
+            sequential.trace.optimal_risk, batched.trace.optimal_risk,
+            rtol=1e-6, atol=1e-9,
+        )

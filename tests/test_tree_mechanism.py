@@ -135,9 +135,11 @@ class TestStreamDiscipline:
 
 class TestMemory:
     def test_logarithmic_memory(self):
-        """Memory must be 2·levels·d floats — O(d log T), not O(d·T)."""
+        """Memory must be (levels+1)·d floats — O(d log T), not O(d·T) —
+        and never above Algorithm 4's 2·levels·d."""
         mech = TreeMechanism(1024, (8,), 2.0, NORMAL, rng=0)
-        assert mech.memory_floats() == 2 * tree_levels(1024) * 8
+        assert mech.memory_floats() == (tree_levels(1024) + 1) * 8
+        assert mech.memory_floats() <= 2 * tree_levels(1024) * 8
 
     def test_memory_independent_of_steps(self):
         mech = TreeMechanism(64, (4,), 2.0, NORMAL, rng=0)
@@ -155,3 +157,46 @@ class TestDeterminism:
 
         for a, b in zip(run(11), run(11)):
             np.testing.assert_array_equal(a, b)
+
+
+class TestActiveMaskRegression:
+    """The release path reads the maintained active-level mask instead of
+    recomputing the set-bit list each step; these tests pin the releases to
+    an independent from-scratch model of Algorithm 4."""
+
+    def _reference_releases(self, data, horizon, sigma, seed):
+        """Direct model: exact prefix + per-node noise at the set bits of t,
+        with one Gaussian draw per closed node, replayed independently of
+        the TreeMechanism implementation."""
+        rng = np.random.default_rng(seed)
+        levels = horizon.bit_length()
+        dim = data.shape[1]
+        eta = np.zeros((levels, dim))
+        prefix = np.zeros(dim)
+        out = []
+        for t in range(1, len(data) + 1):
+            prefix = prefix + data[t - 1]
+            closed_level = (t & -t).bit_length() - 1
+            eta[closed_level] = rng.normal(0.0, sigma, size=dim)
+            release = prefix.copy()
+            for j in range(levels):
+                if (t >> j) & 1:
+                    release += eta[j]
+            out.append(release.copy())
+        return np.stack(out)
+
+    def test_releases_match_reference_model(self):
+        horizon = 13
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(horizon, 3)) * 0.2
+        mech = TreeMechanism(horizon, (3,), 2.0, NORMAL, rng=77)
+        released = np.stack([mech.observe(v) for v in data])
+        reference = self._reference_releases(data, horizon, mech.sigma_node, 77)
+        np.testing.assert_array_equal(released, reference)
+
+    def test_active_mask_tracks_set_bits(self):
+        mech = TreeMechanism(16, (2,), 2.0, NORMAL, rng=0)
+        for t in range(1, 17):
+            mech.observe(np.zeros(2))
+            expected = [(t >> j) & 1 == 1 for j in range(mech.levels)]
+            assert list(mech._active) == expected
