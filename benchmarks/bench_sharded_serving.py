@@ -1,0 +1,184 @@
+"""Experiment N.serve — throughput and read QPS of the sharded serving layer.
+
+Claim (ISSUE 2 acceptance criterion): on a ``T = 20k``, ``d = 32``
+synthetic stream, ``ShardedStream`` with ``K = 4`` shards ingests at least
+**2×** faster than the single-shard batched path
+(``PrivIncReg1.observe_batch`` with ``solve_every = batch``), while the
+shard-equivalence suite (``tests/test_sharded_equivalence.py``) pins the
+serving semantics.
+
+What the serving layer amortizes beyond PR 1's batched engine:
+
+* **no interior releases** — shards advance their trees with
+  ``advance_batch``/``advance_sum``; the ``k − 1`` per-step releases the
+  batched estimator materializes are never computed (only refresh points
+  read the released moments);
+* **BLAS moment totals** (``ingest="fast"``, the production tier) — one
+  ``Xᵀy``/``XᵀX`` product per routed block instead of ``k`` outer
+  products, and Gaussian draws only for the tree nodes still alive at the
+  block boundary (``O(log T)`` per block instead of ``O(k)``);
+* **cached reads** — ``current_estimate`` fan-out is an O(1) versioned
+  pointer read between refreshes, measured here as read QPS.
+
+The exact-ingest tier (bit-identical to the plain path) is recorded
+alongside for reference.  Results are written to
+``BENCH_sharded_serving.json``; ``BENCH_SERVE_T`` / ``BENCH_SERVE_DIM``
+shrink the stream for smoke runs (CI), which write the JSON only when
+``BENCH_SERVE_WRITE=1`` so local smoke runs never clobber the committed
+full-scale numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro import L2Ball, PrivIncReg1, PrivacyParams, ShardedStream
+from repro.data import make_dense_stream
+
+from common import bench_budget, record
+
+T = int(os.environ.get("BENCH_SERVE_T", "20000"))
+DIM = int(os.environ.get("BENCH_SERVE_DIM", "32"))
+BATCH = 64
+ITERATION_CAP = 40
+SHARD_COUNTS = [1, 2, 4, 8]
+READS = 200_000
+RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_sharded_serving.json"
+
+
+def _blocks():
+    return [(s, min(s + BATCH, T)) for s in range(0, T, BATCH)]
+
+
+def _baseline_seconds(stream) -> float:
+    estimator = PrivIncReg1(
+        horizon=T,
+        constraint=L2Ball(DIM),
+        params=bench_budget(),
+        iteration_cap=ITERATION_CAP,
+        solve_every=BATCH,
+        rng=1,
+    )
+    start = time.perf_counter()
+    for s, e in _blocks():
+        estimator.observe_batch(stream.xs[s:e], stream.ys[s:e])
+    return time.perf_counter() - start
+
+
+def _serving_seconds(stream, shards: int, ingest: str) -> tuple[float, ShardedStream]:
+    server = ShardedStream(
+        L2Ball(DIM),
+        bench_budget(),
+        shards=shards,
+        horizon=T,
+        ingest=ingest,
+        refresh_every=BATCH,
+        iteration_cap=ITERATION_CAP,
+        rng=1,
+    )
+    start = time.perf_counter()
+    for s, e in _blocks():
+        server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+    server.flush()
+    return time.perf_counter() - start, server
+
+
+def _read_qps(server: ShardedStream) -> float:
+    start = time.perf_counter()
+    for _ in range(READS):
+        server.current_estimate()
+    return READS / (time.perf_counter() - start)
+
+
+def test_sharded_serving_throughput(benchmark):
+    """K=4 fast-ingest serving must beat the single-shard batched path ≥2×."""
+    stream = make_dense_stream(T, DIM, noise_std=0.05, rng=0)
+
+    baseline_seconds = _baseline_seconds(stream)
+    record(
+        "N.serve ingest throughput",
+        engine="single-shard batched (PrivIncReg1)",
+        T=T,
+        d=DIM,
+        seconds=baseline_seconds,
+        points_per_second=T / baseline_seconds,
+        speedup=1.0,
+    )
+
+    rows = []
+    servers: dict[int, ShardedStream] = {}
+
+    def sweep():
+        for shards in SHARD_COUNTS:
+            for ingest in ("exact", "fast"):
+                seconds, server = _serving_seconds(stream, shards, ingest)
+                rows.append(
+                    {
+                        "shards": shards,
+                        "ingest": ingest,
+                        "seconds": seconds,
+                        "points_per_second": T / seconds,
+                        "speedup_vs_batched": baseline_seconds / seconds,
+                    }
+                )
+                if ingest == "fast":
+                    servers[shards] = server
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    qps_rows = []
+    for shards, server in servers.items():
+        qps = _read_qps(server)
+        qps_rows.append({"shards": shards, "cached_read_qps": qps})
+        record(
+            "N.serve cached-read QPS",
+            shards=shards,
+            T=T,
+            d=DIM,
+            reads=READS,
+            qps=qps,
+        )
+    for row in rows:
+        record(
+            "N.serve ingest throughput",
+            engine=f"sharded K={row['shards']} ({row['ingest']})",
+            T=T,
+            d=DIM,
+            seconds=row["seconds"],
+            points_per_second=row["points_per_second"],
+            speedup=row["speedup_vs_batched"],
+        )
+
+    payload = {
+        "experiment": "bench_sharded_serving",
+        "config": {
+            "T": T,
+            "d": DIM,
+            "batch": BATCH,
+            "refresh_every": BATCH,
+            "iteration_cap": ITERATION_CAP,
+            "epsilon": bench_budget().epsilon,
+            "delta": bench_budget().delta,
+            "baseline": "PrivIncReg1.observe_batch solve_every=batch",
+        },
+        "baseline_seconds": baseline_seconds,
+        "baseline_points_per_second": T / baseline_seconds,
+        "serving": rows,
+        "cached_reads": qps_rows,
+    }
+    full_scale = "BENCH_SERVE_T" not in os.environ and "BENCH_SERVE_DIM" not in os.environ
+    if full_scale or os.environ.get("BENCH_SERVE_WRITE") == "1":
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    k4_fast = next(
+        r for r in rows if r["shards"] == 4 and r["ingest"] == "fast"
+    )
+    assert k4_fast["speedup_vs_batched"] >= 2.0, (
+        f"K=4 serving speedup {k4_fast['speedup_vs_batched']:.2f}x below the "
+        f"2x acceptance bar (baseline {baseline_seconds:.2f}s, "
+        f"serving {k4_fast['seconds']:.2f}s)"
+    )
+    # Cached reads must be orders of magnitude faster than solving: even the
+    # smoke scale comfortably clears 100k reads/s on a pointer read.
+    assert all(row["cached_read_qps"] > 50_000 for row in qps_rows)

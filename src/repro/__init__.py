@@ -28,18 +28,24 @@ Package map
 
 from .exceptions import (
     DomainViolationError,
+    FleetExecutionError,
     LiftingError,
     NotSupportedError,
     PrivacyBudgetError,
     ReproError,
+    ServingError,
+    ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
 )
 from .privacy import (
     HybridMechanism,
+    MergedRelease,
     PrivacyAccountant,
     PrivacyParams,
     TreeMechanism,
+    merge_released,
+    shard_budgets,
 )
 from .geometry import (
     GroupL1Ball,
@@ -66,14 +72,18 @@ from .erm import (
 )
 from .sketching import GaussianProjection, gordon_dimension, lift
 from .streaming import (
+    EstimateCache,
     ExcessRiskTrace,
     FleetResult,
     FleetRunner,
     IncrementalRunner,
+    MomentShard,
     RegressionStream,
     ReplicateResult,
     ReplicateSpec,
     RunResult,
+    ServedEstimate,
+    ShardedStream,
 )
 from .core import (
     NaiveRecompute,
@@ -103,11 +113,17 @@ __all__ = [
     "DomainViolationError",
     "LiftingError",
     "NotSupportedError",
+    "ShardUnavailableError",
+    "ServingError",
+    "FleetExecutionError",
     # privacy
     "PrivacyParams",
     "PrivacyAccountant",
     "TreeMechanism",
     "HybridMechanism",
+    "MergedRelease",
+    "merge_released",
+    "shard_budgets",
     # geometry
     "L2Ball",
     "L1Ball",
@@ -142,6 +158,10 @@ __all__ = [
     "FleetResult",
     "ReplicateSpec",
     "ReplicateResult",
+    "ShardedStream",
+    "MomentShard",
+    "EstimateCache",
+    "ServedEstimate",
     # core
     "PrivateGradientFunction",
     "PrivIncERM",

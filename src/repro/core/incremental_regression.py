@@ -49,6 +49,7 @@ import numpy as np
 
 from .._validation import (
     check_int,
+    check_matrix,
     check_probability,
     check_rng,
     check_unit_xy_domain,
@@ -172,6 +173,7 @@ class PrivIncReg1:
         self.accountant.charge("tree:second-moments", half)
 
         self.steps_taken = 0
+        self.estimate_version = 0
         self._theta = constraint.project(np.zeros(self.dim))
 
     # ------------------------------------------------------------------
@@ -274,6 +276,27 @@ class PrivIncReg1:
             iterations=self._iterations(t, alpha),
         )
         self._theta = pgd.run(gradient_fn, start=self._theta)
+        self.estimate_version += 1
+
+    def refresh_from_released(
+        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> np.ndarray:
+        """Serve-mode hook: one PGD refresh against *external* released moments.
+
+        A serving front (e.g. :class:`~repro.streaming.serving.ShardedStream`)
+        ingests the stream through its own per-shard trees and hands the
+        merged released moments here; this runs the same Steps 2–3 pipeline
+        as :meth:`observe` — same warm start, Lipschitz sizing, and
+        iteration schedule at logical timestep ``t`` — and bumps
+        ``estimate_version``.  Pure post-processing of already-released
+        statistics: privacy is untouched regardless of how the moments were
+        assembled.  Returns the refreshed parameter.
+        """
+        t = check_int("t", t, minimum=1)
+        noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(self.dim, self.dim))
+        noisy_cross = check_vector("noisy_cross", noisy_cross, dim=self.dim)
+        self._solve_at(t, noisy_gram, noisy_cross)
+        return self._theta.copy()
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter (post-processing, free)."""

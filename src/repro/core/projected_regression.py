@@ -39,6 +39,7 @@ import numpy as np
 
 from .._validation import (
     check_int,
+    check_matrix,
     check_probability,
     check_rng,
     check_unit_xy_domain,
@@ -198,6 +199,7 @@ class PrivIncReg2:
         self.accountant.charge("tree:projected-second-moments", half)
 
         self.steps_taken = 0
+        self.estimate_version = 0
         self._vartheta = self.projected_constraint.project(np.zeros(m))
         self._theta = constraint.project(np.zeros(self.dim))
 
@@ -305,6 +307,25 @@ class PrivIncReg2:
         # Numerical safety: the paper argues gauge(θ) ≤ 1 exactly; we
         # project to absorb LP/solver round-off.
         self._theta = self.constraint.project(lifted)
+        self.estimate_version += 1
+
+    def refresh_from_released(
+        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> np.ndarray:
+        """Serve-mode hook: Steps 7–9 against external *projected* moments.
+
+        The moments must live in the projected space (``m × m`` / ``m``) —
+        a sharded front serving Algorithm 3 shares one ``Φ`` across shards
+        and merges the per-shard projected-moment trees before calling
+        this.  Post-processing only; bumps ``estimate_version`` and
+        returns the refreshed lifted parameter.
+        """
+        t = check_int("t", t, minimum=1)
+        m = self.projected_dim
+        noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(m, m))
+        noisy_cross = check_vector("noisy_cross", noisy_cross, dim=m)
+        self._solve_at(t, noisy_gram, noisy_cross)
+        return self._theta.copy()
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released (lifted) parameter."""

@@ -21,6 +21,7 @@ import numpy as np
 
 from .._validation import (
     check_int,
+    check_matrix,
     check_probability,
     check_rng,
     check_unit_xy_domain,
@@ -104,6 +105,7 @@ class UnboundedPrivIncReg:
             rng=gram_rng,
         )
         self.steps_taken = 0
+        self.estimate_version = 0
         self._theta = constraint.project(np.zeros(self.dim))
 
     def gradient_error(self) -> float:
@@ -198,6 +200,25 @@ class UnboundedPrivIncReg:
             iterations=noisy_pgd_iterations(lipschitz, alpha, cap=self.iteration_cap),
         )
         self._theta = pgd.run(gradient_fn, start=self._theta)
+        self.estimate_version += 1
+
+    def refresh_from_released(
+        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> np.ndarray:
+        """Serve-mode hook: one PGD refresh against external released moments.
+
+        The horizon-free counterpart of
+        :meth:`~repro.core.incremental_regression.PrivIncReg1.refresh_from_released`
+        — a :class:`~repro.streaming.serving.ShardedStream` with hybrid
+        shards and no declared horizon uses this solver.  Post-processing
+        only; bumps ``estimate_version`` and returns the refreshed
+        parameter.
+        """
+        t = check_int("t", t, minimum=1)
+        noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(self.dim, self.dim))
+        noisy_cross = check_vector("noisy_cross", noisy_cross, dim=self.dim)
+        self._solve_at(t, noisy_gram, noisy_cross)
+        return self._theta.copy()
 
     def current_estimate(self) -> np.ndarray:
         """The most recently released parameter."""

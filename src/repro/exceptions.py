@@ -62,3 +62,39 @@ class NotSupportedError(ReproError):
     Example: asking for the Minkowski gauge of a set that does not contain
     the origin, where the gauge is not a norm and may be infinite.
     """
+
+
+class ShardUnavailableError(ReproError):
+    """A merge required shard releases that are not available.
+
+    Raised by :func:`repro.privacy.tree.merge_released` in strict mode when
+    a per-shard mechanism is missing (dead worker, not yet restarted), and
+    by the serving layer when *every* shard is unavailable — in which case
+    there is no released mass to post-process at all.
+    """
+
+
+class ServingError(ReproError):
+    """The sharded serving front is in a state that cannot serve the request.
+
+    Covers asynchronous-ingestion failures surfaced on a later call (the
+    worker records the error and every subsequent API call re-raises it
+    wrapped in this type), operations on a closed server, and invalid shard
+    lifecycle transitions (e.g. restarting a shard that is still alive).
+    """
+
+
+class FleetExecutionError(ReproError):
+    """A fleet replicate failed; carries the failing spec for triage.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`~repro.streaming.fleet.ReplicateSpec` whose execution
+        raised, so multi-worker sweeps report *which* (estimator, stream,
+        seed) cell failed instead of a bare pool traceback.
+    """
+
+    def __init__(self, message: str, spec=None) -> None:
+        super().__init__(message)
+        self.spec = spec

@@ -15,7 +15,7 @@ differential-privacy literature:
   the known-horizon assumption.
 """
 
-from .parameters import PrivacyParams
+from .parameters import PrivacyParams, shard_budgets
 from .mechanisms import (
     GaussianMechanism,
     LaplaceMechanism,
@@ -30,7 +30,9 @@ from .composition import (
 )
 from .accountant import PrivacyAccountant
 from .tree import (
+    MergedRelease,
     TreeMechanism,
+    merge_released,
     tree_error_bound,
     tree_error_bound_spectral,
     tree_levels,
@@ -40,6 +42,9 @@ from .rdp import RdpAccountant, gaussian_rdp, rdp_to_dp
 
 __all__ = [
     "PrivacyParams",
+    "shard_budgets",
+    "MergedRelease",
+    "merge_released",
     "GaussianMechanism",
     "LaplaceMechanism",
     "gaussian_sigma",

@@ -70,6 +70,7 @@ class HybridMechanism:
         self.steps_taken = 0
         self._epoch_index = 0
         self._frozen_total = np.zeros(self.shape)
+        self._frozen_noise_variance = 0.0
         self._current_tree = self._new_tree()
         self._completed_epochs = 0
 
@@ -123,9 +124,36 @@ class HybridMechanism:
         self.steps_taken += k
         return np.concatenate(pieces, axis=0)
 
+    def advance_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a block; release **only** the final noisy prefix sum.
+
+        The serving layer's exact ingest path (see
+        :meth:`~repro.privacy.tree.TreeMechanism.advance_batch`): the block
+        is split along epoch boundaries and each piece advances the
+        corresponding epoch tree without materializing interior releases.
+        Rng consumption and the returned release are bit-identical to
+        :meth:`observe_batch`'s final row.
+        """
+        array = coerce_stream_block(values, self.shape)
+        k = array.shape[0]
+        release: np.ndarray | None = None
+        start = 0
+        while start < k:
+            if self._current_tree.steps_taken >= self._current_tree.horizon:
+                self._roll_epoch()
+            capacity = self._current_tree.horizon - self._current_tree.steps_taken
+            stop = min(start + capacity, k)
+            release = self._frozen_total + self._current_tree.advance_batch(
+                array[start:stop]
+            )
+            start = stop
+        self.steps_taken += k
+        return release
+
     def _roll_epoch(self) -> None:
         """Freeze the finished epoch's final noisy total and double."""
         self._frozen_total = self._frozen_total + self._current_tree.current_sum()
+        self._frozen_noise_variance += self._current_tree.release_noise_variance()
         self._completed_epochs += 1
         self._epoch_index += 1
         self._current_tree = self._new_tree()
@@ -133,6 +161,17 @@ class HybridMechanism:
     def current_sum(self) -> np.ndarray:
         """The most recent noisy prefix sum (post-processing, free)."""
         return self._frozen_total + self._current_tree.current_sum()
+
+    def release_noise_variance(self) -> float:
+        """Per-coordinate noise variance of the current release.
+
+        Sums the frozen epochs' final-release variances (each a full tree:
+        one active node at ``σ²_node`` of that epoch) and the live epoch
+        tree's ``popcount(t) · σ²_node`` term — all independent Gaussians,
+        so variances add.  The per-shard term of
+        :func:`~repro.privacy.tree.merge_released`'s variance accounting.
+        """
+        return self._frozen_noise_variance + self._current_tree.release_noise_variance()
 
     def error_bound(self, beta: float = 0.05) -> float:
         """High-probability error radius at the current timestep.

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .._validation import check_positive, check_probability
+from .._validation import check_int, check_positive, check_probability
+from ..exceptions import ValidationError
 
-__all__ = ["PrivacyParams"]
+__all__ = ["PrivacyParams", "shard_budgets"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +64,25 @@ class PrivacyParams:
         piece = PrivacyParams(self.epsilon / parts, self.delta / parts)
         return tuple(piece for _ in range(parts))
 
+    def split_weighted(self, weights: "tuple[float, ...] | list[float]") -> tuple["PrivacyParams", ...]:
+        """Split the budget into pieces proportional to positive ``weights``.
+
+        Piece ``i`` receives ``(ε·wᵢ/Σw, δ·wᵢ/Σw)``; by basic composition
+        (Theorem A.3) running one mechanism per piece recomposes to exactly
+        the original ``(ε, δ)``.  This is the ε-split rule the sharded
+        serving layer uses in its conservative ``composition="basic"`` mode,
+        where shard ``i``'s expected load is ``wᵢ/Σw`` of the stream.
+        """
+        weights = list(weights)
+        if not weights:
+            raise ValidationError("weights must contain at least one entry")
+        cleaned = [check_positive(f"weights[{i}]", w) for i, w in enumerate(weights)]
+        total = sum(cleaned)
+        return tuple(
+            PrivacyParams(self.epsilon * w / total, self.delta * w / total)
+            for w in cleaned
+        )
+
     def halve(self) -> "PrivacyParams":
         """Return the ``(ε/2, δ/2)`` budget (the paper's ε′, δ′)."""
         return PrivacyParams(self.epsilon / 2.0, self.delta / 2.0)
@@ -82,3 +102,36 @@ class PrivacyParams:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"(ε={self.epsilon:.4g}, δ={self.delta:.3g})"
+
+
+def shard_budgets(
+    total: PrivacyParams, shards: int, composition: str = "parallel"
+) -> tuple[PrivacyParams, ...]:
+    """Per-shard budgets for a ``K``-way sharded stream.
+
+    ``composition="parallel"`` (default): the serving layer routes each
+    stream element to exactly one shard, so the shards' sub-streams are
+    *disjoint*.  Changing one element of the logical stream changes one
+    shard's transcript only, and the whole sharded release satisfies the
+    same ``(ε, δ)`` each shard satisfies — parallel composition.  Every
+    shard therefore receives the **full** budget, with no utility tax for
+    sharding.
+
+    ``composition="basic"``: each shard receives ``(ε/K, δ/K)``, which
+    recomposes to ``(ε, δ)`` by basic composition (Theorem A.3) even if a
+    single element could influence *every* shard.  Use this conservative
+    mode when disjoint routing cannot be certified — e.g. key-based routing
+    where a re-keyed neighboring stream may move an element across shards
+    (changing two sub-streams at once).
+
+    Uneven expected loads can instead use
+    :meth:`PrivacyParams.split_weighted` directly.
+    """
+    shards = check_int("shards", shards, minimum=1)
+    if composition == "parallel":
+        return tuple(total for _ in range(shards))
+    if composition == "basic":
+        return total.split(shards)
+    raise ValidationError(
+        f"composition must be 'parallel' or 'basic', got {composition!r}"
+    )

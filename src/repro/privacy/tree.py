@@ -74,15 +74,19 @@ two paths produce bit-identical releases and may be freely interleaved.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from .._validation import check_int, check_positive, check_rng
-from ..exceptions import StreamExhaustedError, ValidationError
+from ..exceptions import ShardUnavailableError, StreamExhaustedError, ValidationError
 from .parameters import PrivacyParams
 
 __all__ = [
     "TreeMechanism",
+    "MergedRelease",
+    "merge_released",
     "tree_levels",
     "tree_error_bound",
     "tree_error_bound_spectral",
@@ -243,10 +247,20 @@ class TreeMechanism:
         # Algorithm 4's a/b arrays: b[j] would be the level-j slice of the
         # prefix plus eta[j].
         self._prefix = np.zeros(self._flat_dim)
-        self._eta = np.zeros((self.levels, self._flat_dim))
+        # Allocated lazily on first ingestion: an instance that never
+        # ingests (e.g. the serving front's solver, which reuses only the
+        # solve pipeline and error bounds) then holds O(d) instead of
+        # O(d log T).
+        self._eta: np.ndarray | None = None
         self._active = np.zeros(self.levels, dtype=bool)
         self.steps_taken = 0
         self._last_release: np.ndarray | None = None
+
+    def _ensure_eta(self) -> np.ndarray:
+        """The per-level frozen-noise store, allocated on first use."""
+        if self._eta is None:
+            self._eta = np.zeros((self.levels, self._flat_dim))
+        return self._eta
 
     # ------------------------------------------------------------------
     # Core streaming API
@@ -269,6 +283,7 @@ class TreeMechanism:
                 f"received element {self.steps_taken + 1}"
             )
         flat = self._coerce(value)
+        eta = self._ensure_eta()
         self.steps_taken += 1
         t = self.steps_taken
 
@@ -278,7 +293,7 @@ class TreeMechanism:
         i = (t & -t).bit_length() - 1
         self._active[:i] = False
         # Fresh noise for the newly closed node (its one and only release).
-        self._eta[i] = self._rng.normal(0.0, self.sigma_node, size=self._flat_dim)
+        eta[i] = self._rng.normal(0.0, self.sigma_node, size=self._flat_dim)
         self._active[i] = True
 
         # s_t = exact prefix + noise of the active nodes (= set bits of t),
@@ -327,6 +342,7 @@ class TreeMechanism:
                 f"TreeMechanism configured for horizon {self.horizon} "
                 f"received a block of {k} elements at step {self.steps_taken}"
             )
+        self._ensure_eta()
         t0 = self.steps_taken
         t_arr = np.arange(t0 + 1, t0 + k + 1, dtype=np.int64)
 
@@ -359,18 +375,125 @@ class TreeMechanism:
             rows[~in_block] = self._eta[j]
             releases[bit_set] += rows
 
-        # Commit state: prefix, per-level frozen noise, active mask.
+        self._commit_block_state(t0, k, noise, chained[-1].copy())
+        self._last_release = releases[-1].copy()
+        return releases.reshape((k,) + self.shape)
+
+    # ------------------------------------------------------------------
+    # Serving fast paths (block ingestion without per-step releases)
+    # ------------------------------------------------------------------
+
+    def advance_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a block; release **only** the final noisy prefix sum.
+
+        The serving layer's exact ingest path: identical rng consumption,
+        state evolution, and floating-point addition order as
+        :meth:`observe_batch` (one ``(k, d)`` Gaussian draw, one sequential
+        cumulative sum), but the ``k − 1`` interior releases are never
+        materialized — no per-level gather over the block, so the cost
+        drops from ``O(k·levels·d)`` to ``O(k·d)`` beyond the draw.  The
+        returned release is bit-identical to ``observe_batch(values)[-1]``,
+        and the two methods (and :meth:`observe`) may be interleaved
+        freely on one instance.
+
+        Privacy is unchanged: the mechanism *may* release every prefix; a
+        front that reads only block-boundary sums is post-processing that
+        discards outputs.
+        """
+        flat = self._coerce_batch(values)
+        k = flat.shape[0]
+        if self.steps_taken + k > self.horizon:
+            raise StreamExhaustedError(
+                f"TreeMechanism configured for horizon {self.horizon} "
+                f"received a block of {k} elements at step {self.steps_taken}"
+            )
+        self._ensure_eta()
+        t0 = self.steps_taken
+        noise = self._rng.normal(0.0, self.sigma_node, size=(k, self._flat_dim))
+        # Sequential left-to-right accumulation (cumsum), as in observe_batch,
+        # keeps the committed prefix bit-identical to per-point ingestion.
+        chained = np.cumsum(
+            np.concatenate([self._prefix[None, :], flat], axis=0), axis=0
+        )[1:]
+        self._commit_block_state(t0, k, noise, chained[-1].copy())
+        return self._release_current()
+
+    def advance_sum(self, total: np.ndarray | float, count: int) -> np.ndarray:
+        """Advance ``count`` steps given only the block's element **sum**.
+
+        The serving layer's sampled-noise ingest path.  Only the clean
+        prefix (which needs just the block total — computable with one BLAS
+        product upstream) and the noise of the nodes still active at the
+        block end are maintained; interior nodes that close *and* are
+        discarded within the block never have their noise drawn.  Per
+        block, at most ``levels`` Gaussian vectors are drawn instead of
+        ``count``.
+
+        Privacy and the released distribution are unchanged — every node
+        value that is ever released is its exact dyadic-range sum plus a
+        fresh ``N(0, σ²_node I)`` draw; nodes whose noise is skipped are
+        exactly the nodes never included in any released query.  The rng
+        *stream* differs from :meth:`observe`/:meth:`observe_batch`
+        (fewer draws, in level-ascending order), so releases match those
+        paths in distribution, not bit-for-bit; :func:`tests
+        <merge_released>` and the variance accounting below are unaffected
+        because the active-node count at any timestep is identical.
+
+        The caller owns the contract that ``total`` equals the sum of the
+        ``count`` ingested elements (the serving shard computes it as
+        ``Xᵀy`` / ``XᵀX`` over its routed block).
+        """
+        total_flat = self._coerce(total)
+        count = check_int("count", count, minimum=1)
+        if self.steps_taken + count > self.horizon:
+            raise StreamExhaustedError(
+                f"TreeMechanism configured for horizon {self.horizon} "
+                f"received a block of {count} elements at step {self.steps_taken}"
+            )
+        self._ensure_eta()
+        t0 = self.steps_taken
+        t_end = t0 + count
+        prefix = self._prefix + total_flat
+        # Draw noise only for the nodes alive at the block end that closed
+        # inside the block, level-ascending (a fixed, documented order).
+        self._prefix = prefix
+        for j in range(self.levels):
+            if (t_end >> j) & 1:
+                closed_at = (t_end >> j) << j
+                if closed_at > t0:
+                    self._eta[j] = self._rng.normal(
+                        0.0, self.sigma_node, size=self._flat_dim
+                    )
+                self._active[j] = True
+            else:
+                self._active[j] = False
+        self.steps_taken = t_end
+        return self._release_current()
+
+    def _commit_block_state(
+        self, t0: int, k: int, noise: np.ndarray, prefix: np.ndarray
+    ) -> None:
+        """Commit post-block state: prefix, per-level frozen noise, mask."""
         t_end = t0 + k
-        self._prefix = chained[-1].copy()
+        self._prefix = prefix
         for j in range(self.levels):
             if (t_end >> j) & 1:
                 closed_at = (t_end >> j) << j
                 if closed_at > t0:
                     self._eta[j] = noise[closed_at - t0 - 1]
-            self._active[j] = bool((t_end >> j) & 1)
+                self._active[j] = True
+            else:
+                self._active[j] = False
         self.steps_taken = t_end
-        self._last_release = releases[-1].copy()
-        return releases.reshape((k,) + self.shape)
+
+    def _release_current(self) -> np.ndarray:
+        """Release at the current step: prefix + active noise, level-ascending."""
+        release = self._prefix.copy()
+        for j in range(self.levels):
+            if self._active[j]:
+                release += self._eta[j]
+        self._last_release = release
+        return release.reshape(self.shape)
 
     def current_sum(self) -> np.ndarray:
         """The most recent noisy prefix sum (re-read without re-randomizing).
@@ -381,6 +504,17 @@ class TreeMechanism:
         if self._last_release is None:
             return np.zeros(self.shape)
         return self._last_release.reshape(self.shape)
+
+    def release_noise_variance(self) -> float:
+        """Per-coordinate noise variance of the current release.
+
+        The release at step ``t`` sums the exact prefix and one frozen
+        ``N(0, σ²_node I)`` vector per **active** node — one per set bit of
+        ``t`` — so its noise is Gaussian with per-coordinate variance
+        ``popcount(t) · σ²_node``.  This is the per-shard term of the merge
+        rule's variance accounting (see :func:`merge_released`).
+        """
+        return int(self.steps_taken).bit_count() * self.sigma_node**2
 
     # ------------------------------------------------------------------
     # Introspection
@@ -416,6 +550,8 @@ class TreeMechanism:
         frozen noise; this never exceeds the ``2 · levels · d`` of
         Algorithm 4's a/b arrays.
         """
+        # Reported as the configured bound; the noise store itself is
+        # allocated lazily on first ingestion.
         return (self.levels + 1) * self._flat_dim
 
     def _coerce(self, value: np.ndarray | float) -> np.ndarray:
@@ -438,3 +574,109 @@ class TreeMechanism:
             f"sensitivity={self.l2_sensitivity}, params={self.params}, "
             f"levels={self.levels}, sigma_node={self.sigma_node:.4g})"
         )
+
+
+# ---------------------------------------------------------------------------
+# The noise-preserving shard merge rule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergedRelease:
+    """A logical-stream statistic assembled from per-shard released sums.
+
+    Attributes
+    ----------
+    value:
+        The merged released prefix sum, in element shape.
+    noise_variance:
+        Per-coordinate variance of the merged noise — the sum of the
+        contributing shards' :meth:`TreeMechanism.release_noise_variance`
+        terms (the per-shard noises are sums of *independent* per-node
+        Gaussians, so variances add across shards).
+    coverage:
+        Steps ingested per shard, indexed like the input sequence;
+        unavailable shards contribute 0.
+    missing:
+        Indices of the unavailable shards (partial-coverage semantics: the
+        merged value is the statistic of the **covered** sub-streams only,
+        and the lost mass is reported here rather than silently dropped).
+    """
+
+    value: np.ndarray
+    noise_variance: float
+    coverage: tuple[int, ...]
+    missing: tuple[int, ...]
+
+    @property
+    def covered_steps(self) -> int:
+        """Total stream elements the merged statistic actually covers."""
+        return int(sum(self.coverage))
+
+
+def merge_released(
+    mechanisms: Sequence["TreeMechanism | None"] | Iterable,
+    strict: bool = True,
+) -> MergedRelease:
+    """Combine per-shard released prefix sums into the logical statistic.
+
+    Each shard mechanism's current release is its exact sub-stream prefix
+    sum plus a sum of independent per-node Gaussians, so over **disjoint**
+    sub-streams the shard releases are additive: summing them (shard-index
+    ascending, a fixed order so replays are bit-identical) yields the exact
+    logical-stream sum plus the sum of every shard's active node noises.
+    Merging is post-processing of already-released values — it consumes no
+    privacy budget, and the privacy analysis of each shard's tree is
+    untouched by how many shards participate.
+
+    Variance accounting: the merged noise is a sum of
+    ``Σ_k popcount(t_k)`` independent ``N(0, σ²_node,k I)`` vectors, hence
+    Gaussian with per-coordinate variance
+    ``Σ_k popcount(t_k) · σ²_node,k`` — exposed as
+    :attr:`MergedRelease.noise_variance` (each shard reports its own term
+    via ``release_noise_variance``, so trees and hybrids mix freely).
+
+    Parameters
+    ----------
+    mechanisms:
+        Per-shard mechanisms (``TreeMechanism`` or
+        :class:`~repro.privacy.hybrid.HybridMechanism`), with ``None``
+        marking an unavailable (dead) shard.
+    strict:
+        When True (default), any unavailable shard raises
+        :class:`~repro.exceptions.ShardUnavailableError`.  When False, the
+        merge degrades to partial-coverage semantics: the value covers the
+        live shards only and ``missing``/``coverage`` report the loss.
+    """
+    mechs = list(mechanisms)
+    if not mechs:
+        raise ValidationError("merge_released needs at least one shard mechanism")
+    missing = tuple(i for i, m in enumerate(mechs) if m is None)
+    if missing and strict:
+        raise ShardUnavailableError(
+            f"shards {list(missing)} are unavailable (strict merge); pass "
+            "strict=False for partial-coverage semantics"
+        )
+    live = [(i, m) for i, m in enumerate(mechs) if m is not None]
+    if not live:
+        raise ShardUnavailableError("every shard is unavailable; nothing to merge")
+    shape = live[0][1].shape
+    for _, mech in live:
+        if tuple(mech.shape) != tuple(shape):
+            raise ValidationError(
+                f"shard element shapes differ: {mech.shape} vs {shape}"
+            )
+    value: np.ndarray | None = None
+    noise_variance = 0.0
+    coverage = [0] * len(mechs)
+    for i, mech in live:
+        release = np.asarray(mech.current_sum(), dtype=float)
+        value = release.copy() if value is None else value + release
+        noise_variance += mech.release_noise_variance()
+        coverage[i] = int(mech.steps_taken)
+    return MergedRelease(
+        value=value,
+        noise_variance=float(noise_variance),
+        coverage=tuple(coverage),
+        missing=missing,
+    )

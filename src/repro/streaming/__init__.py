@@ -8,7 +8,9 @@ this package drives any incremental estimator over a stream — point by
 point, or in blocks via the estimators' ``observe_batch`` fast path — and
 measures the Definition-1 excess risk against the exact constrained
 minimizer.  The fleet runner replicates such runs across seeds and worker
-processes for Monte-Carlo sweeps.
+processes for Monte-Carlo sweeps.  The serving module adds the production
+front: a sharded stream with per-shard moment trees, a noise-preserving
+merge rule, asynchronous ingestion, and a versioned estimate cache.
 """
 
 from .stream import RegressionStream
@@ -16,6 +18,7 @@ from .adjacency import is_neighbor, replace_point
 from .metrics import ExcessRiskTrace
 from .runner import IncrementalRunner, RunResult
 from .fleet import FleetResult, FleetRunner, ReplicateResult, ReplicateSpec
+from .serving import EstimateCache, MomentShard, ServedEstimate, ShardedStream
 
 __all__ = [
     "RegressionStream",
@@ -28,4 +31,8 @@ __all__ = [
     "FleetResult",
     "ReplicateSpec",
     "ReplicateResult",
+    "ShardedStream",
+    "MomentShard",
+    "EstimateCache",
+    "ServedEstimate",
 ]

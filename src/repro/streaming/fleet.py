@@ -34,7 +34,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from .._validation import check_int
-from ..exceptions import ValidationError
+from ..exceptions import FleetExecutionError, ValidationError
 from ..geometry.base import ConvexSet
 from .runner import IncrementalRunner, RunResult
 from .stream import RegressionStream
@@ -189,7 +189,16 @@ class FleetRunner:
         self.workers = workers
 
     def run(self, specs: Sequence[ReplicateSpec]) -> FleetResult:
-        """Execute every spec; return the results in submission order."""
+        """Execute every spec; return the results in submission order.
+
+        Raises
+        ------
+        FleetExecutionError
+            If any replicate fails, regardless of backend.  The error
+            names the failing cell and carries its spec as ``.spec``, and
+            chains the worker's original exception — instead of the bare
+            pool traceback a raw ``future.result()`` would surface.
+        """
         specs = list(specs)
         if not specs:
             raise ValidationError("fleet must contain at least one replicate spec")
@@ -197,7 +206,9 @@ class FleetRunner:
         if workers is None:
             workers = min(os.cpu_count() or 1, len(specs))
         if workers <= 1:
-            replicates = [self._execute(spec) for spec in specs]
+            replicates = [
+                self._guarded(spec, lambda s=spec: self._execute(s)) for spec in specs
+            ]
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
@@ -212,8 +223,25 @@ class FleetRunner:
                     )
                     for spec in specs
                 ]
-                replicates = [future.result() for future in futures]
+                replicates = [
+                    self._guarded(spec, future.result)
+                    for spec, future in zip(specs, futures)
+                ]
         return FleetResult(replicates=replicates)
+
+    @staticmethod
+    def _guarded(spec: ReplicateSpec, produce: Callable[[], ReplicateResult]) -> ReplicateResult:
+        """Run one replicate producer, attaching the spec to any failure."""
+        try:
+            return produce()
+        except FleetExecutionError:
+            raise
+        except Exception as exc:
+            raise FleetExecutionError(
+                f"replicate {spec.name!r} (seed {spec.seed}) failed: "
+                f"{type(exc).__name__}: {exc}",
+                spec=spec,
+            ) from exc
 
     def _execute(self, spec: ReplicateSpec) -> ReplicateResult:
         return _execute_replicate(

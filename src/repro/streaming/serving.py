@@ -1,0 +1,825 @@
+"""The sharded serving layer: per-shard trees, merged releases, cached reads.
+
+The Tree Mechanism's releases are *additive across disjoint sub-streams*:
+each shard's released prefix sum is its exact sub-stream sum plus a sum of
+independent per-node Gaussians, so summing per-shard releases yields the
+logical-stream statistic with a noise variance that simply adds across
+shards (:func:`repro.privacy.tree.merge_released`).  That is exactly the
+property a sharded server needs to split one logical stream of length ``T``
+across ``K`` workers without changing the privacy analysis — the routing is
+a partition, so by parallel composition each shard runs at the full
+``(ε, δ)`` and the sharded release sequence satisfies the same guarantee as
+the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
+
+:class:`ShardedStream` is that serving front:
+
+* **Routing** — incoming blocks go round-robin (or via a caller-supplied
+  key router) to ``K`` :class:`MomentShard` workers, each owning an
+  independent pair of moment mechanisms (``Σ x y`` and ``Σ x xᵀ`` trees,
+  or Hybrid mechanisms for horizon-free serving) over its sub-stream.
+* **Merge + solve** — at refresh points the per-shard released moments are
+  merged and handed to a solver (Algorithm 2's PGD pipeline via the
+  estimators' ``refresh_from_released`` serve-mode hook); everything after
+  the tree releases is post-processing, so the refresh cadence is a pure
+  utility/latency knob.
+* **Async ingestion** — ``mode="async"`` makes ``observe``/``observe_batch``
+  enqueue-and-return; a worker thread drains the FIFO queue and runs the
+  PGD refreshes off the hot path.  Processing order equals enqueue order,
+  so the final state is identical to the synchronous path (the
+  linearizability contract ``tests/test_sharded_equivalence.py`` pins
+  down).  ``mode="manual"`` exposes the queue pump for deterministic
+  interleaving tests.
+* **Cached reads** — every completed solve publishes a read-only,
+  versioned :class:`ServedEstimate` into an :class:`EstimateCache`;
+  ``current_estimate`` fan-out reads are O(1) pointer reads between
+  refreshes and can never observe an estimate older than the last
+  completed solve.
+
+Ingest tiers (mirroring the batched-API contract):
+
+* ``ingest="exact"`` (default) — shards ingest via the mechanisms'
+  ``advance_batch``: same rng consumption and addition order as per-point
+  ingestion, so merged releases (and hence served estimates) are
+  **bit-identical** to a replay of the per-shard trees, and a ``K=1``
+  server matches the plain batched path bit for bit.
+* ``ingest="fast"`` — shards compute block moment totals with one BLAS
+  product (``Xᵀy`` / ``XᵀX``) and the trees draw noise only for the nodes
+  alive at block boundaries (``TreeMechanism.advance_sum``).  Releases are
+  **distributionally identical** (same active-node count, same per-node
+  σ), not bit-identical; this is the high-throughput production path.
+
+Fault semantics: :meth:`ShardedStream.kill_shard` drops a shard's
+mechanisms; subsequent merges degrade to the documented *partial-coverage*
+semantics — the merged statistic covers the surviving sub-streams only,
+``ServedEstimate.covered_steps`` and :attr:`ShardedStream.lost_steps`
+report the loss (never silently dropped), and
+:meth:`ShardedStream.restart_shard` brings the worker back with fresh
+mechanisms over a fresh (still disjoint) sub-stream, which keeps the
+parallel-composition argument intact.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_int,
+    check_rng,
+    check_unit_xy_domain,
+    check_vector,
+    check_xy_block,
+)
+from ..core.incremental_regression import MOMENT_SENSITIVITY, PrivIncReg1
+from ..core.unbounded import UnboundedPrivIncReg
+from ..exceptions import (
+    ServingError,
+    ShardUnavailableError,
+    StreamExhaustedError,
+    ValidationError,
+)
+from ..geometry.base import ConvexSet
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.hybrid import HybridMechanism
+from ..privacy.parameters import PrivacyParams, shard_budgets
+from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
+
+__all__ = ["ShardedStream", "MomentShard", "EstimateCache", "ServedEstimate"]
+
+_CLOSE = object()  # queue sentinel
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One published estimate: the versioned unit of the serving cache.
+
+    Attributes
+    ----------
+    version:
+        The solver's ``estimate_version`` at publication — equals the
+        number of completed solves, so readers can detect refreshes.
+    theta:
+        The released parameter, as a **read-only** array (reads share the
+        buffer; copy before mutating).
+    timestep:
+        Logical stream position (total points processed) when the solve
+        completed.
+    covered_steps:
+        Stream mass the merged moments actually covered; less than
+        ``timestep`` exactly when shards died (partial coverage).
+    """
+
+    version: int
+    theta: np.ndarray
+    timestep: int
+    covered_steps: int
+
+
+class EstimateCache:
+    """A versioned, thread-safe, single-slot cache for estimate fan-out.
+
+    ``get`` is an O(1) pointer read under a lock — no copies, no solver
+    work — which is what makes ``current_estimate`` fan-out reads cheap
+    between refreshes.  ``put`` swaps in a frozen copy and must carry a
+    non-decreasing version (the publisher's solve counter), so a reader
+    can never observe an estimate older than the last completed solve.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entry: ServedEstimate | None = None
+        self.reads = 0
+        self.writes = 0
+
+    def put(
+        self, theta: np.ndarray, version: int, timestep: int, covered_steps: int
+    ) -> ServedEstimate:
+        """Publish a new estimate; returns the cached entry."""
+        frozen = np.array(theta, dtype=float)
+        frozen.setflags(write=False)
+        entry = ServedEstimate(
+            version=int(version),
+            theta=frozen,
+            timestep=int(timestep),
+            covered_steps=int(covered_steps),
+        )
+        with self._lock:
+            if self._entry is not None and entry.version < self._entry.version:
+                raise ServingError(
+                    f"cache version must not decrease: {entry.version} < "
+                    f"{self._entry.version}"
+                )
+            self._entry = entry
+            self.writes += 1
+        return entry
+
+    def get(self) -> ServedEstimate:
+        """The current entry (O(1); raises if nothing was ever published)."""
+        with self._lock:
+            self.reads += 1
+            if self._entry is None:
+                raise ServingError("estimate cache is empty (nothing published)")
+            return self._entry
+
+    @property
+    def version(self) -> int:
+        """Version of the current entry (−1 when empty)."""
+        with self._lock:
+            return -1 if self._entry is None else self._entry.version
+
+
+class MomentShard:
+    """One shard worker: independent moment mechanisms over a sub-stream.
+
+    Owns a ``Σ x y`` mechanism (element shape ``(d,)``) and a ``Σ x xᵀ``
+    mechanism (``(d, d)``), each at half the shard's budget — exactly the
+    split Algorithm 2 applies to its two trees.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        dim: int,
+        budget: PrivacyParams,
+        cross_rng: np.random.Generator,
+        gram_rng: np.random.Generator,
+        mechanism: str = "tree",
+        shard_horizon: int | None = None,
+    ) -> None:
+        self.index = index
+        self.dim = dim
+        self.budget = budget
+        self.mechanism = mechanism
+        self.shard_horizon = shard_horizon
+        self.steps = 0
+        self.alive = True
+        half = budget.halve()
+        if mechanism == "tree":
+            self.cross = TreeMechanism(
+                horizon=shard_horizon,
+                shape=(dim,),
+                l2_sensitivity=MOMENT_SENSITIVITY,
+                params=half,
+                rng=cross_rng,
+            )
+            self.gram = TreeMechanism(
+                horizon=shard_horizon,
+                shape=(dim, dim),
+                l2_sensitivity=MOMENT_SENSITIVITY,
+                params=half,
+                rng=gram_rng,
+            )
+        else:
+            self.cross = HybridMechanism(
+                shape=(dim,),
+                l2_sensitivity=MOMENT_SENSITIVITY,
+                params=half,
+                rng=cross_rng,
+            )
+            self.gram = HybridMechanism(
+                shape=(dim, dim),
+                l2_sensitivity=MOMENT_SENSITIVITY,
+                params=half,
+                rng=gram_rng,
+            )
+
+    def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
+        """Feed a routed block to both moment mechanisms.
+
+        Both moment inputs are materialized *before* either tree advances:
+        with the block pre-validated (finite, unit-normalized) and the two
+        trees in step-lockstep, every failure the library can raise
+        (validation, capacity) then happens before any tree mutates — the
+        no-consumption guarantee ``_process_block``'s capacity refund
+        relies on.
+        """
+        k = xs.shape[0]
+        if fast:
+            # One BLAS product per moment; trees draw only surviving-node
+            # noise (distributional tier).
+            cross_total = ys @ xs
+            gram_total = xs.T @ xs
+            self.cross.advance_sum(cross_total, k)
+            self.gram.advance_sum(gram_total, k)
+        else:
+            cross_values = xs * ys[:, None]
+            gram_values = xs[:, :, None] * xs[:, None, :]
+            self.cross.advance_batch(cross_values)
+            self.gram.advance_batch(gram_values)
+        self.steps += k
+
+    def kill(self) -> None:
+        """Drop the mechanisms; the shard's ingested mass is lost."""
+        self.alive = False
+        self.cross = None
+        self.gram = None
+
+
+class ShardedStream:
+    """A sharded, optionally asynchronous serving front for Algorithm 2.
+
+    Parameters
+    ----------
+    constraint:
+        The constraint set ``C``; fixes the dimension.
+    params:
+        The logical stream's total ``(ε, δ)`` budget.
+    shards:
+        Number of shard workers ``K``.
+    horizon:
+        Logical stream length ``T``.  Required for ``mechanism="tree"``
+        (noise calibration) and for the default known-horizon solver; may
+        be ``None`` with ``mechanism="hybrid"``.
+    refresh_every:
+        Run the merge + PGD refresh whenever the processed count crosses a
+        multiple of this (and at the horizon); ``None`` (default)
+        refreshes after every processed block.  Post-processing only.
+    ingest:
+        ``"exact"`` (bit-identical tier) or ``"fast"`` (distributional
+        tier, tree shards only) — see the module docstring.
+    mechanism:
+        ``"tree"`` (known horizon) or ``"hybrid"`` (horizon-free shards).
+    composition:
+        Budget mode for :func:`~repro.privacy.parameters.shard_budgets`:
+        ``"parallel"`` (default — disjoint routing, full budget per shard)
+        or ``"basic"`` (``(ε/K, δ/K)`` per shard).
+    router:
+        ``"round_robin"`` (default) or a callable
+        ``(block_index, xs, ys) -> int`` returning a shard index (taken
+        mod ``K``; dead shards fall through to the next live one).
+    mode:
+        ``"sync"`` — process on the caller's thread; ``"async"`` — enqueue
+        and return, a daemon worker processes FIFO; ``"manual"`` — enqueue
+        and let the caller :meth:`pump` (deterministic interleavings for
+        tests).
+    shard_horizon:
+        Tree capacity per shard; defaults to the full ``horizon`` so any
+        routing imbalance fits (slightly conservative noise).  Set to
+        ``ceil(T/K)`` when the router guarantees balance.
+    solver:
+        Any object with ``refresh_from_released(t, gram, cross)``,
+        ``current_estimate()`` and ``estimate_version`` — defaults to a
+        :class:`~repro.core.incremental_regression.PrivIncReg1` (or the
+        unbounded variant when ``horizon`` is ``None``) whose own trees
+        never ingest; it contributes only the Steps 2–3 post-processing.
+    beta, fidelity, iteration_cap:
+        Forwarded to the default solver.
+    rng:
+        Seed or Generator.  Shard ``i``'s (cross, gram) mechanisms use
+        children ``2i``/``2i+1`` of ``rng.spawn(2K)`` — for ``K=1`` this
+        is exactly the plain estimators' two-child spawn, which is what
+        makes the ``K=1`` server bit-identical to the plain batched path.
+    """
+
+    def __init__(
+        self,
+        constraint: ConvexSet,
+        params: PrivacyParams,
+        shards: int = 2,
+        *,
+        horizon: int | None = None,
+        refresh_every: int | None = None,
+        ingest: str = "exact",
+        mechanism: str = "tree",
+        composition: str = "parallel",
+        router: "str | callable" = "round_robin",
+        mode: str = "sync",
+        shard_horizon: int | None = None,
+        solver=None,
+        beta: float = 0.05,
+        fidelity: str = "fast",
+        iteration_cap: int = 400,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if ingest not in ("exact", "fast"):
+            raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
+        if mechanism not in ("tree", "hybrid"):
+            raise ValidationError(
+                f"mechanism must be 'tree' or 'hybrid', got {mechanism!r}"
+            )
+        if mode not in ("sync", "async", "manual"):
+            raise ValidationError(
+                f"mode must be 'sync', 'async', or 'manual', got {mode!r}"
+            )
+        if ingest == "fast" and mechanism != "tree":
+            raise ValidationError(
+                "ingest='fast' needs tree shards (advance_sum is a "
+                "TreeMechanism serving path)"
+            )
+        if mechanism == "tree" and horizon is None:
+            raise ValidationError(
+                "mechanism='tree' needs a horizon (use mechanism='hybrid' "
+                "for horizon-free serving)"
+            )
+        if router != "round_robin" and not callable(router):
+            raise ValidationError(
+                f"router must be 'round_robin' or a callable, got {router!r}"
+            )
+        if callable(router) and composition == "parallel":
+            # A data-dependent router breaks the disjointness argument the
+            # full-budget parallel mode relies on: a neighboring stream can
+            # re-route a block, changing TWO shards' transcripts.  The
+            # library cannot verify a callable is data-independent, so it
+            # refuses the unsound combination rather than under-reporting
+            # the privacy loss.
+            raise ValidationError(
+                "a callable router cannot be certified disjoint under "
+                "neighboring streams; use composition='basic' (per-shard "
+                "(ε/K, δ/K)) with custom routing"
+            )
+        self.constraint = constraint
+        self.params = params
+        self.dim = constraint.dim
+        self.shards_count = check_int("shards", shards, minimum=1)
+        self.horizon = (
+            None if horizon is None else check_int("horizon", horizon, minimum=1)
+        )
+        self.refresh_every = (
+            None
+            if refresh_every is None
+            else check_int("refresh_every", refresh_every, minimum=1)
+        )
+        self.ingest = ingest
+        self.mechanism = mechanism
+        self.composition = composition
+        self.mode = mode
+        self._router = router
+        self._rng = check_rng(rng)
+        self._fast = ingest == "fast"
+
+        if shard_horizon is not None and self.mechanism != "tree":
+            raise ValidationError(
+                "shard_horizon only applies to mechanism='tree' (hybrid "
+                "shards are horizon-free)"
+            )
+        if shard_horizon is None:
+            shard_horizon = self.horizon
+        else:
+            shard_horizon = check_int("shard_horizon", shard_horizon, minimum=1)
+        self.shard_horizon = shard_horizon if self.mechanism == "tree" else None
+
+        budgets = shard_budgets(params, self.shards_count, composition)
+        children = self._rng.spawn(2 * self.shards_count)
+        self._shards = [
+            MomentShard(
+                index=i,
+                dim=self.dim,
+                budget=budgets[i],
+                cross_rng=children[2 * i],
+                gram_rng=children[2 * i + 1],
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+            )
+            for i in range(self.shards_count)
+        ]
+
+        # The logical budget ledger.  Under parallel composition the whole
+        # sharded release costs what ONE shard costs (disjoint sub-streams);
+        # under basic composition the per-shard charges sum back to the
+        # total.  Either way the ledger stays within `params`.
+        self.accountant = PrivacyAccountant(params, mode="basic")
+        if composition == "parallel":
+            half = params.halve()
+            self.accountant.charge("shards:cross-moments(parallel)", half)
+            self.accountant.charge("shards:gram-moments(parallel)", half)
+        else:
+            for shard in self._shards:
+                half = shard.budget.halve()
+                self.accountant.charge(f"shard{shard.index}:cross-moments", half)
+                self.accountant.charge(f"shard{shard.index}:gram-moments", half)
+
+        if solver is None:
+            solver = self._default_solver(beta, fidelity, iteration_cap)
+        self.solver = solver
+
+        self.cache = EstimateCache()
+        self._lock = threading.RLock()
+        self._queue: queue.Queue = queue.Queue()
+        self._processed = 0  # logical t: points fully ingested by shards
+        self._enqueued = 0  # points accepted at the API boundary
+        self._blocks_routed = 0
+        self._next_shard = 0
+        self._last_refresh_t = 0
+        self.lost_steps = 0
+        self._error: BaseException | None = None
+        self._closed = False
+        # Publish the solver's initial parameter so reads never block.
+        self.cache.put(
+            self.solver.current_estimate(),
+            self.solver.estimate_version,
+            timestep=0,
+            covered_steps=0,
+        )
+        self._worker: threading.Thread | None = None
+        if mode == "async":
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="sharded-stream-worker", daemon=True
+            )
+            self._worker.start()
+
+    def _default_solver(self, beta: float, fidelity: str, iteration_cap: int):
+        solver_rng = self._rng.spawn(1)[0]
+        if self.horizon is not None:
+            return PrivIncReg1(
+                horizon=self.horizon,
+                constraint=self.constraint,
+                params=self.params,
+                beta=beta,
+                fidelity=fidelity,
+                iteration_cap=iteration_cap,
+                rng=solver_rng,
+            )
+        return UnboundedPrivIncReg(
+            self.constraint,
+            self.params,
+            beta=beta,
+            iteration_cap=iteration_cap,
+            rng=solver_rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion API
+    # ------------------------------------------------------------------
+
+    def observe(self, x: np.ndarray, y: float) -> np.ndarray:
+        """Ingest one point (a block of one); return the cached estimate.
+
+        In async mode this enqueues and returns immediately — the returned
+        estimate is the cached one, which may not reflect this point until
+        the worker's next refresh completes.
+        """
+        x = check_vector("x", x, dim=self.dim)
+        return self.observe_batch(x[None, :], np.asarray([float(y)]))
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Ingest a block of consecutive points; return the cached estimate.
+
+        The block is validated and accepted (or rejected) atomically at
+        the API boundary, then routed whole to one shard.  ``mode="sync"``
+        processes inline; otherwise the block is enqueued FIFO and this
+        returns without touching the shard trees or the solver.
+        """
+        self._raise_if_unusable()
+        xs, ys = check_xy_block(xs, ys, dim=self.dim)
+        check_unit_xy_domain("ShardedStream", xs, ys)
+        k = xs.shape[0]
+        # Reserve capacity under the lock: concurrent producers must not
+        # both pass the horizon check (the noise calibration is for T
+        # elements, so overshooting it would be a privacy violation, not a
+        # bookkeeping one).
+        with self._lock:
+            if self.horizon is not None and self._enqueued + k > self.horizon:
+                raise StreamExhaustedError(
+                    f"ShardedStream configured for horizon {self.horizon} "
+                    f"received a block of {k} points at logical step "
+                    f"{self._enqueued}"
+                )
+            self._enqueued += k
+        if self.mode == "sync":
+            self._process_block(xs, ys)
+        else:
+            # Enqueue private copies: check_xy_block may alias the caller's
+            # buffers, and a producer that refills its block buffer before
+            # the worker drains would otherwise feed the trees data that
+            # was never validated (breaking the unit-domain sensitivity
+            # calibration) and diverge from the synchronous path.
+            self._queue.put((np.array(xs), np.array(ys)))
+        return self.current_estimate()
+
+    def flush(self) -> ServedEstimate:
+        """Drain pending ingestion and solve through everything processed.
+
+        Blocks until every enqueued block has been processed (async mode
+        waits on the worker; manual mode pumps inline), then — if any mass
+        arrived since the last refresh — runs a final merge + solve so the
+        returned (and cached) estimate covers the full processed stream.
+        """
+        self._raise_if_unusable()
+        if self.mode == "manual":
+            self.pump()
+        elif self.mode == "async":
+            self._queue.join()
+        self._raise_if_unusable()
+        with self._lock:
+            if self._processed > self._last_refresh_t:
+                self._refresh()
+        return self.current_served()
+
+    def pump(self, max_blocks: int | None = None) -> int:
+        """Process up to ``max_blocks`` queued blocks inline (manual mode).
+
+        Returns the number of blocks processed.  The test suite uses this
+        to enumerate queue interleavings deterministically.
+        """
+        if self.mode != "manual":
+            raise ServingError("pump() is only available in mode='manual'")
+        self._raise_if_unusable()
+        processed = 0
+        while max_blocks is None or processed < max_blocks:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._process_block(*item)
+            processed += 1
+        return processed
+
+    def close(self) -> None:
+        """Flush, stop the worker (if any), and refuse further ingestion.
+
+        The worker is reclaimed even when the final flush raises (e.g. a
+        poisoned server): shutdown must never leak the thread.
+        """
+        if self._closed:
+            return
+        try:
+            if self._error is None:
+                self.flush()
+        finally:
+            self._closed = True
+            if self._worker is not None:
+                self._queue.put(_CLOSE)
+                self._worker.join()
+                self._worker = None
+
+    def __enter__(self) -> "ShardedStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def current_estimate(self) -> np.ndarray:
+        """The cached parameter — an O(1) read-only view, no solver work."""
+        return self.cache.get().theta
+
+    def current_served(self) -> ServedEstimate:
+        """The cached estimate with version/coverage metadata."""
+        return self.cache.get()
+
+    @property
+    def estimate_version(self) -> int:
+        """Number of completed solves published to the cache."""
+        return self.cache.version
+
+    @property
+    def steps_ingested(self) -> int:
+        """Points fully processed into shard mechanisms (logical ``t``)."""
+        return self._processed
+
+    @property
+    def steps_enqueued(self) -> int:
+        """Points accepted at the API boundary (≥ ``steps_ingested``)."""
+        return self._enqueued
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard liveness and load snapshot (diagnostics)."""
+        with self._lock:
+            return [
+                {"index": s.index, "alive": s.alive, "steps": s.steps}
+                for s in self._shards
+            ]
+
+    def merged_moments(self) -> tuple[MergedRelease, MergedRelease]:
+        """The merged (cross, gram) released moments right now.
+
+        Post-processing of already-released sums — free to call, used by
+        the conformance suite to compare against per-shard replays.
+        """
+        with self._lock:
+            return self._merge()
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle (fault injection / recovery)
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, index: int) -> None:
+        """Simulate a shard worker dying: its mechanisms (and mass) are lost.
+
+        Idempotent.  Subsequent merges degrade to partial coverage —
+        see the module docstring for the contract.
+        """
+        index = check_int("index", index, minimum=0)
+        if index >= self.shards_count:
+            raise ValidationError(
+                f"shard index {index} out of range [0, {self.shards_count})"
+            )
+        with self._lock:
+            shard = self._shards[index]
+            if not shard.alive:
+                return
+            self.lost_steps += shard.steps
+            shard.kill()
+
+    def restart_shard(self, index: int) -> None:
+        """Bring a dead shard back with fresh mechanisms over a fresh sub-stream.
+
+        Under ``composition="parallel"`` the restarted shard's new
+        mechanisms cover only points routed after the restart — still a
+        partition of the logical stream, so the parallel-composition
+        privacy argument is unchanged and the restart is free.  Under
+        ``composition="basic"`` disjointness is exactly what could not be
+        certified, so the replacement mechanisms' ``(ε/K, δ/K)`` budget is
+        charged to the accountant — which raises
+        :class:`~repro.exceptions.PrivacyBudgetError` when the ledger has
+        no headroom left (the evenly-split default consumes the whole
+        budget up front, so such restarts are refused).  The mass the dead
+        shard had ingested stays lost (and reported) either way.
+        """
+        index = check_int("index", index, minimum=0)
+        if index >= self.shards_count:
+            raise ValidationError(
+                f"shard index {index} out of range [0, {self.shards_count})"
+            )
+        with self._lock:
+            old = self._shards[index]
+            if old.alive:
+                raise ServingError(
+                    f"shard {index} is alive; kill_shard() before restarting"
+                )
+            if self.composition == "basic":
+                # One atomic charge for the replacement pair of trees;
+                # PrivacyAccountant.charge rolls itself back on refusal.
+                self.accountant.charge(
+                    f"shard{index}:moments(restart)", old.budget.halve(), count=2
+                )
+            cross_rng, gram_rng = self._rng.spawn(2)
+            self._shards[index] = MomentShard(
+                index=index,
+                dim=self.dim,
+                budget=old.budget,
+                cross_rng=cross_rng,
+                gram_rng=gram_rng,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+            )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _raise_if_unusable(self) -> None:
+        if self._closed:
+            raise ServingError("ShardedStream is closed")
+        if self._error is not None:
+            raise ServingError(
+                f"asynchronous ingestion failed: {self._error}"
+            ) from self._error
+
+    def _route(self, xs: np.ndarray, ys: np.ndarray) -> MomentShard:
+        """Pick the target shard for the next block (skipping dead shards)."""
+        if callable(self._router):
+            start = int(self._router(self._blocks_routed, xs, ys)) % self.shards_count
+        else:
+            start = self._next_shard
+            self._next_shard = (self._next_shard + 1) % self.shards_count
+        for offset in range(self.shards_count):
+            shard = self._shards[(start + offset) % self.shards_count]
+            if shard.alive:
+                return shard
+        raise ShardUnavailableError("every shard is dead; nothing can ingest")
+
+    def _process_block(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Ingest one routed block under the lock, then run any due refresh.
+
+        The single definition of the failure semantics every ingestion
+        mode (sync, pump, worker) shares: an *ingest* failure leaves the
+        block unconsumed — routing raises before any tree advances, and
+        the trees validate and check capacity before consuming anything —
+        so the block's horizon reservation is released here and a retry is
+        safe.  A *refresh* failure happens after the block is committed to
+        the shard trees — its capacity must stay consumed (re-ingesting
+        the same points would exceed the noise calibration), and only the
+        solve is retried (``flush`` re-runs it because ``_last_refresh_t``
+        only advances on success).
+        """
+        with self._lock:
+            try:
+                self._ingest_block(xs, ys)
+            except BaseException:
+                self._enqueued -= len(ys)
+                raise
+            if self._should_refresh():
+                self._refresh()
+
+    def _ingest_block(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        shard = self._route(xs, ys)
+        self._blocks_routed += 1
+        shard.ingest(xs, ys, self._fast)
+        self._processed += len(ys)
+
+    def _should_refresh(self) -> bool:
+        if self.refresh_every is None:
+            return True
+        if self.horizon is not None and self._processed >= self.horizon:
+            return True
+        return (
+            self._processed // self.refresh_every
+            > self._last_refresh_t // self.refresh_every
+        )
+
+    def _merge(self) -> tuple[MergedRelease, MergedRelease]:
+        cross = merge_released(
+            [s.cross if s.alive else None for s in self._shards], strict=False
+        )
+        gram = merge_released(
+            [s.gram if s.alive else None for s in self._shards], strict=False
+        )
+        return cross, gram
+
+    def _refresh(self) -> None:
+        """Merge the shard releases and run one solve; publish to the cache.
+
+        ``_last_refresh_t`` advances only once the refresh completes (or
+        there is provably nothing to solve), so a failed solve leaves the
+        stream marked stale and the next ``flush``/scheduled refresh
+        retries it instead of silently serving an outdated estimate.
+        """
+        cross, gram = self._merge()
+        covered = cross.covered_steps
+        if covered == 0:
+            # Nothing covered (e.g. every surviving shard is empty): there
+            # is no objective to solve; the previous estimate stands.
+            self._last_refresh_t = self._processed
+            return
+        theta = self.solver.refresh_from_released(covered, gram.value, cross.value)
+        self.cache.put(
+            theta,
+            self.solver.estimate_version,
+            timestep=self._processed,
+            covered_steps=covered,
+        )
+        self._last_refresh_t = self._processed
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _CLOSE:
+                    return
+                if self._error is None:
+                    try:
+                        self._process_block(*item)
+                    except BaseException as exc:  # surfaced on the next API call
+                        self._error = exc
+                else:
+                    # A poisoned worker drops the block; refund its horizon
+                    # reservation so the books match what was ingested.
+                    with self._lock:
+                        self._enqueued -= len(item[1])
+            finally:
+                self._queue.task_done()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStream(shards={self.shards_count}, dim={self.dim}, "
+            f"horizon={self.horizon}, ingest={self.ingest!r}, "
+            f"mechanism={self.mechanism!r}, mode={self.mode!r}, "
+            f"t={self._processed})"
+        )

@@ -408,3 +408,48 @@ class TestBatchDiscipline:
             robust.observe_batch(bad_x, np.zeros(2))
         assert robust.accepted == 0
         assert robust.substituted == 0
+
+
+class TestShardedK1Equivalence:
+    """PR-1 safety net, extended: a one-shard serving front is the batched path.
+
+    ``ShardedStream(K=1)`` with exact ingest spawns its trees exactly like
+    ``PrivIncReg1`` (children of ``rng.spawn(2)``), advances them with the
+    rng-identical ``advance_batch``, and refreshes at block boundaries — so
+    routing the same stream through it must reproduce the plain batched
+    path bit for bit, block by block.
+    """
+
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_bit_identical_with_plain_batched_path(self, stream, batch):
+        from repro import ShardedStream
+
+        plain = PrivIncReg1(
+            horizon=T,
+            constraint=L2Ball(DIM),
+            params=PARAMS,
+            iteration_cap=25,
+            solve_every=batch,
+            rng=7,
+        )
+        reference = np.stack(
+            [
+                plain.observe_batch(stream.xs[s:e], stream.ys[s:e])
+                for s, e in _blocks(T, batch)
+            ]
+        )
+        server = ShardedStream(
+            L2Ball(DIM),
+            PARAMS,
+            shards=1,
+            horizon=T,
+            iteration_cap=25,
+            rng=7,
+        )
+        served = np.stack(
+            [
+                np.asarray(server.observe_batch(stream.xs[s:e], stream.ys[s:e]))
+                for s, e in _blocks(T, batch)
+            ]
+        )
+        np.testing.assert_array_equal(reference, served)

@@ -128,3 +128,32 @@ class TestFleetAggregation:
         ]
         outcome = FleetRunner(L2Ball(2), eval_every=6, workers=2).run(specs)
         assert outcome.replicates[0].result.trace.timesteps == [6]
+
+
+def failing_factory(rng, dim=DIM):
+    raise RuntimeError("estimator construction exploded")
+
+
+class TestWorkerFailureSurfacing:
+    """Worker exceptions carry the failing ReplicateSpec, on every backend."""
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_failure_names_the_cell_and_attaches_the_spec(self, workers):
+        from repro import FleetExecutionError
+
+        good = make_specs("static", static_factory, [0])
+        bad = [
+            ReplicateSpec(
+                name="broken",
+                estimator_factory=failing_factory,
+                stream_factory=dense_stream_factory,
+                seed=123,
+            )
+        ]
+        runner = FleetRunner(L2Ball(DIM), eval_every=LENGTH, workers=workers)
+        with pytest.raises(FleetExecutionError) as excinfo:
+            runner.run(good + bad)
+        error = excinfo.value
+        assert error.spec is bad[0]
+        assert "broken" in str(error) and "123" in str(error)
+        assert isinstance(error.__cause__, RuntimeError)

@@ -1,8 +1,9 @@
 """Tests for the (ε, δ) budget value type."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro import PrivacyParams
+from repro import PrivacyAccountant, PrivacyParams, shard_budgets
 from repro.exceptions import ValidationError
 
 
@@ -86,3 +87,76 @@ class TestComparison:
     def test_mixed_not_weaker(self):
         # Larger ε but smaller δ: incomparable, hence not weaker.
         assert not PrivacyParams(2.0, 1e-8).is_weaker_than(PrivacyParams(1.0, 1e-6))
+
+
+class TestShardBudgetSplits:
+    """The serving layer's ε-split helpers: any K-way split composes back.
+
+    Property-based: for every shard count and weight profile, charging the
+    per-shard budgets into a basic-composition accountant with the original
+    total must stay within budget, and the pieces must sum back to the
+    original ``(ε, δ)``.
+    """
+
+    @given(
+        epsilon=st.floats(min_value=1e-3, max_value=64.0),
+        delta=st.floats(min_value=1e-12, max_value=1e-2),
+        weights=st.lists(
+            st.floats(min_value=0.05, max_value=20.0), min_size=1, max_size=8
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_split_composes_back_under_the_accountant(
+        self, epsilon, delta, weights
+    ):
+        total = PrivacyParams(epsilon, delta)
+        pieces = total.split_weighted(weights)
+        assert len(pieces) == len(weights)
+        accountant = PrivacyAccountant(total, mode="basic")
+        for i, piece in enumerate(pieces):
+            accountant.charge(f"shard{i}", piece)
+        assert accountant.within_budget()
+        assert sum(p.epsilon for p in pieces) == pytest.approx(epsilon)
+        assert sum(p.delta for p in pieces) == pytest.approx(delta)
+
+    @given(shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_basic_shard_budgets_compose_back(self, shards):
+        total = PrivacyParams(2.0, 1e-6)
+        budgets = shard_budgets(total, shards, composition="basic")
+        accountant = PrivacyAccountant(total, mode="basic")
+        for i, budget in enumerate(budgets):
+            accountant.charge(f"shard{i}", budget)
+        assert accountant.within_budget()
+
+    @given(shards=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_shard_budgets_each_carry_the_full_budget(self, shards):
+        # Disjoint sub-streams: each shard runs at the total (ε, δ); the
+        # *logical* charge is a single full-budget interaction, which the
+        # serving front's ledger records once, not per shard.
+        total = PrivacyParams(2.0, 1e-6)
+        budgets = shard_budgets(total, shards, composition="parallel")
+        assert all(b == total for b in budgets)
+        accountant = PrivacyAccountant(total, mode="basic")
+        accountant.charge("logical-stream", total)
+        assert accountant.within_budget()
+
+    def test_split_weighted_rejects_bad_weights(self):
+        total = PrivacyParams(1.0, 1e-6)
+        with pytest.raises(ValidationError):
+            total.split_weighted([])
+        with pytest.raises(ValidationError):
+            total.split_weighted([1.0, 0.0])
+        with pytest.raises(ValidationError):
+            total.split_weighted([1.0, -2.0])
+
+    def test_shard_budgets_rejects_unknown_composition(self):
+        with pytest.raises(ValidationError):
+            shard_budgets(PrivacyParams(1.0, 1e-6), 2, composition="advanced")
+
+    def test_uneven_weights_track_expected_load(self):
+        total = PrivacyParams(3.0, 3e-6)
+        light, heavy = total.split_weighted([1.0, 2.0])
+        assert heavy.epsilon == pytest.approx(2.0 * light.epsilon)
+        assert heavy.delta == pytest.approx(2.0 * light.delta)

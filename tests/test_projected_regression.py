@@ -160,3 +160,34 @@ class TestDeterminism:
 
         for a, b in zip(run(11), run(11)):
             np.testing.assert_array_equal(a, b)
+
+
+class TestServeModeHook:
+    """refresh_from_released: Steps 7–9 against external projected moments."""
+
+    def test_matches_internal_solve_on_own_released_moments(self):
+        """Feeding the hook a mechanism's own released projected moments
+        reproduces the internal solve path bit for bit (same alpha, same
+        warm start), which is the contract a sharded Algorithm-3 front
+        would rely on."""
+        stream = make_sparse_stream(6, 30, sparsity=3, rng=8)
+        # A solves once, at t=6 (solve_every=6); B never solves on its own
+        # (solve_every > points fed, horizon not reached).
+        a = _mechanism(horizon=8, rng=11, solve_every=6, iteration_cap=20)
+        b = _mechanism(horizon=8, rng=11, solve_every=100, iteration_cap=20)
+        for x, y in stream:
+            a.observe(x, y)
+            b.observe(x, y)
+        assert b.estimate_version == 0
+        theta = b.refresh_from_released(
+            6, b._tree_gram.current_sum(), b._tree_cross.current_sum()
+        )
+        assert b.estimate_version == 1
+        np.testing.assert_array_equal(theta, a.current_estimate())
+
+    def test_rejects_ambient_dimension_moments(self):
+        mech = _mechanism(horizon=4, dim=30, projected_dim=5)
+        with pytest.raises(ValidationError):
+            mech.refresh_from_released(1, np.zeros((30, 30)), np.zeros(30))
+        with pytest.raises(ValidationError):
+            mech.refresh_from_released(0, np.zeros((5, 5)), np.zeros(5))

@@ -1,0 +1,201 @@
+"""Fault-injection tests: shard death, restart, and partial coverage.
+
+The serving contract (module docstring of :mod:`repro.streaming.serving`):
+killing a shard loses its sub-stream's mass, and every subsequent merge
+degrades to *partial-coverage* semantics — the merged statistic covers the
+surviving sub-streams only, with the loss reported through
+``MergedRelease.missing``/``coverage``, ``ServedEstimate.covered_steps``
+and ``ShardedStream.lost_steps`` — never silently dropped.  Restarting
+brings the worker back with fresh mechanisms over a fresh (disjoint)
+sub-stream, so the parallel-composition privacy argument survives the
+whole kill/restart cycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    L2Ball,
+    PrivacyParams,
+    ServingError,
+    ShardedStream,
+    ShardUnavailableError,
+    TreeMechanism,
+    merge_released,
+)
+from repro.data import make_dense_stream
+from repro.exceptions import ValidationError
+
+PARAMS = PrivacyParams(4.0, 1e-6)
+DIM = 3
+T = 24
+BLOCKS = [(0, 4), (4, 8), (8, 12), (12, 16), (16, 20), (20, 24)]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_dense_stream(T, DIM, noise_std=0.05, rng=777)
+
+
+def _server(k=3, seed=55, **kwargs):
+    defaults = dict(horizon=T, iteration_cap=15)
+    defaults.update(kwargs)
+    return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
+
+
+class TestShardDeath:
+    def test_kill_degrades_to_partial_coverage(self, stream):
+        server = _server()
+        for s, e in BLOCKS[:3]:  # one block per shard (round-robin)
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        shard1_steps = server.shard_states()[1]["steps"]
+        assert shard1_steps == 4
+
+        server.kill_shard(1)
+        assert server.lost_steps == shard1_steps
+
+        for s, e in BLOCKS[3:]:  # routing skips the dead shard
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        served = server.flush()
+
+        # The loss is accounted, not silent: coverage + lost == ingested.
+        assert served.covered_steps == server.steps_ingested - server.lost_steps
+        cross_m, gram_m = server.merged_moments()
+        assert cross_m.missing == (1,)
+        assert cross_m.coverage[1] == 0
+        assert cross_m.covered_steps + server.lost_steps == T
+
+    def test_partial_merge_bit_identical_to_surviving_replay(self, stream):
+        """The partial merge equals a replay of the *surviving* shards."""
+        k, seed = 3, 55
+        server = _server(k=k, seed=seed)
+        for s, e in BLOCKS[:3]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        server.kill_shard(1)
+        for s, e in BLOCKS[3:]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        cross_m, _ = server.merged_moments()
+
+        children = np.random.default_rng(seed).spawn(2 * k)
+        half = PARAMS.halve()
+        cross = [
+            TreeMechanism(T, (DIM,), 2.0, half, rng=children[2 * i]) for i in range(k)
+        ]
+        # Blocks 0..2 go round-robin to shards 0,1,2.  After the kill the
+        # round-robin pointer continues over {0, 2}: block 3 → shard 0,
+        # block 4 → (1 dead) 2, block 5 → 2... matching _route's skip rule.
+        assignment = [0, 1, 2, 0, 2, 2]
+        for (s, e), shard in zip(BLOCKS, assignment):
+            bx, by = stream.xs[s:e], stream.ys[s:e]
+            cross[shard].advance_batch(bx * by[:, None])
+        np.testing.assert_array_equal(
+            cross_m.value,
+            merge_released([cross[0], None, cross[2]], strict=False).value,
+        )
+
+    def test_kill_is_idempotent(self, stream):
+        server = _server()
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.kill_shard(0)
+        lost = server.lost_steps
+        server.kill_shard(0)
+        assert server.lost_steps == lost
+
+    def test_all_shards_dead_cannot_ingest(self, stream):
+        server = _server(k=2)
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.kill_shard(0)
+        server.kill_shard(1)
+        with pytest.raises(ShardUnavailableError):
+            server.observe_batch(stream.xs[4:8], stream.ys[4:8])
+
+    def test_strict_merge_raises_on_missing_shard(self, stream):
+        half = PARAMS.halve()
+        alive = TreeMechanism(T, (DIM,), 2.0, half, rng=0)
+        alive.observe(stream.xs[0] * stream.ys[0])
+        with pytest.raises(ShardUnavailableError):
+            merge_released([alive, None], strict=True)
+        with pytest.raises(ShardUnavailableError):
+            merge_released([None, None], strict=False)
+
+    def test_out_of_range_index_rejected(self, stream):
+        server = _server(k=2)
+        with pytest.raises(ValidationError):
+            server.kill_shard(2)
+        with pytest.raises(ValidationError):
+            server.restart_shard(5)
+
+
+class TestShardRestart:
+    def test_restart_resumes_ingestion_on_fresh_mechanisms(self, stream):
+        server = _server()
+        for s, e in BLOCKS[:3]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        server.kill_shard(1)
+        lost = server.lost_steps
+        server.restart_shard(1)
+
+        for s, e in BLOCKS[3:]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        served = server.flush()
+
+        # The restarted shard took new mass; only the pre-kill mass is lost.
+        states = server.shard_states()
+        assert states[1]["alive"] and states[1]["steps"] > 0
+        assert server.lost_steps == lost
+        assert served.covered_steps == T - lost
+        cross_m, _ = server.merged_moments()
+        assert cross_m.missing == ()
+
+    def test_restart_of_live_shard_rejected(self, stream):
+        server = _server()
+        with pytest.raises(ServingError):
+            server.restart_shard(0)
+
+    def test_restart_under_basic_composition_charges_the_ledger(self, stream):
+        """Basic mode cannot certify disjointness, so a replacement shard
+        must pay for its own (ε/K, δ/K) — and the evenly-split default has
+        no headroom, so the restart is refused with an accurate error
+        instead of silently under-reporting the privacy loss."""
+        from repro.exceptions import PrivacyBudgetError
+
+        server = _server(composition="basic")
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.kill_shard(0)
+        charges_before = len(server.accountant.charges)
+        with pytest.raises(PrivacyBudgetError):
+            server.restart_shard(0)
+        # The refused restart left the ledger and the shard untouched.
+        assert len(server.accountant.charges) == charges_before
+        assert not server.shard_states()[0]["alive"]
+        assert server.accountant.within_budget()
+
+    def test_restarted_shard_variance_accounting_consistent(self, stream):
+        """Post-restart merges report the documented variance accounting."""
+        server = _server()
+        for s, e in BLOCKS[:3]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        server.kill_shard(2)
+        server.restart_shard(2)
+        for s, e in BLOCKS[3:]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+        cross_m, _ = server.merged_moments()
+        expected = 0.0
+        with server._lock:
+            for shard in server._shards:
+                expected += shard.cross.release_noise_variance()
+        assert cross_m.noise_variance == pytest.approx(expected)
+
+    def test_fault_cycle_in_async_mode(self, stream):
+        """Kill/restart under the worker thread keeps the books consistent."""
+        with _server(mode="async") as server:
+            for s, e in BLOCKS[:3]:
+                server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+            server.flush()  # drain before touching shard lifecycle
+            server.kill_shard(0)
+            server.restart_shard(0)
+            for s, e in BLOCKS[3:]:
+                server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+            served = server.flush()
+        assert served.covered_steps == T - server.lost_steps
+        assert served.covered_steps + server.lost_steps == server.steps_ingested
