@@ -1,0 +1,264 @@
+"""Experiment N.serve3 — projected (Algorithm 3) sharded serving throughput.
+
+Claim (ISSUE 3 acceptance criterion): on a ``T = 20k``, ``d = 64``,
+``m = 16`` synthetic stream, ``ShardedStream(backend="projected")`` with
+``K ≥ 4`` fast-ingest shards beats the single-shard projected path
+(``PrivIncReg2.observe_batch`` with ``solve_every = refresh_every``),
+while ``tests/test_projected_serving.py`` pins the serving semantics
+(shared-Φ merge bit-identity, K=1 ≡ plain Algorithm 3, noise accounting).
+
+What the projected serving layer amortizes beyond the plain batched path:
+
+* **no interior releases** — shards advance their ``(m,)``/``(m, m)``
+  trees with ``advance_batch``/``advance_sum``; the per-step releases the
+  batched estimator materializes are never computed;
+* **BLAS moment totals** (``ingest="fast"``) — one Step-4 rescale +
+  ``(ΦX̃)ᵀy`` / ``(ΦX̃)ᵀ(ΦX̃)`` product per routed block, and Gaussian
+  draws only for the ``O(log T)`` nodes alive at the block boundary;
+* **thread-parallel group ingestion** (ROADMAP item (d)) —
+  ``observe_group`` ingests a group of ``K`` blocks concurrently across
+  shards (shards are independent; BLAS releases the GIL), measured here
+  as the ``group_parallel`` rows against a ``workers=1`` control.  The
+  parallel win is host-dependent — it needs cores to overlap the
+  GIL-released BLAS on — so the JSON records ``cpu_count`` alongside and
+  the assertion only requires the parallel path not to regress
+  materially on single-core hosts;
+* **O(m² log T) per-shard memory** — recorded against the Algorithm-2
+  moment backend's ``O(d² log T)`` for the same ``(K, T, d)``.
+
+Results are written to ``BENCH_projected_serving.json``;
+``BENCH_PROJ_T`` / ``BENCH_PROJ_DIM`` shrink the stream for smoke runs
+(CI), which write the JSON only when ``BENCH_PROJ_WRITE=1`` so local
+smoke runs never clobber the committed full-scale numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro import L2Ball, PrivacyParams, PrivIncReg2, ShardedStream
+from repro.data import make_dense_stream
+
+from common import bench_budget, record
+
+T = int(os.environ.get("BENCH_PROJ_T", "20000"))
+DIM = int(os.environ.get("BENCH_PROJ_DIM", "64"))
+M = int(os.environ.get("BENCH_PROJ_M", "16"))
+BATCH = 64
+# Refresh cadence: the merge + projected PGD + lift is post-processing
+# shared by baseline and serving alike (both solve at the same steps), so
+# a too-frequent cadence only dilutes the ingest comparison this benchmark
+# is about; 4096 keeps several periodic refreshes in the run while letting
+# the tree-ingest difference dominate.
+REFRESH = 4096
+ITERATION_CAP = 40
+SHARD_COUNTS = [1, 2, 4, 8]
+RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_projected_serving.json"
+
+
+def _blocks():
+    return [(s, min(s + BATCH, T)) for s in range(0, T, BATCH)]
+
+
+def _baseline_seconds(stream) -> tuple[float, PrivIncReg2]:
+    """The single-shard projected path: plain batched Algorithm 3."""
+    estimator = PrivIncReg2(
+        horizon=T,
+        constraint=L2Ball(DIM),
+        x_domain=L2Ball(DIM),
+        params=bench_budget(),
+        projected_dim=M,
+        iteration_cap=ITERATION_CAP,
+        solve_every=REFRESH,
+        rng=1,
+    )
+    start = time.perf_counter()
+    for s, e in _blocks():
+        estimator.observe_batch(stream.xs[s:e], stream.ys[s:e])
+    return time.perf_counter() - start, estimator
+
+
+def _make_server(stream, shards: int, ingest: str) -> ShardedStream:
+    return ShardedStream(
+        L2Ball(DIM),
+        bench_budget(),
+        shards=shards,
+        horizon=T,
+        backend="projected",
+        x_domain=L2Ball(DIM),
+        projected_dim=M,
+        ingest=ingest,
+        refresh_every=REFRESH,
+        iteration_cap=ITERATION_CAP,
+        rng=1,
+    )
+
+
+def _serving_seconds(stream, shards: int, ingest: str) -> tuple[float, ShardedStream]:
+    server = _make_server(stream, shards, ingest)
+    start = time.perf_counter()
+    for s, e in _blocks():
+        server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+    server.flush()
+    return time.perf_counter() - start, server
+
+
+def _group_seconds(stream, shards: int, workers: int | None) -> float:
+    """Group-parallel ingestion: K blocks per observe_group call."""
+    server = _make_server(stream, shards, "fast")
+    blocks = _blocks()
+    start = time.perf_counter()
+    for i in range(0, len(blocks), shards):
+        group = [
+            (stream.xs[s:e], stream.ys[s:e]) for s, e in blocks[i : i + shards]
+        ]
+        server.observe_group(group, workers=workers)
+    server.flush()
+    return time.perf_counter() - start
+
+
+def test_projected_serving_throughput(benchmark):
+    """K≥4 fast-ingest projected serving must beat the single-shard path."""
+    stream = make_dense_stream(T, DIM, noise_std=0.05, rng=0)
+
+    baseline_seconds, baseline = _baseline_seconds(stream)
+    record(
+        "N.serve3 projected ingest throughput",
+        engine="single-shard batched (PrivIncReg2)",
+        T=T,
+        d=DIM,
+        m=M,
+        seconds=baseline_seconds,
+        points_per_second=T / baseline_seconds,
+        speedup=1.0,
+    )
+
+    rows = []
+    group_rows = []
+    memory_rows = []
+
+    def sweep():
+        for shards in SHARD_COUNTS:
+            for ingest in ("exact", "fast"):
+                seconds, server = _serving_seconds(stream, shards, ingest)
+                rows.append(
+                    {
+                        "shards": shards,
+                        "ingest": ingest,
+                        "seconds": seconds,
+                        "points_per_second": T / seconds,
+                        "speedup_vs_batched": baseline_seconds / seconds,
+                    }
+                )
+                if ingest == "fast":
+                    per_shard = server._shards[0].memory_floats()
+                    moment_twin = ShardedStream(
+                        L2Ball(DIM),
+                        bench_budget(),
+                        shards=shards,
+                        horizon=T,
+                        iteration_cap=ITERATION_CAP,
+                        rng=1,
+                    )
+                    memory_rows.append(
+                        {
+                            "shards": shards,
+                            "projected_per_shard_floats": per_shard,
+                            "projected_total_floats": server.memory_floats(),
+                            "moment_per_shard_floats": (
+                                moment_twin._shards[0].memory_floats()
+                            ),
+                            "moment_total_floats": moment_twin.memory_floats(),
+                        }
+                    )
+            if shards > 1:
+                sequential = _group_seconds(stream, shards, workers=1)
+                parallel = _group_seconds(stream, shards, workers=None)
+                group_rows.append(
+                    {
+                        "shards": shards,
+                        "group_sequential_seconds": sequential,
+                        "group_parallel_seconds": parallel,
+                        "parallel_speedup": sequential / parallel,
+                    }
+                )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        record(
+            "N.serve3 projected ingest throughput",
+            engine=f"sharded K={row['shards']} ({row['ingest']})",
+            T=T,
+            d=DIM,
+            m=M,
+            seconds=row["seconds"],
+            points_per_second=row["points_per_second"],
+            speedup=row["speedup_vs_batched"],
+        )
+    for row in group_rows:
+        record(
+            "N.serve3 group-parallel ingestion",
+            shards=row["shards"],
+            sequential_s=row["group_sequential_seconds"],
+            parallel_s=row["group_parallel_seconds"],
+            speedup=row["parallel_speedup"],
+        )
+    for row in memory_rows:
+        record(
+            "N.serve3 per-shard memory (floats)",
+            shards=row["shards"],
+            projected=row["projected_per_shard_floats"],
+            moment=row["moment_per_shard_floats"],
+            ratio=row["moment_per_shard_floats"]
+            / row["projected_per_shard_floats"],
+        )
+
+    payload = {
+        "experiment": "bench_projected_serving",
+        "config": {
+            "T": T,
+            "d": DIM,
+            "m": M,
+            "batch": BATCH,
+            "refresh_every": REFRESH,
+            "iteration_cap": ITERATION_CAP,
+            "epsilon": bench_budget().epsilon,
+            "delta": bench_budget().delta,
+            "baseline": "PrivIncReg2.observe_batch solve_every=refresh_every",
+            "cpu_count": os.cpu_count(),
+        },
+        "baseline_seconds": baseline_seconds,
+        "baseline_points_per_second": T / baseline_seconds,
+        "serving": rows,
+        "group_ingestion": group_rows,
+        "memory": memory_rows,
+    }
+    full_scale = (
+        "BENCH_PROJ_T" not in os.environ and "BENCH_PROJ_DIM" not in os.environ
+    )
+    if full_scale or os.environ.get("BENCH_PROJ_WRITE") == "1":
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    k4_fast = next(r for r in rows if r["shards"] == 4 and r["ingest"] == "fast")
+    # Full scale must clear the acceptance bar; smoke scale (tens of ms
+    # end to end, timer-noise dominated) only sanity-checks that the fast
+    # tier is not a regression.
+    bar = 0.8 if not full_scale else 1.5
+    assert k4_fast["speedup_vs_batched"] >= bar, (
+        f"K=4 projected serving speedup {k4_fast['speedup_vs_batched']:.2f}x "
+        f"below the {bar}x bar (baseline {baseline_seconds:.2f}s, serving "
+        f"{k4_fast['seconds']:.2f}s)"
+    )
+    # Group-parallel ingestion must at worst cost bounded dispatch overhead
+    # (a genuine speedup needs cores to overlap on; CI and this container
+    # may be single-core, so that is recorded, not asserted).
+    assert all(row["parallel_speedup"] > 0.5 for row in group_rows)
+    # The memory claim: per-shard projected state must be the m²-vs-d²
+    # ratio below the moment backend's (shared Φ excluded — it is counted
+    # once per front, not per shard).
+    assert all(
+        row["projected_per_shard_floats"] < row["moment_per_shard_floats"]
+        for row in memory_rows
+    )

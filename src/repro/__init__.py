@@ -29,6 +29,7 @@ Package map
 from .exceptions import (
     DomainViolationError,
     FleetExecutionError,
+    GroupIngestionError,
     LiftingError,
     NotSupportedError,
     PrivacyBudgetError,
@@ -70,7 +71,13 @@ from .erm import (
     RegularizedLoss,
     SquaredLoss,
 )
-from .sketching import GaussianProjection, gordon_dimension, lift
+from .sketching import (
+    GaussianProjection,
+    SparseProjection,
+    gordon_dimension,
+    lift,
+    step4_rescale_block,
+)
 from .streaming import (
     EstimateCache,
     ExcessRiskTrace,
@@ -78,6 +85,7 @@ from .streaming import (
     FleetRunner,
     IncrementalRunner,
     MomentShard,
+    ProjectedMomentShard,
     RegressionStream,
     ReplicateResult,
     ReplicateSpec,
@@ -115,6 +123,7 @@ __all__ = [
     "NotSupportedError",
     "ShardUnavailableError",
     "ServingError",
+    "GroupIngestionError",
     "FleetExecutionError",
     # privacy
     "PrivacyParams",
@@ -147,8 +156,10 @@ __all__ = [
     "PrivateFrankWolfe",
     # sketching
     "GaussianProjection",
+    "SparseProjection",
     "gordon_dimension",
     "lift",
+    "step4_rescale_block",
     # streaming
     "RegressionStream",
     "IncrementalRunner",
@@ -160,6 +171,7 @@ __all__ = [
     "ReplicateResult",
     "ShardedStream",
     "MomentShard",
+    "ProjectedMomentShard",
     "EstimateCache",
     "ServedEstimate",
     # core

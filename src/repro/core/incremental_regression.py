@@ -221,11 +221,14 @@ class PrivIncReg1:
             raise DomainViolationError(
                 "PrivIncReg1 requires ‖x‖ ≤ 1 and |y| ≤ 1 (privacy calibration)"
             )
-        self.steps_taken += 1
-        t = self.steps_taken
-
+        # Commit ordering: the trees ingest first, the counter bumps after
+        # (matching observe_batch) — so a rejected point (horizon overrun,
+        # validation) caught by the caller leaves the estimator's counter in
+        # agreement with its trees and a retry/continue is safe.
         noisy_cross = self._tree_cross.observe(x * y)
         noisy_gram = self._tree_gram.observe(np.outer(x, x))
+        self.steps_taken += 1
+        t = self.steps_taken
         if t % self.solve_every == 0 or t == self.horizon:
             self._solve_at(t, noisy_gram, noisy_cross)
         return self._theta.copy()

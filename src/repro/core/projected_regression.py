@@ -52,14 +52,46 @@ from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.parameters import PrivacyParams
 from ..privacy.tree import TreeMechanism
-from ..sketching.gaussian import GaussianProjection
+from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 from ..sketching.gordon import gordon_dimension
 from ..sketching.lifting import lift
 from ..sketching.projected_set import ProjectedConvexSet
 from .incremental_regression import MOMENT_SENSITIVITY, solve_schedule
 from .private_gradient import PrivateGradientFunction
 
-__all__ = ["PrivIncReg2"]
+__all__ = ["PrivIncReg2", "projected_sizing"]
+
+
+def projected_sizing(
+    horizon: int,
+    constraint: ConvexSet,
+    x_domain: PointSet,
+    beta: float = 0.05,
+    gamma: float | None = None,
+) -> tuple[float, float, int]:
+    """Algorithm 3 Step-1 sizing: ``(W, γ, m)`` for a given geometry.
+
+    The single definition of the setup arithmetic shared by
+    :class:`PrivIncReg2` and the projected serving front
+    (:class:`~repro.streaming.serving.ShardedStream` with
+    ``backend="projected"``), so both draw a ``Φ`` of identical shape from
+    identical inputs: ``W = w(X) + w(C)``, the Theorem-5.7 balancing choice
+    ``γ = W^{1/3}/T^{1/3}`` (clamped into ``[10⁻³, 0.9]``, overridable),
+    and the Gordon dimension ``m`` at confidence ``β/T``, capped at ``d``.
+    """
+    horizon = check_int("horizon", horizon, minimum=1)
+    beta = check_probability("beta", beta)
+    total_width = x_domain.gaussian_width() + constraint.gaussian_width()
+    if gamma is None:
+        gamma = total_width ** (1.0 / 3.0) / horizon ** (1.0 / 3.0)
+    gamma = float(np.clip(gamma, 1e-3, 0.9))
+    projected_dim = gordon_dimension(
+        total_width,
+        gamma,
+        beta=beta / max(horizon, 2),
+        max_dim=constraint.dim,
+    )
+    return total_width, gamma, projected_dim
 
 
 class PrivIncReg2:
@@ -140,11 +172,10 @@ class PrivIncReg2:
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
-        # -- Step 1: geometric sizing -------------------------------------
-        self.total_width = x_domain.gaussian_width() + constraint.gaussian_width()
-        if gamma is None:
-            gamma = self.total_width ** (1.0 / 3.0) / self.horizon ** (1.0 / 3.0)
-        self.gamma = float(np.clip(gamma, 1e-3, 0.9))
+        # -- Step 1: geometric sizing (shared with the serving front) -----
+        self.total_width, self.gamma, sized_dim = projected_sizing(
+            self.horizon, constraint, x_domain, beta=self.beta, gamma=gamma
+        )
         if projection is not None:
             if projection.original_dim != self.dim:
                 raise ValidationError(
@@ -153,12 +184,7 @@ class PrivIncReg2:
                 )
             projected_dim = projection.projected_dim
         elif projected_dim is None:
-            projected_dim = gordon_dimension(
-                self.total_width,
-                self.gamma,
-                beta=self.beta / max(self.horizon, 2),
-                max_dim=self.dim,
-            )
+            projected_dim = sized_dim
         self.projected_dim = check_int("projected_dim", projected_dim, minimum=1)
 
         # -- Step 2: draw Φ once ------------------------------------------
@@ -238,16 +264,18 @@ class PrivIncReg2:
             raise DomainViolationError(
                 "PrivIncReg2 requires ‖x‖ ≤ 1 and |y| ≤ 1 (privacy calibration)"
             )
-        self.steps_taken += 1
-        t = self.steps_taken
-
         # Step 4: rescale so that ‖Φx̃‖ = ‖x‖ (pins the sensitivity).
         _, projected_x = self.projection.rescale_covariate(x)
 
         # Steps 5-6: advance the projected moment trees (every step — this
-        # is the privacy-relevant part and cannot be amortized).
+        # is the privacy-relevant part and cannot be amortized).  The step
+        # counter bumps only after both trees consumed the point, matching
+        # observe_batch's commit ordering, so a rejected point never
+        # desyncs the counter from the trees' state.
         noisy_cross = self._tree_cross.observe(projected_x * y)
         noisy_gram = self._tree_gram.observe(np.outer(projected_x, projected_x))
+        self.steps_taken += 1
+        t = self.steps_taken
 
         # Steps 7-9 are post-processing of the released moments and may be
         # amortized across a solve_every-window (staleness ≤ solve_every
@@ -271,13 +299,10 @@ class PrivIncReg2:
         xs, ys = check_xy_block(xs, ys, dim=self.dim)
         check_unit_xy_domain("PrivIncReg2", xs, ys)
         k = xs.shape[0]
-        norms = np.linalg.norm(xs, axis=1)
-        # Step 4, vectorized: x̃ = (‖x‖/‖Φx‖)·x so that ‖Φx̃‖ = ‖x‖.
-        projected = self.projection.apply(xs)
-        projected_norms = np.linalg.norm(projected, axis=1)
-        safe = (norms > 0.0) & (projected_norms > 0.0)
-        scale = np.where(safe, norms / np.where(safe, projected_norms, 1.0), 0.0)
-        projected = projected * scale[:, None]
+        # Step 4, vectorized: x̃ = (‖x‖/‖Φx‖)·x so that ‖Φx̃‖ = ‖x‖ — the
+        # shared helper the projected serving shards apply to their routed
+        # blocks, so both paths build identical moment streams from one Φ.
+        projected = step4_rescale_block(self.projection, xs)
 
         cross_all = self._tree_cross.observe_batch(projected * ys[:, None])
         gram_all = self._tree_gram.observe_batch(

@@ -130,11 +130,13 @@ class UnboundedPrivIncReg:
             raise DomainViolationError(
                 "UnboundedPrivIncReg requires ‖x‖ ≤ 1 and |y| ≤ 1"
             )
-        self.steps_taken += 1
-        t = self.steps_taken
-
+        # Trees first, counter after (the batch paths' commit ordering): a
+        # rejected point caught by the caller leaves counter and epoch
+        # trees in agreement.
         noisy_cross = self._tree_cross.observe(x * y)
         noisy_gram = self._tree_gram.observe(np.outer(x, x))
+        self.steps_taken += 1
+        t = self.steps_taken
         if t % self.solve_every == 0:
             self._solve_at(t, noisy_gram, noisy_cross)
         return self._theta.copy()

@@ -84,6 +84,28 @@ class ServingError(ReproError):
     """
 
 
+class GroupIngestionError(ServingError):
+    """A thread-parallel block-group ingestion partially failed.
+
+    ``ShardedStream.observe_group`` ingests a group of routed blocks
+    concurrently across shards; shards are independent, so one shard's
+    failure cannot be allowed to silently discard the blocks the other
+    shards already committed.  This error reports exactly which blocks of
+    the group failed (their horizon reservation was refunded; everything
+    else was committed and is covered by subsequent merges).
+
+    Attributes
+    ----------
+    failures:
+        ``(group_index, exception)`` pairs for the failed blocks, indexed
+        by position in the submitted group.
+    """
+
+    def __init__(self, message: str, failures=()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class FleetExecutionError(ReproError):
     """A fleet replicate failed; carries the failing spec for triage.
 

@@ -22,9 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_positive, check_rng
-from ..exceptions import ValidationError
 from .parameters import PrivacyParams
-from .tree import TreeMechanism, coerce_stream_block, tree_error_bound
+from .tree import (
+    TreeMechanism,
+    coerce_stream_block,
+    coerce_stream_element,
+    tree_error_bound,
+)
 
 __all__ = ["HybridMechanism"]
 
@@ -85,16 +89,21 @@ class HybridMechanism:
         )
 
     def observe(self, value: np.ndarray | float) -> np.ndarray:
-        """Ingest the next element; return the noisy prefix sum over all epochs."""
-        array = np.asarray(value, dtype=float)
-        if array.shape != self.shape:
-            raise ValidationError(
-                f"stream element has shape {array.shape}, expected {self.shape}"
-            )
+        """Ingest the next element; return the noisy prefix sum over all epochs.
+
+        The element is fully validated (shape *and* finiteness) before any
+        state moves, and ``steps_taken`` is bumped only after the epoch tree
+        has consumed it — so a rejected element leaves the epoch bookkeeping
+        (rollovers, frozen totals, ``release_noise_variance``) and the step
+        counter exactly where they were, matching the batch paths' commit
+        ordering.
+        """
+        array = coerce_stream_element(value, self.shape)
         if self._current_tree.steps_taken >= self._current_tree.horizon:
             self._roll_epoch()
+        release = self._frozen_total + self._current_tree.observe(array)
         self.steps_taken += 1
-        return self._frozen_total + self._current_tree.observe(array)
+        return release
 
     def observe_batch(self, values: np.ndarray) -> np.ndarray:
         """Ingest a block of consecutive elements; return all noisy prefix sums.

@@ -90,6 +90,8 @@ __all__ = [
     "tree_levels",
     "tree_error_bound",
     "tree_error_bound_spectral",
+    "coerce_stream_element",
+    "coerce_stream_block",
 ]
 
 
@@ -154,6 +156,26 @@ def tree_error_bound_spectral(
     sigma_node = _node_sigma(levels, l2_sensitivity, params)
     entry_sigma = sigma_node * math.sqrt(levels)
     return entry_sigma * (2.0 * math.sqrt(side_dim) + math.sqrt(2.0 * math.log(1.0 / beta)))
+
+
+def coerce_stream_element(value: np.ndarray | float, shape: tuple[int, ...]) -> np.ndarray:
+    """Validate a single stream element for ingestion.
+
+    The single-element counterpart of :func:`coerce_stream_block`, shared by
+    the Tree and Hybrid mechanisms: shape ``shape`` with finite entries,
+    returned as a float array.  Callers that must not mutate state on a
+    rejected element (the Hybrid mechanism's epoch bookkeeping, the
+    estimators' step counters) validate through this *before* touching any
+    tree.
+    """
+    array = np.asarray(value, dtype=float)
+    if array.shape != tuple(shape):
+        raise ValidationError(
+            f"stream element has shape {array.shape}, expected {tuple(shape)}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise ValidationError("stream element must contain only finite entries")
+    return array
 
 
 def coerce_stream_block(values: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -555,14 +577,7 @@ class TreeMechanism:
         return (self.levels + 1) * self._flat_dim
 
     def _coerce(self, value: np.ndarray | float) -> np.ndarray:
-        array = np.asarray(value, dtype=float)
-        if array.shape != self.shape:
-            raise ValidationError(
-                f"stream element has shape {array.shape}, expected {self.shape}"
-            )
-        if not np.all(np.isfinite(array)):
-            raise ValidationError("stream element must contain only finite entries")
-        return array.reshape(self._flat_dim)
+        return coerce_stream_element(value, self.shape).reshape(self._flat_dim)
 
     def _coerce_batch(self, values: np.ndarray) -> np.ndarray:
         array = coerce_stream_block(values, self.shape)
@@ -635,6 +650,15 @@ def merge_released(
     ``Σ_k popcount(t_k) · σ²_node,k`` — exposed as
     :attr:`MergedRelease.noise_variance` (each shard reports its own term
     via ``release_noise_variance``, so trees and hybrids mix freely).
+
+    The rule is *shape-agnostic* — the additivity argument only uses that
+    every shard's release is its exact sub-stream sum plus independent
+    Gaussians, never the element shape.  Algorithm 2 shards merge ``(d,)``
+    and ``(d, d)`` moment streams; Algorithm 3 shards merge the projected
+    ``(m,)`` / ``(m, m)`` streams through this same function (the Step-4
+    rescaling pins the projected sensitivity at Δ₂ = 2 for any fixed
+    ``Φ``, so per-shard σ calibration is untouched as long as every shard
+    applies the *same* ``Φ``).
 
     Parameters
     ----------

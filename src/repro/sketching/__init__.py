@@ -14,7 +14,7 @@ Three pieces:
   estimator), specialized per constraint-set family.
 """
 
-from .gaussian import GaussianProjection
+from .gaussian import GaussianProjection, step4_rescale, step4_rescale_block
 from .gordon import gordon_dimension, gordon_distortion
 from .lifting import lift, lift_l1_basis_pursuit, lift_least_norm, lift_polytope
 from .projected_set import ProjectedConvexSet
@@ -30,4 +30,6 @@ __all__ = [
     "lift_least_norm",
     "lift_l1_basis_pursuit",
     "lift_polytope",
+    "step4_rescale",
+    "step4_rescale_block",
 ]

@@ -20,7 +20,48 @@ import numpy as np
 from .._validation import check_int, check_rng
 from ..exceptions import ValidationError
 
-__all__ = ["GaussianProjection"]
+__all__ = ["GaussianProjection", "step4_rescale", "step4_rescale_block"]
+
+
+def step4_rescale(projection, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Algorithm 3 Step 4 for one covariate: ``(x̃, Φx̃)`` with ``‖Φx̃‖ = ‖x‖``.
+
+    ``projection`` is anything exposing ``apply``/``projected_dim`` (a
+    :class:`GaussianProjection` or
+    :class:`~repro.sketching.sparse_jl.SparseProjection`).  The all-zeros
+    covariate maps to zeros (the paper assumes ``x ≠ 0`` WLOG; zero
+    covariates carry no information either way).
+    """
+    x = np.asarray(x, dtype=float)
+    projected = projection.apply(x)
+    original_norm = float(np.linalg.norm(x))
+    projected_norm = float(np.linalg.norm(projected))
+    if original_norm == 0.0 or projected_norm == 0.0:
+        return np.zeros_like(x), np.zeros(projection.projected_dim)
+    scale = original_norm / projected_norm
+    return scale * x, scale * projected
+
+
+def step4_rescale_block(projection, xs: np.ndarray) -> np.ndarray:
+    """Algorithm 3 Step 4, vectorized: the ``(k, m)`` block of ``Φx̃`` rows.
+
+    The single definition of the batched rescaling shared by
+    :meth:`~repro.core.projected_regression.PrivIncReg2.observe_batch` and
+    the projected serving shards
+    (:class:`~repro.streaming.serving.ProjectedMomentShard`) — one BLAS
+    product for the whole block, then a per-row scale so every row
+    satisfies ``‖Φx̃_i‖ = ‖x_i‖`` exactly.  Because the rescaling holds for
+    *any* fixed ``Φ``, the projected moment streams built from these rows
+    keep sensitivity Δ₂ = 2 regardless of which projection family drew
+    ``Φ`` and how many shards share it.
+    """
+    xs = np.asarray(xs, dtype=float)
+    norms = np.linalg.norm(xs, axis=1)
+    projected = projection.apply(xs)
+    projected_norms = np.linalg.norm(projected, axis=1)
+    safe = (norms > 0.0) & (projected_norms > 0.0)
+    scale = np.where(safe, norms / np.where(safe, projected_norms, 1.0), 0.0)
+    return projected * scale[:, None]
 
 
 class GaussianProjection:
@@ -72,17 +113,16 @@ class GaussianProjection:
     def rescale_covariate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Algorithm 3 Step 4: return ``(x̃, Φx̃)`` with ``‖Φx̃‖ = ‖x‖``.
 
-        The all-zeros covariate maps to zeros (the paper assumes ``x ≠ 0``
-        WLOG; zero covariates carry no information either way).
+        Delegates to the shared :func:`step4_rescale` helper.
         """
-        x = np.asarray(x, dtype=float)
-        projected = self.apply(x)
-        original_norm = float(np.linalg.norm(x))
-        projected_norm = float(np.linalg.norm(projected))
-        if original_norm == 0.0 or projected_norm == 0.0:
-            return np.zeros_like(x), np.zeros(self.projected_dim)
-        scale = original_norm / projected_norm
-        return scale * x, scale * projected
+        return step4_rescale(self, x)
+
+    def rescale_covariates(self, xs: np.ndarray) -> np.ndarray:
+        """Step 4 over a block: the ``(k, m)`` rows ``Φx̃_i``.
+
+        Delegates to the shared :func:`step4_rescale_block` helper.
+        """
+        return step4_rescale_block(self, xs)
 
     def distortion(self, points: np.ndarray) -> float:
         """Empirical max relative norm distortion over rows of ``points``.

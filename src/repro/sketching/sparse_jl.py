@@ -29,6 +29,7 @@ import numpy as np
 
 from .._validation import check_int, check_rng
 from ..exceptions import ValidationError
+from .gaussian import step4_rescale, step4_rescale_block
 
 __all__ = ["SparseProjection"]
 
@@ -89,15 +90,12 @@ class SparseProjection:
         )
 
     def rescale_covariate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Algorithm 3's Step-4 rescaling: ``(x̃, Φx̃)`` with ``‖Φx̃‖ = ‖x‖``."""
-        x = np.asarray(x, dtype=float)
-        projected = self.apply(x)
-        original_norm = float(np.linalg.norm(x))
-        projected_norm = float(np.linalg.norm(projected))
-        if original_norm == 0.0 or projected_norm == 0.0:
-            return np.zeros_like(x), np.zeros(self.projected_dim)
-        scale = original_norm / projected_norm
-        return scale * x, scale * projected
+        """Algorithm 3's Step-4 rescaling, via the shared helper."""
+        return step4_rescale(self, x)
+
+    def rescale_covariates(self, xs: np.ndarray) -> np.ndarray:
+        """Step 4 over a block of rows, via the shared vectorized helper."""
+        return step4_rescale_block(self, xs)
 
     def distortion(self, points: np.ndarray) -> float:
         """Max relative squared-norm distortion over rows of ``points``."""

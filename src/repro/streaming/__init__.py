@@ -18,7 +18,13 @@ from .adjacency import is_neighbor, replace_point
 from .metrics import ExcessRiskTrace
 from .runner import IncrementalRunner, RunResult
 from .fleet import FleetResult, FleetRunner, ReplicateResult, ReplicateSpec
-from .serving import EstimateCache, MomentShard, ServedEstimate, ShardedStream
+from .serving import (
+    EstimateCache,
+    MomentShard,
+    ProjectedMomentShard,
+    ServedEstimate,
+    ShardedStream,
+)
 
 __all__ = [
     "RegressionStream",
@@ -33,6 +39,7 @@ __all__ = [
     "ReplicateResult",
     "ShardedStream",
     "MomentShard",
+    "ProjectedMomentShard",
     "EstimateCache",
     "ServedEstimate",
 ]

@@ -17,6 +17,21 @@ the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
   key router) to ``K`` :class:`MomentShard` workers, each owning an
   independent pair of moment mechanisms (``Σ x y`` and ``Σ x xᵀ`` trees,
   or Hybrid mechanisms for horizon-free serving) over its sub-stream.
+* **Pluggable backends** — the shard's moment-ingestion contract is a
+  hook (:meth:`MomentShard._transform`), so the same front serves
+  **Algorithm 3**: ``backend="projected"`` draws one Gordon-sized ``Φ``
+  up front and hands it to every :class:`ProjectedMomentShard` (workers
+  ingest ``Φx̃·y`` / ``(Φx̃)(Φx̃)ᵀ`` through the shared Step-4 rescale
+  helper) *and* to the default ``PrivIncReg2`` solver, whose
+  ``refresh_from_released`` then consumes merged **projected** moments.
+  The Step-4 rescaling pins sensitivity at Δ₂ = 2 for any fixed ``Φ``, so
+  the merge rule, budget ledger, and fault semantics below apply to both
+  backends verbatim — and per-shard memory drops from ``O(d² log T)`` to
+  ``O(m² log T)``.
+* **Group ingestion** — :meth:`ShardedStream.observe_group` ingests a
+  group of routed blocks thread-parallel across shards (shards are
+  independent; BLAS releases the GIL), with per-shard order preserved so
+  tree releases stay bit-identical to the sequential route.
 * **Merge + solve** — at refresh points the per-shard released moments are
   merged and handed to a solver (Algorithm 2's PGD pipeline via the
   estimators' ``refresh_from_released`` serve-mode hook); everything after
@@ -62,6 +77,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,20 +90,29 @@ from .._validation import (
     check_xy_block,
 )
 from ..core.incremental_regression import MOMENT_SENSITIVITY, PrivIncReg1
+from ..core.projected_regression import PrivIncReg2, projected_sizing
 from ..core.unbounded import UnboundedPrivIncReg
 from ..exceptions import (
+    GroupIngestionError,
     ServingError,
     ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
 )
-from ..geometry.base import ConvexSet
+from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.hybrid import HybridMechanism
 from ..privacy.parameters import PrivacyParams, shard_budgets
 from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
+from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 
-__all__ = ["ShardedStream", "MomentShard", "EstimateCache", "ServedEstimate"]
+__all__ = [
+    "ShardedStream",
+    "MomentShard",
+    "ProjectedMomentShard",
+    "EstimateCache",
+    "ServedEstimate",
+]
 
 _CLOSE = object()  # queue sentinel
 
@@ -174,10 +199,30 @@ class EstimateCache:
 class MomentShard:
     """One shard worker: independent moment mechanisms over a sub-stream.
 
-    Owns a ``Σ x y`` mechanism (element shape ``(d,)``) and a ``Σ x xᵀ``
-    mechanism (``(d, d)``), each at half the shard's budget — exactly the
-    split Algorithm 2 applies to its two trees.
+    Owns a cross-moment mechanism (element shape ``(moment_dim,)``) and a
+    second-moment mechanism (``(moment_dim, moment_dim)``), each at half
+    the shard's budget — exactly the split Algorithms 2 and 3 apply to
+    their two trees.
+
+    This is the *pluggable shard backend* of the serving front: the
+    moment-ingestion contract lives here once —
+
+    * ``ingest`` maps the routed covariate block through :meth:`_transform`
+      into the ``(k, moment_dim)`` rows the moment streams are built from,
+      then advances both mechanisms (``advance_batch`` exact tier, or one
+      BLAS ``rowsᵀy`` / ``rowsᵀrows`` product + ``advance_sum`` fast tier);
+    * subclasses choose the space.  The base class is Algorithm 2's
+      backend (``moment_dim = d``, identity transform);
+      :class:`ProjectedMomentShard` is Algorithm 3's (``moment_dim = m``,
+      Step-4 rescaled ``Φx̃`` rows through a *shared* ``Φ``).
+
+    Sensitivity is Δ₂ = 2 in both cases (the unit domain for raw moments;
+    the Step-4 rescaling for projected ones), so the budget split, the
+    noise calibration, and the merge rule are backend-agnostic.
     """
+
+    #: Class-level backend tag (subclasses override).
+    backend = "moment"
 
     def __init__(
         self,
@@ -188,43 +233,50 @@ class MomentShard:
         gram_rng: np.random.Generator,
         mechanism: str = "tree",
         shard_horizon: int | None = None,
+        moment_dim: int | None = None,
     ) -> None:
         self.index = index
         self.dim = dim
+        self.moment_dim = dim if moment_dim is None else moment_dim
         self.budget = budget
         self.mechanism = mechanism
         self.shard_horizon = shard_horizon
         self.steps = 0
         self.alive = True
         half = budget.halve()
+        m = self.moment_dim
         if mechanism == "tree":
             self.cross = TreeMechanism(
                 horizon=shard_horizon,
-                shape=(dim,),
+                shape=(m,),
                 l2_sensitivity=MOMENT_SENSITIVITY,
                 params=half,
                 rng=cross_rng,
             )
             self.gram = TreeMechanism(
                 horizon=shard_horizon,
-                shape=(dim, dim),
+                shape=(m, m),
                 l2_sensitivity=MOMENT_SENSITIVITY,
                 params=half,
                 rng=gram_rng,
             )
         else:
             self.cross = HybridMechanism(
-                shape=(dim,),
+                shape=(m,),
                 l2_sensitivity=MOMENT_SENSITIVITY,
                 params=half,
                 rng=cross_rng,
             )
             self.gram = HybridMechanism(
-                shape=(dim, dim),
+                shape=(m, m),
                 l2_sensitivity=MOMENT_SENSITIVITY,
                 params=half,
                 rng=gram_rng,
             )
+
+    def _transform(self, xs: np.ndarray) -> np.ndarray:
+        """Rows the moment streams are built from (identity for Alg. 2)."""
+        return xs
 
     def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
         """Feed a routed block to both moment mechanisms.
@@ -236,20 +288,31 @@ class MomentShard:
         no-consumption guarantee ``_process_block``'s capacity refund
         relies on.
         """
-        k = xs.shape[0]
+        rows = self._transform(xs)
+        k = rows.shape[0]
         if fast:
             # One BLAS product per moment; trees draw only surviving-node
             # noise (distributional tier).
-            cross_total = ys @ xs
-            gram_total = xs.T @ xs
+            cross_total = ys @ rows
+            gram_total = rows.T @ rows
             self.cross.advance_sum(cross_total, k)
             self.gram.advance_sum(gram_total, k)
         else:
-            cross_values = xs * ys[:, None]
-            gram_values = xs[:, :, None] * xs[:, None, :]
+            cross_values = rows * ys[:, None]
+            gram_values = rows[:, :, None] * rows[:, None, :]
             self.cross.advance_batch(cross_values)
             self.gram.advance_batch(gram_values)
         self.steps += k
+
+    def memory_floats(self) -> int:
+        """Floats held by this shard's mechanisms (0 once killed).
+
+        ``O(moment_dim² log T)`` per shard — the Algorithm-3 backend's
+        whole point: ``m² log T`` instead of ``d² log T``.
+        """
+        if not self.alive:
+            return 0
+        return self.cross.memory_floats() + self.gram.memory_floats()
 
     def kill(self) -> None:
         """Drop the mechanisms; the shard's ingested mass is lost."""
@@ -258,8 +321,66 @@ class MomentShard:
         self.gram = None
 
 
+class ProjectedMomentShard(MomentShard):
+    """Algorithm 3's shard backend: projected moments through a shared ``Φ``.
+
+    Workers ingest ``Φx̃·y`` (``(m,)``) and ``(Φx̃)(Φx̃)ᵀ`` (``(m, m)``)
+    where ``x̃`` is the Step-4 rescaled covariate — computed through the
+    *same* :func:`~repro.sketching.gaussian.step4_rescale_block` helper
+    ``PrivIncReg2.observe_batch`` uses, against a single projection drawn
+    once by the serving front and shared by every shard (and by the
+    solver, whose ``refresh_from_released`` then receives merged moments
+    living in the one projected space).  Because the rescaling pins the
+    projected sensitivity at Δ₂ = 2 for *any* fixed ``Φ``, the per-shard
+    noise calibration and the noise-preserving merge rule carry over from
+    the Algorithm-2 backend verbatim.
+
+    The projection is shared state but strictly read-only after
+    construction, so thread-parallel group ingestion across shards needs
+    no synchronization around it.
+    """
+
+    backend = "projected"
+
+    def __init__(
+        self,
+        index: int,
+        dim: int,
+        budget: PrivacyParams,
+        cross_rng: np.random.Generator,
+        gram_rng: np.random.Generator,
+        projection,
+        mechanism: str = "tree",
+        shard_horizon: int | None = None,
+    ) -> None:
+        super().__init__(
+            index=index,
+            dim=dim,
+            budget=budget,
+            cross_rng=cross_rng,
+            gram_rng=gram_rng,
+            mechanism=mechanism,
+            shard_horizon=shard_horizon,
+            moment_dim=projection.projected_dim,
+        )
+        self.projection = projection
+
+    def _transform(self, xs: np.ndarray) -> np.ndarray:
+        return step4_rescale_block(self.projection, xs)
+
+
 class ShardedStream:
-    """A sharded, optionally asynchronous serving front for Algorithm 2.
+    """A sharded, optionally asynchronous, algorithm-generic serving front.
+
+    Fronts **Algorithm 2** (``backend="moment"``, the default: raw
+    ``d``-dimensional moment shards solved by ``PrivIncReg1``) or
+    **Algorithm 3** (``backend="projected"``: one Gordon-sized ``Φ`` drawn
+    up front, Step-4-rescaled projected moment shards in dimension
+    ``m ≪ d``, solved by a ``PrivIncReg2`` sharing that same ``Φ``).  The
+    routing, merge rule, budget ledger, cache, async queue, and fault
+    semantics are backend-agnostic — both backends pin their streams'
+    sensitivity at Δ₂ = 2, so the per-shard calibration and the
+    noise-preserving merge carry over unchanged.
 
     Parameters
     ----------
@@ -299,19 +420,45 @@ class ShardedStream:
         Tree capacity per shard; defaults to the full ``horizon`` so any
         routing imbalance fits (slightly conservative noise).  Set to
         ``ceil(T/K)`` when the router guarantees balance.
+    backend:
+        ``"moment"`` (default — Algorithm 2's raw-moment shards) or
+        ``"projected"`` (Algorithm 3's shared-Φ projected-moment shards;
+        requires ``mechanism="tree"`` and a ``horizon``).
+    x_domain:
+        The covariate domain ``X`` (backend ``"projected"`` only) —
+        needed to Gordon-size ``Φ`` when neither ``projection`` nor
+        ``projected_dim`` is given, and by the default ``PrivIncReg2``
+        solver in any case.
+    projection:
+        Optional pre-built shared projection (anything exposing
+        ``matrix``/``apply``/``projected_dim``, e.g. a
+        :class:`~repro.sketching.sparse_jl.SparseProjection`); drawn
+        internally from ``rng`` when omitted.  Privacy is unaffected by
+        the choice — the Step-4 rescaling pins Δ₂ = 2 for any fixed Φ.
+    projected_dim, gamma:
+        Explicit ``m`` override / distortion override for the internally
+        drawn ``Φ`` (backend ``"projected"`` only; the default sizing is
+        :func:`~repro.core.projected_regression.projected_sizing`, the
+        same arithmetic ``PrivIncReg2`` applies).
     solver:
         Any object with ``refresh_from_released(t, gram, cross)``,
         ``current_estimate()`` and ``estimate_version`` — defaults to a
         :class:`~repro.core.incremental_regression.PrivIncReg1` (or the
-        unbounded variant when ``horizon`` is ``None``) whose own trees
-        never ingest; it contributes only the Steps 2–3 post-processing.
+        unbounded variant when ``horizon`` is ``None``; or a
+        :class:`~repro.core.projected_regression.PrivIncReg2` sharing the
+        front's ``Φ`` under ``backend="projected"``) whose own trees never
+        ingest; it contributes only the post-tree post-processing.
     beta, fidelity, iteration_cap:
         Forwarded to the default solver.
     rng:
-        Seed or Generator.  Shard ``i``'s (cross, gram) mechanisms use
+        Seed or Generator.  Under ``backend="projected"`` the shared ``Φ``
+        is drawn from it first (exactly the plain ``PrivIncReg2``
+        consumption); then shard ``i``'s (cross, gram) mechanisms use
         children ``2i``/``2i+1`` of ``rng.spawn(2K)`` — for ``K=1`` this
         is exactly the plain estimators' two-child spawn, which is what
-        makes the ``K=1`` server bit-identical to the plain batched path.
+        makes the ``K=1`` server bit-identical (moment backend) or
+        tree-release-bit-identical (projected backend) to the plain
+        batched path.
     """
 
     def __init__(
@@ -328,6 +475,11 @@ class ShardedStream:
         router: "str | callable" = "round_robin",
         mode: str = "sync",
         shard_horizon: int | None = None,
+        backend: str = "moment",
+        x_domain: PointSet | None = None,
+        projection=None,
+        projected_dim: int | None = None,
+        gamma: float | None = None,
         solver=None,
         beta: float = 0.05,
         fidelity: str = "fast",
@@ -336,6 +488,25 @@ class ShardedStream:
     ) -> None:
         if ingest not in ("exact", "fast"):
             raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
+        if backend not in ("moment", "projected"):
+            raise ValidationError(
+                f"backend must be 'moment' or 'projected', got {backend!r}"
+            )
+        if backend == "moment" and not (
+            x_domain is None
+            and projection is None
+            and projected_dim is None
+            and gamma is None
+        ):
+            raise ValidationError(
+                "x_domain/projection/projected_dim/gamma only apply to "
+                "backend='projected'"
+            )
+        if backend == "projected" and mechanism != "tree":
+            raise ValidationError(
+                "backend='projected' needs tree shards (there is no "
+                "horizon-free projected solver; Algorithm 3 assumes a known T)"
+            )
         if mechanism not in ("tree", "hybrid"):
             raise ValidationError(
                 f"mechanism must be 'tree' or 'hybrid', got {mechanism!r}"
@@ -401,18 +572,52 @@ class ShardedStream:
             shard_horizon = check_int("shard_horizon", shard_horizon, minimum=1)
         self.shard_horizon = shard_horizon if self.mechanism == "tree" else None
 
+        self.backend = backend
+        self.x_domain = x_domain
+        self._solver_gamma = gamma
+        if backend == "projected":
+            if solver is None and x_domain is None:
+                raise ValidationError(
+                    "backend='projected' needs x_domain for the default "
+                    "PrivIncReg2 solver (or pass an explicit solver)"
+                )
+            if projection is not None:
+                if projection.original_dim != self.dim:
+                    raise ValidationError(
+                        f"projection maps from dim {projection.original_dim}, "
+                        f"expected {self.dim}"
+                    )
+                self.projection = projection
+            else:
+                if projected_dim is None:
+                    if x_domain is None:
+                        raise ValidationError(
+                            "backend='projected' needs x_domain (or an explicit "
+                            "projection/projected_dim) to size Φ"
+                        )
+                    _, _, projected_dim = projected_sizing(
+                        self.horizon, constraint, x_domain, beta=beta, gamma=gamma
+                    )
+                else:
+                    projected_dim = check_int(
+                        "projected_dim", projected_dim, minimum=1
+                    )
+                # Φ is drawn from the front's generator BEFORE the shard
+                # spawn — the same consumption order as a plain PrivIncReg2,
+                # which keeps the K=1 shard children identical to the plain
+                # estimator's two trees.
+                self.projection = GaussianProjection(
+                    self.dim, projected_dim, rng=self._rng
+                )
+            self.projected_dim = self.projection.projected_dim
+        else:
+            self.projection = None
+            self.projected_dim = None
+
         budgets = shard_budgets(params, self.shards_count, composition)
         children = self._rng.spawn(2 * self.shards_count)
         self._shards = [
-            MomentShard(
-                index=i,
-                dim=self.dim,
-                budget=budgets[i],
-                cross_rng=children[2 * i],
-                gram_rng=children[2 * i + 1],
-                mechanism=self.mechanism,
-                shard_horizon=self.shard_horizon,
-            )
+            self._make_shard(i, budgets[i], children[2 * i], children[2 * i + 1])
             for i in range(self.shards_count)
         ]
 
@@ -446,6 +651,7 @@ class ShardedStream:
         self.lost_steps = 0
         self._error: BaseException | None = None
         self._closed = False
+        self._group_executor: ThreadPoolExecutor | None = None
         # Publish the solver's initial parameter so reads never block.
         self.cache.put(
             self.solver.current_estimate(),
@@ -460,8 +666,67 @@ class ShardedStream:
             )
             self._worker.start()
 
+    def _make_shard(
+        self,
+        index: int,
+        budget: PrivacyParams,
+        cross_rng: np.random.Generator,
+        gram_rng: np.random.Generator,
+    ) -> MomentShard:
+        """Construct one shard worker for the configured backend."""
+        if self.backend == "projected":
+            return ProjectedMomentShard(
+                index=index,
+                dim=self.dim,
+                budget=budget,
+                cross_rng=cross_rng,
+                gram_rng=gram_rng,
+                projection=self.projection,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+            )
+        return MomentShard(
+            index=index,
+            dim=self.dim,
+            budget=budget,
+            cross_rng=cross_rng,
+            gram_rng=gram_rng,
+            mechanism=self.mechanism,
+            shard_horizon=self.shard_horizon,
+        )
+
+    def _group_pool(self) -> ThreadPoolExecutor:
+        """The persistent group-ingestion thread pool (lazily created).
+
+        One pool per front, reused across :meth:`observe_group` calls, so
+        per-group overhead is task dispatch only — creating threads per
+        group would dominate small blocks.  Sized at ``K``: there is never
+        more than one task per shard queue in flight.
+        """
+        if self._group_executor is None:
+            self._group_executor = ThreadPoolExecutor(
+                max_workers=self.shards_count, thread_name_prefix="shard-group"
+            )
+        return self._group_executor
+
     def _default_solver(self, beta: float, fidelity: str, iteration_cap: int):
         solver_rng = self._rng.spawn(1)[0]
+        if self.backend == "projected":
+            # Shares the front's Φ, so refresh_from_released receives merged
+            # moments living in the solver's own projected space; its two
+            # internal trees never ingest (lazy allocation keeps them O(m)).
+            return PrivIncReg2(
+                horizon=self.horizon,
+                constraint=self.constraint,
+                x_domain=self.x_domain,
+                params=self.params,
+                beta=beta,
+                gamma=self._solver_gamma,
+                fidelity=fidelity,
+                iteration_cap=iteration_cap,
+                projection=self.projection,
+                rng=solver_rng,
+            )
         if self.horizon is not None:
             return PrivIncReg1(
                 horizon=self.horizon,
@@ -529,6 +794,164 @@ class ShardedStream:
             self._queue.put((np.array(xs), np.array(ys)))
         return self.current_estimate()
 
+    def observe_group(
+        self,
+        blocks,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Ingest a *group* of blocks, thread-parallel across shards.
+
+        Each block of the group is routed exactly as ``len(blocks)``
+        successive :meth:`observe_batch` calls would route it (round-robin
+        over live shards, in group order), but the per-shard work runs
+        concurrently on a thread pool: shards are fully independent — own
+        mechanisms, own generators, a read-only shared ``Φ`` — and the
+        heavy lifting (the BLAS moment products of the ``fast`` tier, the
+        Gaussian draws) releases the GIL, so a group of ``K`` blocks
+        ingests in roughly the time of the largest single block.  One
+        merge + solve runs after the whole group (the refresh cadence
+        still honors ``refresh_every``), so the served estimate is exactly
+        the sequential route's post-group state; per-shard tree releases
+        are bit-identical to the sequential route because each shard
+        consumes its blocks in the same order either way.
+
+        Only ``mode="sync"`` supports groups (async/manual callers already
+        have a queue to overlap ingestion with).
+
+        Parameters
+        ----------
+        blocks:
+            Sequence of ``(xs, ys)`` block pairs (each ``(k_i, d)`` /
+            ``(k_i,)``).  The whole group is validated and reserved
+            against the horizon atomically before anything ingests.
+        workers:
+            Thread-pool width; defaults to one thread per shard that
+            received work.  ``workers=1`` degrades to inline sequential
+            ingestion (useful as a control in benchmarks).
+
+        Raises
+        ------
+        GroupIngestionError
+            If any shard fails mid-group (only possible with a custom
+            ``shard_horizon``): the committed blocks stay committed, the
+            failed blocks' horizon reservation is refunded, and
+            ``failures`` reports which group indices were lost.
+        """
+        self._raise_if_unusable()
+        if self.mode != "sync":
+            raise ServingError(
+                "observe_group requires mode='sync' (async/manual modes "
+                "already pipeline through the ingestion queue)"
+            )
+        blocks = list(blocks)
+        if not blocks:
+            raise ValidationError("block group must contain at least one block")
+        if workers is not None:
+            workers = check_int("workers", workers, minimum=1)
+        validated = []
+        for xs, ys in blocks:
+            xs, ys = check_xy_block(xs, ys, dim=self.dim)
+            check_unit_xy_domain("ShardedStream", xs, ys)
+            validated.append((xs, ys))
+        total = sum(len(ys) for _, ys in validated)
+        with self._lock:
+            if self.horizon is not None and self._enqueued + total > self.horizon:
+                raise StreamExhaustedError(
+                    f"ShardedStream configured for horizon {self.horizon} "
+                    f"received a group of {total} points at logical step "
+                    f"{self._enqueued}"
+                )
+            self._enqueued += total
+            try:
+                self._ingest_group(validated, workers)
+            except BaseException:
+                # _ingest_group already refunded the failed blocks'
+                # reservation; a pre-ingestion failure (routing) refunds
+                # everything.
+                raise
+            if self._should_refresh():
+                self._refresh()
+        return self.current_estimate()
+
+    def _ingest_group(self, blocks, workers: int | None) -> None:
+        """Route a validated group, then drain per-shard queues in parallel.
+
+        Routing happens up front (it is order-sensitive shared state);
+        after that each shard's assigned blocks form an independent work
+        queue consumed by one task, so no two threads ever touch the same
+        mechanism.  Failures are per-block atomic (the trees validate and
+        check capacity before consuming), per-shard fail-stop (a shard
+        stops at its first failed block), and fully reported.
+        """
+        try:
+            assignments: dict[int, list[tuple[int, MomentShard, np.ndarray, np.ndarray]]] = {}
+            for group_index, (xs, ys) in enumerate(blocks):
+                shard = self._route(xs, ys)
+                self._blocks_routed += 1
+                assignments.setdefault(shard.index, []).append(
+                    (group_index, shard, xs, ys)
+                )
+        except BaseException:
+            self._enqueued -= sum(len(ys) for _, ys in blocks)
+            raise
+
+        ingested = 0
+        failures: list[tuple[int, BaseException]] = []
+        failure_lock = threading.Lock()
+
+        def drain_queue(tasks) -> int:
+            """Ingest ONE shard's queue in order; fail-stop that shard only.
+
+            A failed block aborts the rest of *this shard's* queue (its
+            sub-stream order would otherwise gap) and reports every
+            unattempted block of the queue as failed; other shards'
+            queues are unaffected.
+            """
+            done = 0
+            for position, (group_index, shard, xs, ys) in enumerate(tasks):
+                try:
+                    shard.ingest(xs, ys, self._fast)
+                except BaseException as exc:
+                    with failure_lock:
+                        failures.append((group_index, exc))
+                        failures.extend(
+                            (later_index, exc)
+                            for later_index, _, _, _ in tasks[position + 1 :]
+                        )
+                    return done
+                done += len(ys)
+            return done
+
+        def drain_bucket(bucket) -> int:
+            return sum(drain_queue(tasks) for tasks in bucket)
+
+        queues = list(assignments.values())
+        width = min(workers or len(queues), len(queues))
+        if width == 1:
+            ingested = drain_bucket(queues)
+        else:
+            # Bucket whole per-shard queues onto `width` threads of the
+            # persistent pool.  Buckets hold queues (never flattened), so
+            # per-shard order — and with it tree-release bit-identity — is
+            # preserved, and one shard's failure stops only its own queue.
+            buckets: list[list] = [[] for _ in range(width)]
+            for i, tasks in enumerate(queues):
+                buckets[i % width].append(tasks)
+            ingested = sum(self._group_pool().map(drain_bucket, buckets))
+        self._processed += ingested
+        if failures:
+            failures.sort(key=lambda pair: pair[0])
+            lost = sum(
+                len(blocks[group_index][1]) for group_index, _ in failures
+            )
+            self._enqueued -= lost
+            raise GroupIngestionError(
+                f"{len(failures)} of {len(blocks)} group blocks failed to "
+                f"ingest ({lost} points refunded); first error: "
+                f"{failures[0][1]}",
+                failures=failures,
+            ) from failures[0][1]
+
     def flush(self) -> ServedEstimate:
         """Drain pending ingestion and solve through everything processed.
 
@@ -584,6 +1007,9 @@ class ShardedStream:
                 self._queue.put(_CLOSE)
                 self._worker.join()
                 self._worker = None
+            if self._group_executor is not None:
+                self._group_executor.shutdown(wait=True)
+                self._group_executor = None
 
     def __enter__(self) -> "ShardedStream":
         return self
@@ -625,6 +1051,20 @@ class ShardedStream:
                 {"index": s.index, "alive": s.alive, "steps": s.steps}
                 for s in self._shards
             ]
+
+    def memory_floats(self) -> int:
+        """Floats held by the shard mechanisms (plus the shared ``Φ``).
+
+        ``K · O(moment_dim² log T)`` — under ``backend="projected"`` that
+        is ``K·O(m² log T) + m·d`` (one shared projection, counted once),
+        versus the moment backend's ``K·O(d² log T)``; the quantity
+        ``bench_projected_serving.py`` records.
+        """
+        with self._lock:
+            total = sum(s.memory_floats() for s in self._shards)
+        if self.projection is not None:
+            total += int(self.projection.matrix.size)
+        return total
 
     def merged_moments(self) -> tuple[MergedRelease, MergedRelease]:
         """The merged (cross, gram) released moments right now.
@@ -690,14 +1130,8 @@ class ShardedStream:
                     f"shard{index}:moments(restart)", old.budget.halve(), count=2
                 )
             cross_rng, gram_rng = self._rng.spawn(2)
-            self._shards[index] = MomentShard(
-                index=index,
-                dim=self.dim,
-                budget=old.budget,
-                cross_rng=cross_rng,
-                gram_rng=gram_rng,
-                mechanism=self.mechanism,
-                shard_horizon=self.shard_horizon,
+            self._shards[index] = self._make_shard(
+                index, old.budget, cross_rng, gram_rng
             )
 
     # ------------------------------------------------------------------
