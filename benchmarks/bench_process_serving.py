@@ -1,0 +1,190 @@
+"""Experiment N.proc — the serving transport matrix: thread vs process.
+
+What this measures (ISSUE 4): the thread transport's group-parallel
+ingestion is GIL-bound except where BLAS releases the GIL, so on small
+block moments most of the exact-tier work (per-element tree bookkeeping,
+Gaussian draws) serializes.  ``transport="process"`` moves each shard's
+mechanisms into their own interpreter behind a pipe — the parent ships
+routed blocks down and compact ``ReleasedMoments`` snapshots come back at
+refresh points — so shard ingestion runs on real cores and the GIL bounds
+only the routing shell.
+
+The sweep drives both transports through the *same* group-parallel front
+(``observe_group`` with one drain thread per shard: under the thread
+transport the drain thread does the work; under the process transport it
+merely awaits the pipe while the worker computes), over shard counts and
+both ingest tiers, against the single-shard batched path as the common
+baseline.  Per-transport costs are real and recorded rather than hidden:
+worker boot (``spawn``) is measured separately from steady-state ingest,
+and the pipe serialization toll rides inside the ingest seconds.
+
+**Read the numbers next to** ``cpu_count`` **(recorded in the JSON, as for
+the group-parallel thread benchmark before it): on a single-core container
+the process transport cannot win — the same total work plus pickling plus
+context switches lands at break-even-or-worse, and the committed JSON from
+such a host documents exactly that.  The multi-core claim (process ingest
+scaling past the thread pool's GIL ceiling) must be re-measured on real
+hardware; the suite-level correctness contracts are transport-independent
+either way (``tests/test_process_serving.py``).**
+
+Results land in ``BENCH_process_serving.json``.  ``BENCH_PROC_T`` /
+``BENCH_PROC_DIM`` / ``BENCH_PROC_SHARDS`` shrink the sweep for smoke runs
+(CI), which write the JSON only when ``BENCH_PROC_WRITE=1`` so local smoke
+runs never clobber committed full-scale numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro import L2Ball, PrivIncReg1, ShardedStream
+from repro.data import make_dense_stream
+
+from common import bench_budget, record
+
+T = int(os.environ.get("BENCH_PROC_T", "20000"))
+DIM = int(os.environ.get("BENCH_PROC_DIM", "32"))
+BATCH = 64
+ITERATION_CAP = 40
+SHARD_COUNTS = [
+    int(k) for k in os.environ.get("BENCH_PROC_SHARDS", "1,2,4").split(",")
+]
+TRANSPORTS = ["thread", "process"]
+RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_process_serving.json"
+
+
+def _blocks():
+    return [(s, min(s + BATCH, T)) for s in range(0, T, BATCH)]
+
+
+def _groups(shards: int):
+    """Consecutive blocks grouped K at a time (the group-parallel unit)."""
+    blocks = _blocks()
+    return [blocks[i : i + shards] for i in range(0, len(blocks), shards)]
+
+
+def _baseline_seconds(stream) -> float:
+    estimator = PrivIncReg1(
+        horizon=T,
+        constraint=L2Ball(DIM),
+        params=bench_budget(),
+        iteration_cap=ITERATION_CAP,
+        solve_every=BATCH,
+        rng=1,
+    )
+    start = time.perf_counter()
+    for s, e in _blocks():
+        estimator.observe_batch(stream.xs[s:e], stream.ys[s:e])
+    return time.perf_counter() - start
+
+
+def _serving_run(stream, shards: int, transport: str, ingest: str) -> dict:
+    boot_start = time.perf_counter()
+    server = ShardedStream(
+        L2Ball(DIM),
+        bench_budget(),
+        shards=shards,
+        horizon=T,
+        ingest=ingest,
+        transport=transport,
+        refresh_every=BATCH * shards,
+        iteration_cap=ITERATION_CAP,
+        rng=1,
+    )
+    boot_seconds = time.perf_counter() - boot_start
+    start = time.perf_counter()
+    for group in _groups(shards):
+        batched = [(stream.xs[s:e], stream.ys[s:e]) for s, e in group]
+        server.observe_group(batched, workers=shards)
+    server.flush()
+    seconds = time.perf_counter() - start
+    server.close()
+    return {
+        "shards": shards,
+        "transport": transport,
+        "ingest": ingest,
+        "boot_seconds": boot_seconds,
+        "seconds": seconds,
+        "points_per_second": T / seconds,
+    }
+
+
+def test_process_serving_transport_matrix(benchmark):
+    """Thread vs process transport, group-parallel ingest, both tiers."""
+    stream = make_dense_stream(T, DIM, noise_std=0.05, rng=0)
+
+    baseline_seconds = _baseline_seconds(stream)
+    record(
+        "N.proc transport matrix",
+        engine="single-shard batched (PrivIncReg1)",
+        T=T,
+        d=DIM,
+        seconds=baseline_seconds,
+        points_per_second=T / baseline_seconds,
+        speedup=1.0,
+    )
+
+    rows = []
+
+    def sweep():
+        for shards in SHARD_COUNTS:
+            for transport in TRANSPORTS:
+                for ingest in ("exact", "fast"):
+                    row = _serving_run(stream, shards, transport, ingest)
+                    row["speedup_vs_batched"] = baseline_seconds / row["seconds"]
+                    rows.append(row)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        record(
+            "N.proc transport matrix",
+            engine=(
+                f"K={row['shards']} {row['transport']} ({row['ingest']})"
+            ),
+            T=T,
+            d=DIM,
+            seconds=row["seconds"],
+            points_per_second=row["points_per_second"],
+            speedup=row["speedup_vs_batched"],
+        )
+
+    payload = {
+        "experiment": "bench_process_serving",
+        "config": {
+            "T": T,
+            "d": DIM,
+            "batch": BATCH,
+            "refresh_every": "batch*shards",
+            "iteration_cap": ITERATION_CAP,
+            "epsilon": bench_budget().epsilon,
+            "delta": bench_budget().delta,
+            "shard_counts": SHARD_COUNTS,
+            "transports": TRANSPORTS,
+            "baseline": "PrivIncReg1.observe_batch solve_every=batch",
+            "ingestion_front": "observe_group(workers=K)",
+            "start_method": "spawn",
+            # The one number the transport comparison cannot be read
+            # without: process-ingest wins need real cores.
+            "cpu_count": os.cpu_count(),
+        },
+        "baseline_seconds": baseline_seconds,
+        "baseline_points_per_second": T / baseline_seconds,
+        "serving": rows,
+    }
+    full_scale = (
+        "BENCH_PROC_T" not in os.environ and "BENCH_PROC_DIM" not in os.environ
+    )
+    if full_scale or os.environ.get("BENCH_PROC_WRITE") == "1":
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Transport-independence sanity: both transports complete the sweep
+    # (the equivalence *values* are pinned by the test suite; this guards
+    # against a silently degenerate run), and process-worker boot stays
+    # bounded.  The multi-core ingest win is read off the JSON next to its
+    # cpu_count — never asserted by CI on unknown cores.
+    assert {row["transport"] for row in rows} == set(TRANSPORTS)
+    for row in rows:
+        if row["transport"] == "process":
+            assert row["boot_seconds"] < 30.0

@@ -31,6 +31,7 @@ from .exceptions import (
     FleetExecutionError,
     GroupIngestionError,
     LiftingError,
+    NoEstimateError,
     NotSupportedError,
     PrivacyBudgetError,
     ReproError,
@@ -44,6 +45,7 @@ from .privacy import (
     MergedRelease,
     PrivacyAccountant,
     PrivacyParams,
+    ReleasedMoments,
     TreeMechanism,
     merge_released,
     shard_budgets,
@@ -85,6 +87,7 @@ from .streaming import (
     FleetRunner,
     IncrementalRunner,
     MomentShard,
+    ProcessShardWorker,
     ProjectedMomentShard,
     RegressionStream,
     ReplicateResult,
@@ -123,6 +126,7 @@ __all__ = [
     "NotSupportedError",
     "ShardUnavailableError",
     "ServingError",
+    "NoEstimateError",
     "GroupIngestionError",
     "FleetExecutionError",
     # privacy
@@ -131,6 +135,7 @@ __all__ = [
     "TreeMechanism",
     "HybridMechanism",
     "MergedRelease",
+    "ReleasedMoments",
     "merge_released",
     "shard_budgets",
     # geometry
@@ -172,6 +177,7 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "ProcessShardWorker",
     "EstimateCache",
     "ServedEstimate",
     # core

@@ -135,6 +135,13 @@ class PrivIncReg2:
         footnote-16 alternative).  When given, its dimensions override
         ``projected_dim``.  Privacy is unaffected by the choice: the
         Step-4 rescaling pins the sensitivity at 2 for *any* fixed ``Φ``.
+        This is also the Φ hand-off seam the serving fronts use: a
+        projected ``ShardedStream`` passes its single front-drawn ``Φ``
+        here so ``refresh_from_released`` receives merged moments living
+        in the solver's own projected space, and process shard workers
+        re-attach to the same map from its shipped matrix
+        (:meth:`~repro.sketching.gaussian.GaussianProjection.from_matrix`
+        rebuilds a projection around an existing matrix).
     rng:
         Seed or Generator.
     """

@@ -84,6 +84,24 @@ class ServingError(ReproError):
     """
 
 
+class NoEstimateError(ServingError, LookupError):
+    """A read hit an :class:`~repro.streaming.serving.EstimateCache` that has
+    never been published to.
+
+    ``EstimateCache.get`` is an O(1) pointer read; before the first solve
+    there is no pointer to return, and silently returning a zero parameter
+    would be indistinguishable from a real estimate.  The error names the
+    fix (``flush()`` forces a merge + solve over everything ingested).
+    Subclasses both :class:`ServingError` (so serving-layer handlers keep
+    working) and :class:`LookupError` (the natural builtin for a failed
+    cache lookup).
+
+    ``ShardedStream`` publishes its solver's initial parameter at
+    construction, so its readers never see this; it surfaces only on a
+    bare ``EstimateCache`` used as a standalone component.
+    """
+
+
 class GroupIngestionError(ServingError):
     """A thread-parallel block-group ingestion partially failed.
 

@@ -31,6 +31,7 @@ from .composition import (
 from .accountant import PrivacyAccountant
 from .tree import (
     MergedRelease,
+    ReleasedMoments,
     TreeMechanism,
     merge_released,
     tree_error_bound,
@@ -44,6 +45,7 @@ __all__ = [
     "PrivacyParams",
     "shard_budgets",
     "MergedRelease",
+    "ReleasedMoments",
     "merge_released",
     "GaussianMechanism",
     "LaplaceMechanism",

@@ -25,6 +25,7 @@ from .._validation import check_positive, check_rng
 from .parameters import PrivacyParams
 from .tree import (
     TreeMechanism,
+    _snapshot_released,
     coerce_stream_block,
     coerce_stream_element,
     tree_error_bound,
@@ -181,6 +182,17 @@ class HybridMechanism:
         :func:`~repro.privacy.tree.merge_released`'s variance accounting.
         """
         return self._frozen_noise_variance + self._current_tree.release_noise_variance()
+
+    def released_moments(self):
+        """Snapshot the current release as a picklable ``ReleasedMoments``.
+
+        Same contract as :meth:`TreeMechanism.released_moments
+        <repro.privacy.tree.TreeMechanism.released_moments>`: the frozen
+        epochs' total and the live epoch's release collapse into one value
+        plus the combined variance term, so hybrid shards cross a process
+        boundary exactly like tree shards.
+        """
+        return _snapshot_released(self)
 
     def error_bound(self, beta: float = 0.05) -> float:
         """High-probability error radius at the current timestep.

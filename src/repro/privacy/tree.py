@@ -69,6 +69,26 @@ stream order) the batched path draws *the same* noise as ``k`` sequential
 consumes the underlying bit stream exactly like ``k`` draws of size ``d``
 — and performs the same floating-point additions in the same order, so the
 two paths produce bit-identical releases and may be freely interleaved.
+
+The picklable release contract (``ReleasedMoments``)
+----------------------------------------------------
+A sharded server that runs its shard mechanisms in other *processes*
+cannot hand live mechanisms to :func:`merge_released` — only bytes cross
+the pipe.  :meth:`TreeMechanism.released_moments` (and the Hybrid
+mechanism's method of the same name) therefore snapshots everything the
+merge rule consumes into a :class:`ReleasedMoments` value object: the
+current released sum, its per-coordinate noise variance, the step count,
+and the element shape.  The snapshot is a plain frozen dataclass of
+``float64`` arrays and scalars, so pickling it is lossless — a merge over
+snapshots is **bit-identical** to a merge over the live mechanisms they
+were taken from — and compact: ``O(d)``/``O(d²)`` per shard per refresh
+(the released statistic), never ``O(d log T)`` (the tree).  This is the
+serialize-the-sketch-not-the-data wire format of the serving layer's
+process transport (:mod:`repro.streaming.transport`); because
+:class:`ReleasedMoments` exposes the same ``current_sum`` /
+``release_noise_variance`` / ``steps_taken`` / ``shape`` surface as the
+mechanisms, :func:`merge_released` accepts live mechanisms and snapshots
+interchangeably (even mixed in one call).
 """
 
 from __future__ import annotations
@@ -86,6 +106,7 @@ from .parameters import PrivacyParams
 __all__ = [
     "TreeMechanism",
     "MergedRelease",
+    "ReleasedMoments",
     "merge_released",
     "tree_levels",
     "tree_error_bound",
@@ -538,6 +559,16 @@ class TreeMechanism:
         """
         return int(self.steps_taken).bit_count() * self.sigma_node**2
 
+    def released_moments(self) -> "ReleasedMoments":
+        """Snapshot the current release as a picklable :class:`ReleasedMoments`.
+
+        Post-processing of an already-released value — free privacy-wise,
+        like :meth:`current_sum`.  The snapshot merges interchangeably with
+        live mechanisms (:func:`merge_released`), which is how process
+        shard workers ship their released moments over a pipe.
+        """
+        return _snapshot_released(self)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -589,6 +620,82 @@ class TreeMechanism:
             f"sensitivity={self.l2_sensitivity}, params={self.params}, "
             f"levels={self.levels}, sigma_node={self.sigma_node:.4g})"
         )
+
+
+# ---------------------------------------------------------------------------
+# The picklable released-moments snapshot (the shard wire format)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class ReleasedMoments:
+    """A mechanism's current release as a compact, picklable value object.
+
+    Everything :func:`merge_released` reads off a live mechanism, frozen at
+    snapshot time: the released prefix sum, its per-coordinate noise
+    variance, the step count, and the element shape.  Snapshots are what a
+    process shard worker ships back over its pipe at refresh points
+    (:mod:`repro.streaming.transport`) — ``float64`` round-trips pickling
+    losslessly, so merging snapshots is bit-identical to merging the live
+    mechanisms, and the payload is the *released statistic*
+    (``O(prod(shape))``), never the tree state (``O(d log T)``).
+
+    The class mirrors the mechanism read surface (``current_sum()``,
+    ``release_noise_variance()``, ``steps_taken``, ``shape``), so snapshots
+    are accepted anywhere a mechanism is merged — including mixed with live
+    mechanisms in one :func:`merge_released` call.
+    """
+
+    value: np.ndarray
+    noise_variance: float
+    steps: int
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        frozen = np.array(self.value, dtype=float)
+        frozen.setflags(write=False)
+        object.__setattr__(self, "value", frozen)
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if frozen.shape != self.shape:
+            raise ValidationError(
+                f"released value has shape {frozen.shape}, expected {self.shape}"
+            )
+
+    def __eq__(self, other) -> bool:
+        # The dataclass-generated __eq__ would compare the ndarray field
+        # elementwise and raise on bool() — define value equality instead
+        # (snapshots are wire objects; comparing them must just work).
+        if not isinstance(other, ReleasedMoments):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.steps == other.steps
+            and self.noise_variance == other.noise_variance
+            and np.array_equal(self.value, other.value)
+        )
+
+    @property
+    def steps_taken(self) -> int:
+        """Steps the snapshotted mechanism had ingested (mechanism surface)."""
+        return int(self.steps)
+
+    def current_sum(self) -> np.ndarray:
+        """The snapshotted release (mechanism surface; post-processing)."""
+        return self.value
+
+    def release_noise_variance(self) -> float:
+        """Per-coordinate noise variance of the snapshotted release."""
+        return float(self.noise_variance)
+
+
+def _snapshot_released(mechanism) -> ReleasedMoments:
+    """Snapshot any mechanism exposing the merge read surface."""
+    return ReleasedMoments(
+        value=np.array(mechanism.current_sum(), dtype=float),
+        noise_variance=float(mechanism.release_noise_variance()),
+        steps=int(mechanism.steps_taken),
+        shape=tuple(mechanism.shape),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -664,8 +771,13 @@ def merge_released(
     ----------
     mechanisms:
         Per-shard mechanisms (``TreeMechanism`` or
-        :class:`~repro.privacy.hybrid.HybridMechanism`), with ``None``
-        marking an unavailable (dead) shard.
+        :class:`~repro.privacy.hybrid.HybridMechanism`) and/or their
+        picklable :class:`ReleasedMoments` snapshots — the two are
+        interchangeable (snapshots freeze exactly the read surface this
+        function consumes, so a merge over snapshots is bit-identical to a
+        merge over the mechanisms they were taken from; process shard
+        workers rely on this).  ``None`` marks an unavailable (dead)
+        shard.
     strict:
         When True (default), any unavailable shard raises
         :class:`~repro.exceptions.ShardUnavailableError`.  When False, the

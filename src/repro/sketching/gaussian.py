@@ -94,6 +94,31 @@ class GaussianProjection:
             0.0, 1.0 / np.sqrt(projected_dim), size=(projected_dim, original_dim)
         )
 
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "GaussianProjection":
+        """Rebuild a projection around an existing ``m × d`` matrix.
+
+        The Φ hand-off constructor: a serving front that spawns projected
+        shard workers in other processes ships the front-drawn matrix in
+        the picklable spawn payload, and the worker re-attaches to the
+        *same* map through this (Algorithm 3's guarantee needs every shard
+        and the solver to share one fixed ``Φ``; privacy needs nothing of
+        ``Φ`` at all).  Also the way to restore a persisted ``Φ``.  The
+        matrix is copied; entries are validated finite.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] < 1 or matrix.shape[1] < 1:
+            raise ValidationError(
+                f"projection matrix must be (m, d) with m, d >= 1, "
+                f"got shape {matrix.shape}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise ValidationError("projection matrix must be finite")
+        self = cls.__new__(cls)
+        self.projected_dim, self.original_dim = (int(s) for s in matrix.shape)
+        self.matrix = matrix.copy()
+        return self
+
     def apply(self, vector: np.ndarray) -> np.ndarray:
         """``Φ x`` for a single vector (or ``Φ Xᵀ`` column-wise for a batch)."""
         vector = np.asarray(vector, dtype=float)

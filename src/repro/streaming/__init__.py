@@ -10,7 +10,10 @@ measures the Definition-1 excess risk against the exact constrained
 minimizer.  The fleet runner replicates such runs across seeds and worker
 processes for Monte-Carlo sweeps.  The serving module adds the production
 front: a sharded stream with per-shard moment trees, a noise-preserving
-merge rule, asynchronous ingestion, and a versioned estimate cache.
+merge rule, asynchronous ingestion, and a versioned estimate cache; the
+transport module lets those shard workers run in their own interpreters
+behind ``multiprocessing`` pipes (``ShardedStream(transport="process")``),
+shipping released moments back as picklable snapshots.
 """
 
 from .stream import RegressionStream
@@ -25,6 +28,7 @@ from .serving import (
     ServedEstimate,
     ShardedStream,
 )
+from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = [
     "RegressionStream",
@@ -40,6 +44,8 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "ProcessShardWorker",
+    "ShardSpec",
     "EstimateCache",
     "ServedEstimate",
 ]

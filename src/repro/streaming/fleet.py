@@ -21,7 +21,11 @@ Pickling
 Process-pool execution requires every :class:`ReplicateSpec` field to be
 picklable.  Use module-level factory functions or :func:`functools.partial`
 over module-level callables (closures and lambdas only work with
-``workers=0`` inline execution).
+``workers=0`` inline execution).  The serving layer's process transport
+(:mod:`repro.streaming.transport`) follows the same spec-plumbing pattern:
+a frozen picklable recipe (:class:`~repro.streaming.transport.ShardSpec`)
+crosses the process boundary and the worker rebuilds its objects from it —
+never the live objects themselves.
 """
 
 from __future__ import annotations

@@ -28,10 +28,23 @@ the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
   the merge rule, budget ledger, and fault semantics below apply to both
   backends verbatim — and per-shard memory drops from ``O(d² log T)`` to
   ``O(m² log T)``.
+* **Transports** — shard workers live either in the serving process
+  (``transport="thread"``, the default: zero-copy merges, group
+  parallelism bounded by the GIL except where BLAS releases it) or each
+  in their **own interpreter** (``transport="process"``: a
+  :class:`~repro.streaming.transport.ProcessShardWorker` drives the same
+  ``MomentShard`` over a ``multiprocessing`` pipe, shipping released
+  moments back as picklable
+  :class:`~repro.privacy.tree.ReleasedMoments` snapshots).  The two
+  transports build identical mechanisms from identical rng children, so
+  everything below — tiers, merge rule, fault semantics — holds verbatim
+  for both; see :mod:`repro.streaming.transport`.
 * **Group ingestion** — :meth:`ShardedStream.observe_group` ingests a
-  group of routed blocks thread-parallel across shards (shards are
-  independent; BLAS releases the GIL), with per-shard order preserved so
-  tree releases stay bit-identical to the sequential route.
+  group of routed blocks shard-parallel (shards are independent; under
+  the thread transport BLAS releases the GIL, under the process transport
+  each drain thread just awaits its shard's pipe while the worker
+  computes on its own core), with per-shard order preserved so tree
+  releases stay bit-identical to the sequential route.
 * **Merge + solve** — at refresh points the per-shard released moments are
   merged and handed to a solver (Algorithm 2's PGD pipeline via the
   estimators' ``refresh_from_released`` serve-mode hook); everything after
@@ -64,13 +77,19 @@ Ingest tiers (mirroring the batched-API contract):
   σ), not bit-identical; this is the high-throughput production path.
 
 Fault semantics: :meth:`ShardedStream.kill_shard` drops a shard's
-mechanisms; subsequent merges degrade to the documented *partial-coverage*
-semantics — the merged statistic covers the surviving sub-streams only,
+mechanisms (under the process transport it SIGKILLs the worker process);
+subsequent merges degrade to the documented *partial-coverage* semantics —
+the merged statistic covers the surviving sub-streams only,
 ``ServedEstimate.covered_steps`` and :attr:`ShardedStream.lost_steps`
 report the loss (never silently dropped), and
 :meth:`ShardedStream.restart_shard` brings the worker back with fresh
-mechanisms over a fresh (still disjoint) sub-stream, which keeps the
-parallel-composition argument intact.
+mechanisms (a fresh process, under ``transport="process"``) over a fresh
+(still disjoint) sub-stream, which keeps the parallel-composition argument
+intact.  A process worker that dies *uncommanded* is detected at the next
+pipe interaction and folded into the same path: ingest raises
+:class:`~repro.exceptions.ShardUnavailableError` (the block stays
+refundable), merges degrade to partial coverage, and the dead worker's
+acknowledged mass lands in ``lost_steps``.
 """
 
 from __future__ import annotations
@@ -94,6 +113,7 @@ from ..core.projected_regression import PrivIncReg2, projected_sizing
 from ..core.unbounded import UnboundedPrivIncReg
 from ..exceptions import (
     GroupIngestionError,
+    NoEstimateError,
     ServingError,
     ShardUnavailableError,
     StreamExhaustedError,
@@ -105,11 +125,13 @@ from ..privacy.hybrid import HybridMechanism
 from ..privacy.parameters import PrivacyParams, shard_budgets
 from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
+from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "ProcessShardWorker",
     "EstimateCache",
     "ServedEstimate",
 ]
@@ -182,11 +204,24 @@ class EstimateCache:
         return entry
 
     def get(self) -> ServedEstimate:
-        """The current entry (O(1); raises if nothing was ever published)."""
+        """The current entry — O(1), no solver work.
+
+        Raises
+        ------
+        NoEstimateError
+            If nothing was ever published (no solve has completed).  The
+            typed subclass of :class:`~repro.exceptions.ServingError` /
+            :class:`LookupError` lets readers distinguish "no estimate
+            yet" from real serving failures.
+        """
         with self._lock:
             self.reads += 1
             if self._entry is None:
-                raise ServingError("estimate cache is empty (nothing published)")
+                raise NoEstimateError(
+                    "no estimate has been published to this cache yet — "
+                    "ingest data and call flush() (or wait for the first "
+                    "scheduled refresh) so a merge + solve can publish one"
+                )
             return self._entry
 
     @property
@@ -243,6 +278,9 @@ class MomentShard:
         self.shard_horizon = shard_horizon
         self.steps = 0
         self.alive = True
+        #: Set once the front has credited this worker's ingested mass to
+        #: its ``lost_steps`` ledger (see ShardedStream._note_shard_death).
+        self.lost_accounted = False
         half = budget.halve()
         m = self.moment_dim
         if mechanism == "tree":
@@ -304,6 +342,19 @@ class MomentShard:
             self.gram.advance_batch(gram_values)
         self.steps += k
 
+    def released(self):
+        """The (cross, gram) handles for :func:`~repro.privacy.tree.merge_released`.
+
+        The transport seam of the merge path: in-process shards hand over
+        their **live** mechanisms (zero-copy — the merge reads
+        ``current_sum()`` directly), while
+        :class:`~repro.streaming.transport.ProcessShardWorker` overrides
+        the same method to fetch picklable
+        :class:`~repro.privacy.tree.ReleasedMoments` snapshots over its
+        pipe.  ``merge_released`` accepts both interchangeably.
+        """
+        return self.cross, self.gram
+
     def memory_floats(self) -> int:
         """Floats held by this shard's mechanisms (0 once killed).
 
@@ -319,6 +370,9 @@ class MomentShard:
         self.alive = False
         self.cross = None
         self.gram = None
+
+    def shutdown(self) -> None:
+        """Transport-uniform teardown hook (nothing to release in-process)."""
 
 
 class ProjectedMomentShard(MomentShard):
@@ -416,6 +470,19 @@ class ShardedStream:
         and return, a daemon worker processes FIFO; ``"manual"`` — enqueue
         and let the caller :meth:`pump` (deterministic interleavings for
         tests).
+    transport:
+        ``"thread"`` (default) — shard workers share this interpreter;
+        ``"process"`` — each shard runs in its own interpreter behind a
+        ``multiprocessing`` pipe
+        (:class:`~repro.streaming.transport.ProcessShardWorker`),
+        shipping released moments back as picklable
+        :class:`~repro.privacy.tree.ReleasedMoments` snapshots.  Both
+        transports build the same mechanisms from the same rng children,
+        so the ingest tiers, merge rule, and fault semantics are
+        transport-independent (``tests/test_process_serving.py``); a
+        custom ``projection`` or router must be picklable-compatible
+        (the projection ships in the spawn payload; the router always
+        runs in the parent).  Orthogonal to ``mode``.
     shard_horizon:
         Tree capacity per shard; defaults to the full ``horizon`` so any
         routing imbalance fits (slightly conservative noise).  Set to
@@ -474,6 +541,7 @@ class ShardedStream:
         composition: str = "parallel",
         router: "str | callable" = "round_robin",
         mode: str = "sync",
+        transport: str = "thread",
         shard_horizon: int | None = None,
         backend: str = "moment",
         x_domain: PointSet | None = None,
@@ -514,6 +582,10 @@ class ShardedStream:
         if mode not in ("sync", "async", "manual"):
             raise ValidationError(
                 f"mode must be 'sync', 'async', or 'manual', got {mode!r}"
+            )
+        if transport not in ("thread", "process"):
+            raise ValidationError(
+                f"transport must be 'thread' or 'process', got {transport!r}"
             )
         if ingest == "fast" and mechanism != "tree":
             raise ValidationError(
@@ -557,6 +629,7 @@ class ShardedStream:
         self.mechanism = mechanism
         self.composition = composition
         self.mode = mode
+        self.transport = transport
         self._router = router
         self._rng = check_rng(rng)
         self._fast = ingest == "fast"
@@ -616,10 +689,19 @@ class ShardedStream:
 
         budgets = shard_budgets(params, self.shards_count, composition)
         children = self._rng.spawn(2 * self.shards_count)
-        self._shards = [
-            self._make_shard(i, budgets[i], children[2 * i], children[2 * i + 1])
-            for i in range(self.shards_count)
-        ]
+        shards: list[MomentShard] = []
+        try:
+            for i in range(self.shards_count):
+                shards.append(
+                    self._make_shard(i, budgets[i], children[2 * i], children[2 * i + 1])
+                )
+        except BaseException:
+            # A failed shard (e.g. a process worker whose spawn payload
+            # would not pickle) must not leak the workers already booted.
+            for shard in shards:
+                shard.shutdown()
+            raise
+        self._shards = shards
 
         # The logical budget ledger.  Under parallel composition the whole
         # sharded release costs what ONE shard costs (disjoint sub-streams);
@@ -673,7 +755,29 @@ class ShardedStream:
         cross_rng: np.random.Generator,
         gram_rng: np.random.Generator,
     ) -> MomentShard:
-        """Construct one shard worker for the configured backend."""
+        """Construct one shard worker for the configured backend + transport.
+
+        ``transport="process"`` packs the identical configuration — same
+        rng children, same budget, same shared ``Φ`` — into a picklable
+        :class:`~repro.streaming.transport.ShardSpec` and boots a
+        :class:`~repro.streaming.transport.ProcessShardWorker` around it,
+        so the two transports build byte-for-byte the same mechanisms and
+        consume randomness identically.
+        """
+        if self.transport == "process":
+            return ProcessShardWorker(
+                ShardSpec(
+                    index=index,
+                    dim=self.dim,
+                    budget=budget,
+                    cross_rng=cross_rng,
+                    gram_rng=gram_rng,
+                    mechanism=self.mechanism,
+                    shard_horizon=self.shard_horizon,
+                    backend=self.backend,
+                    projection=self.projection,
+                )
+            )
         if self.backend == "projected":
             return ProjectedMomentShard(
                 index=index,
@@ -832,10 +936,13 @@ class ShardedStream:
         Raises
         ------
         GroupIngestionError
-            If any shard fails mid-group (only possible with a custom
-            ``shard_horizon``): the committed blocks stay committed, the
-            failed blocks' horizon reservation is refunded, and
-            ``failures`` reports which group indices were lost.
+            If any shard fails mid-group — a per-shard capacity overrun
+            (custom ``shard_horizon``) or, under ``transport="process"``,
+            a worker process dying mid-group: the committed blocks stay
+            committed, the failed blocks' horizon reservation is refunded
+            (a dead worker's previously acknowledged mass goes to
+            ``lost_steps``), and ``failures`` reports which group indices
+            were lost.
         """
         self._raise_if_unusable()
         if self.mode != "sync":
@@ -862,13 +969,10 @@ class ShardedStream:
                     f"{self._enqueued}"
                 )
             self._enqueued += total
-            try:
-                self._ingest_group(validated, workers)
-            except BaseException:
-                # _ingest_group already refunded the failed blocks'
-                # reservation; a pre-ingestion failure (routing) refunds
-                # everything.
-                raise
+            # On failure _ingest_group has already refunded the failed
+            # blocks' reservation (a pre-ingestion routing failure refunds
+            # everything).
+            self._ingest_group(validated, workers)
             if self._should_refresh():
                 self._refresh()
         return self.current_estimate()
@@ -913,6 +1017,10 @@ class ShardedStream:
                     shard.ingest(xs, ys, self._fast)
                 except BaseException as exc:
                     with failure_lock:
+                        # A crashed process worker's acknowledged mass is
+                        # lost (no-op for ordinary ingest failures — the
+                        # shard is still alive).
+                        self._note_shard_death(shard)
                         failures.append((group_index, exc))
                         failures.extend(
                             (later_index, exc)
@@ -991,10 +1099,12 @@ class ShardedStream:
         return processed
 
     def close(self) -> None:
-        """Flush, stop the worker (if any), and refuse further ingestion.
+        """Flush, stop every worker, and refuse further ingestion.
 
-        The worker is reclaimed even when the final flush raises (e.g. a
-        poisoned server): shutdown must never leak the thread.
+        Workers are reclaimed even when the final flush raises (e.g. a
+        poisoned server): shutdown must never leak the async thread, the
+        group pool, or — under ``transport="process"`` — the shard worker
+        processes.
         """
         if self._closed:
             return
@@ -1010,6 +1120,8 @@ class ShardedStream:
             if self._group_executor is not None:
                 self._group_executor.shutdown(wait=True)
                 self._group_executor = None
+            for shard in self._shards:
+                shard.shutdown()
 
     def __enter__(self) -> "ShardedStream":
         return self
@@ -1061,7 +1173,14 @@ class ShardedStream:
         ``bench_projected_serving.py`` records.
         """
         with self._lock:
-            total = sum(s.memory_floats() for s in self._shards)
+            total = 0
+            for shard in self._shards:
+                try:
+                    total += shard.memory_floats()
+                except ShardUnavailableError:
+                    # Crash detected by the diagnostic itself: a dead
+                    # worker holds nothing, and its mass is booked lost.
+                    self._note_shard_death(shard)
         if self.projection is not None:
             total += int(self.projection.matrix.size)
         return total
@@ -1082,8 +1201,10 @@ class ShardedStream:
     def kill_shard(self, index: int) -> None:
         """Simulate a shard worker dying: its mechanisms (and mass) are lost.
 
-        Idempotent.  Subsequent merges degrade to partial coverage —
-        see the module docstring for the contract.
+        Under ``transport="process"`` this SIGKILLs the worker process —
+        a real crash, not a graceful stop.  Idempotent.  Subsequent merges
+        degrade to partial coverage — see the module docstring for the
+        contract.
         """
         index = check_int("index", index, minimum=0)
         if index >= self.shards_count:
@@ -1092,10 +1213,8 @@ class ShardedStream:
             )
         with self._lock:
             shard = self._shards[index]
-            if not shard.alive:
-                return
-            self.lost_steps += shard.steps
             shard.kill()
+            self._note_shard_death(shard)
 
     def restart_shard(self, index: int) -> None:
         """Bring a dead shard back with fresh mechanisms over a fresh sub-stream.
@@ -1123,6 +1242,11 @@ class ShardedStream:
                 raise ServingError(
                     f"shard {index} is alive; kill_shard() before restarting"
                 )
+            # The replacement removes the dead worker from every later
+            # sweep, so its loss must be booked here if no other path got
+            # to it first (e.g. a crash first noticed by a worker-level
+            # diagnostic, restarted before any merge ran).
+            self._note_shard_death(old)
             if self.composition == "basic":
                 # One atomic charge for the replacement pair of trees;
                 # PrivacyAccountant.charge rolls itself back on refusal.
@@ -1185,7 +1309,15 @@ class ShardedStream:
     def _ingest_block(self, xs: np.ndarray, ys: np.ndarray) -> None:
         shard = self._route(xs, ys)
         self._blocks_routed += 1
-        shard.ingest(xs, ys, self._fast)
+        try:
+            shard.ingest(xs, ys, self._fast)
+        except ShardUnavailableError:
+            # A process worker crashed under the block (thread shards never
+            # raise this from ingest): the shard's previously acknowledged
+            # mass is lost; the block itself was not acknowledged and is
+            # refunded by the caller, so a retry routes to a live shard.
+            self._note_shard_death(shard)
+            raise
         self._processed += len(ys)
 
     def _should_refresh(self) -> bool:
@@ -1198,13 +1330,44 @@ class ShardedStream:
             > self._last_refresh_t // self.refresh_every
         )
 
+    def _note_shard_death(self, shard) -> None:
+        """Credit a dead worker's acknowledged mass to ``lost_steps`` — once.
+
+        The single definition of the loss-accounting rule, so every path
+        that can *observe* a death (commanded kill, crash detected during
+        ingest, during a merge, or by a diagnostic) funnels through the
+        same once-only ledger update and no detection order can drop or
+        double-count mass.  No-op while the shard is alive or after its
+        loss is already booked.
+        """
+        if not shard.alive and not shard.lost_accounted:
+            shard.lost_accounted = True
+            self.lost_steps += shard.steps
+
+    def _released_handles(self, shard):
+        """One shard's (cross, gram) merge handles, or (None, None) if dead.
+
+        A process worker found dead *here* (crashed since its last
+        acknowledgement) is folded into the partial-coverage path on the
+        spot: its mass is accounted as lost and the merge proceeds over
+        the survivors, instead of failing the refresh.  Deaths detected
+        earlier by paths that could not account them (e.g. a diagnostic
+        RPC) are swept up here too — every served estimate is preceded by
+        a merge, so the books are settled before coverage is reported.
+        """
+        if not shard.alive:
+            self._note_shard_death(shard)
+            return None, None
+        try:
+            return shard.released()
+        except ShardUnavailableError:
+            self._note_shard_death(shard)
+            return None, None
+
     def _merge(self) -> tuple[MergedRelease, MergedRelease]:
-        cross = merge_released(
-            [s.cross if s.alive else None for s in self._shards], strict=False
-        )
-        gram = merge_released(
-            [s.gram if s.alive else None for s in self._shards], strict=False
-        )
+        pairs = [self._released_handles(s) for s in self._shards]
+        cross = merge_released([c for c, _ in pairs], strict=False)
+        gram = merge_released([g for _, g in pairs], strict=False)
         return cross, gram
 
     def _refresh(self) -> None:

@@ -1,0 +1,401 @@
+"""The process shard transport: serving workers in their own interpreters.
+
+:class:`~repro.streaming.serving.ShardedStream` splits one logical stream
+across ``K`` shard workers.  With the default in-process transport the
+workers share the parent's interpreter, so ingest throughput is capped by
+the GIL except where BLAS releases it.  This module provides the
+alternative ``transport="process"`` backend: each shard's mechanisms live
+in a **separate Python process**, driven over a ``multiprocessing``
+command/response pipe, so shard ingestion runs on real cores.
+
+What crosses the pipe — and what never does
+-------------------------------------------
+* **Down** (parent → worker): a one-time picklable :class:`ShardSpec`
+  (budget, rng children, mechanism/backend configuration, and — for the
+  projected backend — the front-drawn shared ``Φ``), then routed data
+  blocks as commands.
+* **Up** (worker → parent): at refresh points, the shard's released
+  moments as compact :class:`~repro.privacy.tree.ReleasedMoments`
+  snapshots — the released statistic (``O(m)`` / ``O(m²)`` floats) with
+  its variance accounting, **never** the tree state (``O(m² log T)``) and
+  never raw data back.  This is the serialize-the-sketch-not-the-data
+  pattern: the expensive object stays where it was built, only the
+  additive release travels.
+
+Why the privacy and serving analyses survive the boundary
+---------------------------------------------------------
+The merge rule (:func:`~repro.privacy.tree.merge_released`) consumes only
+each shard's released sum, noise variance, step count, and shape — all
+frozen losslessly into the snapshot (``float64`` pickles exactly), so a
+merge over pipe-shipped snapshots is bit-identical to a merge over the
+live mechanisms.  Each worker builds its mechanisms from the same spawned
+rng children the in-process transport would use, so the two transports
+consume randomness identically: under ``ingest="exact"`` a ``K = 1``
+process server stays bit-identical to the plain batched path, and thread
+and process servers under one seed produce identical merged releases
+(``tests/test_process_serving.py``).  Privacy needs even less: each
+shard's tree is a complete ``(ε, δ)`` mechanism on its own sub-stream,
+and everything the parent does with the snapshots is post-processing.
+
+Fault semantics
+---------------
+:meth:`ProcessShardWorker.kill` SIGKILLs the worker — deliberately
+un-graceful, to model a crash.  A worker that dies *uncommanded* is
+detected on the next pipe interaction: the parent marks the shard dead and
+raises :class:`~repro.exceptions.ShardUnavailableError`; the serving front
+then applies its documented partial-coverage semantics (the dead shard's
+ingested mass is counted into ``lost_steps``, merges cover the survivors,
+``restart_shard`` spawns a fresh process over a fresh disjoint sub-stream).
+Command-level failures (validation, horizon) are *not* faults: the worker
+catches them, ships the exception back, and keeps serving — the tree's
+block-atomic rejection guarantees hold unchanged across the pipe.
+
+Pickling requirements mirror :mod:`repro.streaming.fleet`'s process-pool
+spec plumbing: everything in the spawn payload must be picklable
+(budgets, numpy Generators, and the built-in projection types all are; a
+custom ``projection`` object must be too).  Workers default to the
+``"spawn"`` start method — fork-safety of a threaded parent (async mode,
+group pools) is exactly the kind of thing this transport must not gamble
+on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ShardUnavailableError, ValidationError
+from ..privacy.parameters import PrivacyParams
+from ..privacy.tree import ReleasedMoments
+
+__all__ = ["ProcessShardWorker", "ShardSpec"]
+
+#: Default multiprocessing start method for shard workers.  ``"spawn"`` is
+#: slower to boot but safe under threaded parents on every platform; pass
+#: ``start_method="fork"`` to :class:`ProcessShardWorker` on POSIX when
+#: boot latency matters more.
+DEFAULT_START_METHOD = "spawn"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable recipe for one shard worker (the spawn payload).
+
+    The process transport never pickles a live mechanism: the worker
+    *rebuilds* its :class:`~repro.streaming.serving.MomentShard` from this
+    spec inside the child interpreter, consuming the shipped rng children
+    exactly as the in-process transport would — which is what keeps the
+    two transports' noise streams identical.  For ``backend="projected"``
+    the spec carries the front-drawn shared projection object itself, so
+    every spawned worker (and any restart) re-attaches to the *same*
+    ``Φ`` — the one invariant Algorithm 3's sharding adds.
+
+    Mirrors the pickling discipline of
+    :class:`~repro.streaming.fleet.ReplicateSpec`: every field must be
+    picklable (all library types used here are).
+    """
+
+    index: int
+    dim: int
+    budget: PrivacyParams
+    cross_rng: np.random.Generator
+    gram_rng: np.random.Generator
+    mechanism: str = "tree"
+    shard_horizon: int | None = None
+    backend: str = "moment"
+    projection: object | None = None
+
+    def build(self):
+        """Construct the shard worker this spec describes (child side)."""
+        # Imported here, not at module top: the parent-side transport layer
+        # must stay importable from serving.py without a cycle, and the
+        # child pays the serving import only once, at build time.
+        from .serving import MomentShard, ProjectedMomentShard
+
+        if self.backend == "projected":
+            if self.projection is None:
+                raise ValidationError(
+                    "ShardSpec(backend='projected') requires the shared "
+                    "projection in the spawn payload"
+                )
+            return ProjectedMomentShard(
+                index=self.index,
+                dim=self.dim,
+                budget=self.budget,
+                cross_rng=self.cross_rng,
+                gram_rng=self.gram_rng,
+                projection=self.projection,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+            )
+        return MomentShard(
+            index=self.index,
+            dim=self.dim,
+            budget=self.budget,
+            cross_rng=self.cross_rng,
+            gram_rng=self.gram_rng,
+            mechanism=self.mechanism,
+            shard_horizon=self.shard_horizon,
+        )
+
+
+def _safe_send(conn, message) -> None:
+    """Send a reply, degrading unpicklable payloads to a stringified error."""
+    try:
+        conn.send(message)
+    except Exception as exc:  # pragma: no cover - defensive wire path
+        conn.send(
+            (
+                "err",
+                ShardUnavailableError(
+                    f"worker reply could not be serialized: {exc}"
+                ),
+            )
+        )
+
+
+def _shard_worker_main(spec: ShardSpec, conn) -> None:
+    """The worker process: build the shard, then serve pipe commands.
+
+    Top-level (not a closure) so the ``"spawn"`` start method can import
+    it.  Protocol: the parent sends ``(command, payload)`` tuples and the
+    worker replies ``("ok", result)`` or ``("err", exception)``; command
+    failures never kill the worker — the shard's block-atomic rejection
+    semantics make a retry safe, exactly as in-process.
+    """
+    try:
+        shard = spec.build()
+    except BaseException as exc:
+        _safe_send(conn, ("err", exc))
+        conn.close()
+        return
+    _safe_send(conn, ("ok", spec.index))  # ready handshake
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            return  # parent vanished; daemonic exit
+        try:
+            if command == "close":
+                _safe_send(conn, ("ok", None))
+                conn.close()
+                return
+            if command == "ingest":
+                xs, ys, fast = payload
+                shard.ingest(xs, ys, fast)
+                result = shard.steps
+            elif command == "released":
+                # Snapshot, never the live mechanisms: the wire carries the
+                # released statistic (O(m)/O(m²)), not the tree (O(m² log T)
+                # plus generator state).
+                cross, gram = shard.released()
+                result = (cross.released_moments(), gram.released_moments())
+            elif command == "memory":
+                result = shard.memory_floats()
+            elif command == "describe":
+                projection = getattr(shard, "projection", None)
+                result = {
+                    "index": shard.index,
+                    "backend": shard.backend,
+                    "mechanism": shard.mechanism,
+                    "moment_dim": shard.moment_dim,
+                    "steps": shard.steps,
+                    "pid": mp.current_process().pid,
+                    "projection_matrix": (
+                        None
+                        if projection is None
+                        else np.array(projection.matrix, dtype=float)
+                    ),
+                }
+            else:
+                raise ValidationError(f"unknown worker command {command!r}")
+        except BaseException as exc:
+            _safe_send(conn, ("err", exc))
+        else:
+            _safe_send(conn, ("ok", result))
+
+
+class ProcessShardWorker:
+    """One shard worker running in its own process, driven over a pipe.
+
+    Exposes the same surface the serving front uses on an in-process
+    :class:`~repro.streaming.serving.MomentShard` — ``index`` / ``alive``
+    / ``steps`` / ``budget`` attributes, :meth:`ingest`,
+    :meth:`released`, :meth:`memory_floats`, :meth:`kill`,
+    :meth:`shutdown` — so :class:`~repro.streaming.serving.ShardedStream`
+    treats the two transports uniformly.  ``steps`` is a parent-side
+    mirror updated from ingest acknowledgements, which is what keeps the
+    lost-mass accounting exact even after the worker is gone.
+
+    Not thread-safe on its own: the serving front serializes all pipe
+    access per worker (its ingestion lock, or one drain task per shard in
+    group mode).
+
+    Parameters
+    ----------
+    spec:
+        The picklable worker recipe (see :class:`ShardSpec`).
+    start_method:
+        ``multiprocessing`` start method; defaults to
+        :data:`DEFAULT_START_METHOD` (``"spawn"``).
+    """
+
+    def __init__(self, spec: ShardSpec, start_method: str | None = None) -> None:
+        self.spec = spec
+        self.index = spec.index
+        self.budget = spec.budget
+        self.backend = spec.backend
+        self.mechanism = spec.mechanism
+        self.steps = 0
+        self.alive = False
+        # Set by the serving front once this worker's mass is credited to
+        # lost_steps (same flag as the in-process MomentShard).
+        self.lost_accounted = False
+        ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=_shard_worker_main,
+            args=(spec, child_conn),
+            name=f"repro-shard-{spec.index}",
+            daemon=True,
+        )
+        try:
+            self._process.start()
+        except BaseException:
+            # A start() failure (e.g. the spec refuses to pickle under
+            # spawn) must not leak the pipe fds.
+            child_conn.close()
+            self._reap()
+            raise
+        child_conn.close()
+        # Ready handshake: surfaces child-side construction errors (bad
+        # spec, unpicklable projection) eagerly, in the constructor.
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._reap()
+            raise ShardUnavailableError(
+                f"shard {self.index} worker process died during startup"
+            ) from exc
+        if status == "err":
+            self._reap()
+            raise payload
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # The MomentShard surface
+    # ------------------------------------------------------------------
+
+    def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
+        """Route one block through the pipe; blocks until acknowledged.
+
+        Failure semantics match the in-process shard: a command-level
+        error (validation, horizon) leaves the worker's trees unconsumed
+        and the worker alive, so a retry is safe; a *dead worker* raises
+        :class:`~repro.exceptions.ShardUnavailableError` after marking
+        the shard dead (partial-coverage accounting upstream).
+        """
+        self.steps = int(self._request("ingest", (xs, ys, bool(fast))))
+
+    def released(self) -> tuple[ReleasedMoments, ReleasedMoments]:
+        """The (cross, gram) released moments, snapshotted across the pipe.
+
+        One round trip for both snapshots; each merges interchangeably
+        with live mechanisms (:func:`~repro.privacy.tree.merge_released`).
+        """
+        cross, gram = self._request("released", None)
+        return cross, gram
+
+    @property
+    def cross(self) -> ReleasedMoments:
+        """Snapshot of the cross-moment release (diagnostics; one RPC)."""
+        return self.released()[0]
+
+    @property
+    def gram(self) -> ReleasedMoments:
+        """Snapshot of the second-moment release (diagnostics; one RPC)."""
+        return self.released()[1]
+
+    def memory_floats(self) -> int:
+        """Floats held by the worker's mechanisms (0 once dead)."""
+        if not self.alive:
+            return 0
+        return int(self._request("memory", None))
+
+    def describe(self) -> dict:
+        """Worker-side identity snapshot (backend, dims, pid, Φ matrix)."""
+        return self._request("describe", None)
+
+    def kill(self) -> None:
+        """SIGKILL the worker — the crash-injection path.
+
+        Deliberately un-graceful (no close command): models a worker
+        death, so the parent-side books (``steps``) are all that remains,
+        exactly as after a real crash.  Idempotent.
+        """
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+        self._reap()
+
+    def shutdown(self) -> None:
+        """Gracefully stop the worker (close command, join, reap).
+
+        Idempotent, and safe after :meth:`kill` or a detected crash."""
+        if self.alive:
+            try:
+                self._conn.send(("close", None))
+                self._conn.recv()  # "ok" — worker is draining out
+            except (EOFError, OSError):
+                pass
+        if self._process is not None and self._process.is_alive():
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():  # pragma: no cover - defensive
+                self._process.kill()
+        self._reap()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _request(self, command: str, payload):
+        if not self.alive:
+            raise ShardUnavailableError(
+                f"shard {self.index} process worker is dead"
+            )
+        try:
+            self._conn.send((command, payload))
+            status, result = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            self._reap()
+            raise ShardUnavailableError(
+                f"shard {self.index} worker process died (command "
+                f"{command!r}); merges degrade to partial coverage until "
+                f"restart_shard({self.index})"
+            ) from exc
+        if status == "err":
+            raise result
+        return result
+
+    def _reap(self) -> None:
+        """Mark dead and release OS resources (join + close pipe).
+
+        Idempotent: the process handle is dropped once closed."""
+        self.alive = False
+        if self._process is not None:
+            if self._process.is_alive():
+                self._process.join(timeout=5.0)
+            if not self._process.is_alive():
+                self._process.close()
+                self._process = None
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessShardWorker(index={self.index}, backend={self.backend!r}, "
+            f"alive={self.alive}, steps={self.steps})"
+        )

@@ -11,10 +11,13 @@ sub-stream, so the parallel-composition privacy argument survives the
 whole kill/restart cycle.
 """
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import (
+    EstimateCache,
     L2Ball,
     PrivacyParams,
     ServingError,
@@ -24,12 +27,17 @@ from repro import (
     merge_released,
 )
 from repro.data import make_dense_stream
-from repro.exceptions import ValidationError
+from repro.exceptions import NoEstimateError, ValidationError
 
 PARAMS = PrivacyParams(4.0, 1e-6)
 DIM = 3
 T = 24
 BLOCKS = [(0, 4), (4, 8), (8, 12), (12, 16), (16, 20), (20, 24)]
+
+#: Shard transport for every server in this suite (the CI TRANSPORT axis):
+#: the kill/restart/partial-coverage contract must hold identically when
+#: "killing a shard" means SIGKILLing a worker process.
+TRANSPORT = os.environ.get("SERVE_TRANSPORT", "thread")
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +46,7 @@ def stream():
 
 
 def _server(k=3, seed=55, **kwargs):
-    defaults = dict(horizon=T, iteration_cap=15)
+    defaults = dict(horizon=T, iteration_cap=15, transport=TRANSPORT)
     defaults.update(kwargs)
     return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
 
@@ -185,6 +193,28 @@ class TestShardRestart:
             for shard in server._shards:
                 expected += shard.cross.release_noise_variance()
         assert cross_m.noise_variance == pytest.approx(expected)
+
+    def test_empty_cache_read_raises_typed_no_estimate_error(self):
+        """A never-published cache read is a typed, actionable failure.
+
+        ``EstimateCache.get`` must raise :class:`NoEstimateError` — a
+        subclass of both ``ServingError`` (serving-layer handlers) and
+        ``LookupError`` (the builtin for failed lookups) — whose message
+        names ``flush()`` as the fix, instead of an anonymous error the
+        caller can only string-match.
+        """
+        cache = EstimateCache()
+        with pytest.raises(NoEstimateError, match=r"flush\(\)"):
+            cache.get()
+        with pytest.raises(ServingError):
+            cache.get()
+        with pytest.raises(LookupError):
+            cache.get()
+        # A ShardedStream pre-publishes its solver's initial parameter, so
+        # server reads never hit the empty-cache path.
+        server = _server()
+        assert server.current_estimate() is not None
+        server.close()
 
     def test_fault_cycle_in_async_mode(self, stream):
         """Kill/restart under the worker thread keeps the books consistent."""

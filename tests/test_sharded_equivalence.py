@@ -2,7 +2,9 @@
 
 Three contracts, locked in over shard counts ``K ∈ {1, 2, 4, 8}``
 (overridable via the ``SERVE_SHARDS`` env var — the CI matrix leg pins
-2 and 8):
+2 and 8) and re-proven across the shard transport (``SERVE_TRANSPORT`` ∈
+``{thread, process}``; the process axis runs every server in this suite
+over pipe-connected worker interpreters):
 
 (a) **Merge correctness** — merged K-shard released sums are
     distributionally correct (matched mean; per-coordinate variance within
@@ -53,6 +55,11 @@ if "SERVE_SHARDS" in os.environ:
 else:
     SHARD_COUNTS = [1, 2, 4, 8]
 
+#: Shard transport every server in this suite runs on (the CI TRANSPORT
+#: axis).  The contracts are transport-independent by design, so the same
+#: assertions must hold verbatim over process workers.
+TRANSPORT = os.environ.get("SERVE_TRANSPORT", "thread")
+
 #: Uneven block cuts of [0, T) — ragged loads by construction.
 RAGGED_BLOCKS = [(0, 5), (5, 6), (6, 13), (13, 20), (20, 26)]
 EVEN_BLOCKS = [(s, min(s + 4, T)) for s in range(0, T, 4)]
@@ -64,7 +71,7 @@ def stream():
 
 
 def _make_server(k, seed, **kwargs):
-    defaults = dict(horizon=T, iteration_cap=20)
+    defaults = dict(horizon=T, iteration_cap=20, transport=TRANSPORT)
     defaults.update(kwargs)
     return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
 
