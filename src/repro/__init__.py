@@ -34,11 +34,13 @@ from .exceptions import (
     NoEstimateError,
     NotSupportedError,
     PrivacyBudgetError,
+    PublishConflictError,
     ReproError,
     ServingError,
     ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
+    WaitTimeoutError,
 )
 from .privacy import (
     HybridMechanism,
@@ -82,6 +84,7 @@ from .sketching import (
 )
 from .streaming import (
     EstimateCache,
+    EstimateHub,
     ExcessRiskTrace,
     FleetResult,
     FleetRunner,
@@ -89,12 +92,15 @@ from .streaming import (
     MomentShard,
     ProcessShardWorker,
     ProjectedMomentShard,
+    ReaderHandle,
+    ReadStats,
     RegressionStream,
     ReplicateResult,
     ReplicateSpec,
     RunResult,
     ServedEstimate,
     ShardedStream,
+    Subscription,
 )
 from .core import (
     NaiveRecompute,
@@ -127,6 +133,8 @@ __all__ = [
     "ShardUnavailableError",
     "ServingError",
     "NoEstimateError",
+    "PublishConflictError",
+    "WaitTimeoutError",
     "GroupIngestionError",
     "FleetExecutionError",
     # privacy
@@ -179,6 +187,10 @@ __all__ = [
     "ProjectedMomentShard",
     "ProcessShardWorker",
     "EstimateCache",
+    "EstimateHub",
+    "ReaderHandle",
+    "Subscription",
+    "ReadStats",
     "ServedEstimate",
     # core
     "PrivateGradientFunction",

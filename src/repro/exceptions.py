@@ -84,6 +84,39 @@ class ServingError(ReproError):
     """
 
 
+class PublishConflictError(ServingError):
+    """An :class:`~repro.streaming.serving.EstimateCache` publish conflicted
+    with the entry already in the cache.
+
+    Two shapes of conflict, both programming errors on the *publisher* side
+    (readers are never at fault):
+
+    * a **version decrease** — the cache's version is the publisher's solve
+      counter and must be non-decreasing, otherwise a reader could observe
+      an estimate older than the last completed solve;
+    * an **equal-version publish with a different payload** — readers
+      detect refreshes by comparing versions (the ``ReaderHandle`` snapshot
+      fast path relies on ``same version ⇒ same payload``), so silently
+      accepting a changed ``theta`` under an unchanged version would make
+      version-based refresh detection miss real updates.
+
+    Republishing the *identical* payload under the current version is
+    accepted as an idempotent no-op instead.
+    """
+
+
+class WaitTimeoutError(ServingError, TimeoutError):
+    """A blocking wait for a published estimate version timed out.
+
+    Raised by ``wait_for_version(version, timeout=...)`` on
+    :class:`~repro.streaming.serving.EstimateCache` /
+    :class:`~repro.streaming.readers.EstimateHub` /
+    :class:`~repro.streaming.readers.ReaderHandle` when the requested
+    version was not published within the timeout.  Subclasses
+    :class:`TimeoutError` so generic timeout handlers keep working.
+    """
+
+
 class NoEstimateError(ServingError, LookupError):
     """A read hit an :class:`~repro.streaming.serving.EstimateCache` that has
     never been published to.

@@ -13,14 +13,18 @@ front: a sharded stream with per-shard moment trees, a noise-preserving
 merge rule, asynchronous ingestion, and a versioned estimate cache; the
 transport module lets those shard workers run in their own interpreters
 behind ``multiprocessing`` pipes (``ShardedStream(transport="process")``),
-shipping released moments back as picklable snapshots.
+shipping released moments back as picklable snapshots.  The readers
+module is the read-side counterpart: lock-free estimate fan-out through
+per-reader snapshot handles and pub-sub invalidation
+(``ShardedStream.reader()`` / ``subscribe`` / ``wait_for_version``).
 """
 
 from .stream import RegressionStream
 from .adjacency import is_neighbor, replace_point
-from .metrics import ExcessRiskTrace
+from .metrics import ExcessRiskTrace, ReadStats
 from .runner import IncrementalRunner, RunResult
 from .fleet import FleetResult, FleetRunner, ReplicateResult, ReplicateSpec
+from .readers import EstimateHub, ReaderHandle, Subscription
 from .serving import (
     EstimateCache,
     MomentShard,
@@ -35,6 +39,7 @@ __all__ = [
     "replace_point",
     "is_neighbor",
     "ExcessRiskTrace",
+    "ReadStats",
     "IncrementalRunner",
     "RunResult",
     "FleetRunner",
@@ -47,5 +52,8 @@ __all__ = [
     "ProcessShardWorker",
     "ShardSpec",
     "EstimateCache",
+    "EstimateHub",
+    "ReaderHandle",
+    "Subscription",
     "ServedEstimate",
 ]

@@ -16,6 +16,17 @@ therefore irrelevant to the results: a replicate produces bit-identical
 output whether it runs inline, in a thread of the parent, or in a worker
 process — which is also what the fleet tests assert.
 
+Read discipline
+---------------
+Replicates whose estimator is a serving front (anything exposing
+``reader()``, e.g. :class:`~repro.streaming.serving.ShardedStream`) are
+read through a per-run
+:class:`~repro.streaming.readers.ReaderHandle` acquired by each
+replicate's :class:`~repro.streaming.runner.IncrementalRunner` — fleet
+measurements therefore exercise the same lock-free snapshot read path a
+production reader uses, and the handle is retired when the replicate
+finishes.
+
 Pickling
 --------
 Process-pool execution requires every :class:`ReplicateSpec` field to be

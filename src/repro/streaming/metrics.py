@@ -1,9 +1,16 @@
-"""Metric containers for incremental runs.
+"""Metric containers for incremental runs and the serving read path.
 
 :class:`ExcessRiskTrace` records, per evaluated timestep, the private
 estimator's risk and the exact minimum risk, exposing the Definition-1
 quantity ``max_t [J(θ_t; Γ_t) − J(θ̂_t; Γ_t)]`` plus the summaries the
 benchmarks print.
+
+:class:`ReadStats` is the serving layer's read-side counterpart: one
+immutable, internally consistent snapshot of the estimate fan-out —
+publisher-side version/write counts taken under the cache's writer lock,
+reader-side counts aggregated **on demand** from the per-reader handles
+(:mod:`repro.streaming.readers`).  Nothing on the lock-free read hot path
+ever mutates shared statistics; this snapshot is how they are observed.
 """
 
 from __future__ import annotations
@@ -12,7 +19,42 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ExcessRiskTrace"]
+__all__ = ["ExcessRiskTrace", "ReadStats"]
+
+
+@dataclass(frozen=True)
+class ReadStats:
+    """A consistent point-in-time snapshot of estimate fan-out statistics.
+
+    Attributes
+    ----------
+    version:
+        The cache's published version at snapshot time (−1 when empty).
+    writes:
+        Completed publishes (idempotent republishes excluded).
+    readers:
+        Reader handles currently registered (closed or garbage-collected
+        handles excluded; their counts are folded into the totals below
+        exactly once, by the handle's finalizer).
+    reads:
+        Total reads across all handles, live and retired.
+    snapshot_hits:
+        Reads answered from a handle's local snapshot via the version
+        fast path — no fresh cache dereference beyond the version check.
+    """
+
+    version: int
+    writes: int
+    readers: int
+    reads: int
+    snapshot_hits: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served by the per-reader snapshot fast path."""
+        if self.reads == 0:
+            return 0.0
+        return self.snapshot_hits / self.reads
 
 
 @dataclass

@@ -27,6 +27,15 @@ of :mod:`repro.core`'s mechanisms and baselines qualify (duck typing; the
 ``IncrementalEstimator`` protocol below documents the contract, and the
 optional ``observe_batch`` fast path is described in the README's batched
 API contract).
+
+Serving fronts are estimators too: anything additionally exposing
+``reader()`` (e.g. :class:`~repro.streaming.serving.ShardedStream`) is
+read through a per-run
+:class:`~repro.streaming.readers.ReaderHandle` — the runner acquires one
+handle up front, reads the released parameter through its lock-free
+snapshot fast path at every observation, and retires it when the run
+ends, so a measured serving front is driven exactly like a production
+reader rather than through an ad-hoc cache access.
 """
 
 from __future__ import annotations
@@ -144,12 +153,21 @@ class IncrementalRunner:
         batch_size = check_int("batch_size", batch_size, minimum=1)
         if stream.length == 0:
             raise ValidationError("cannot run an estimator over an empty stream")
-        if batch_size == 1:
-            return self._run_sequential(estimator, stream)
-        return self._run_batched(estimator, stream, batch_size)
+        # Serving fronts expose reader(): read their released parameter
+        # through a per-run handle (snapshot fast path, per-reader stats)
+        # instead of the observe return value.
+        reader_factory = getattr(estimator, "reader", None)
+        handle = reader_factory() if callable(reader_factory) else None
+        try:
+            if batch_size == 1:
+                return self._run_sequential(estimator, stream, handle)
+            return self._run_batched(estimator, stream, batch_size, handle)
+        finally:
+            if handle is not None:
+                handle.close()
 
     def _run_sequential(
-        self, estimator: IncrementalEstimator, stream: RegressionStream
+        self, estimator: IncrementalEstimator, stream: RegressionStream, handle=None
     ) -> RunResult:
         risk = QuadraticRisk(stream.dim)
         trace = ExcessRiskTrace()
@@ -158,14 +176,21 @@ class IncrementalRunner:
         warm_start = theta.copy()
 
         for t, (x, y) in enumerate(stream, start=1):
-            theta = np.asarray(estimator.observe(x, y), dtype=float)
+            released = estimator.observe(x, y)
+            theta = np.asarray(
+                handle.theta() if handle is not None else released, dtype=float
+            )
             risk.add_point(x, y)
             if t % self.eval_every == 0 or t == stream.length:
                 warm_start = self._evaluate(risk, trace, theta, warm_start, t, thetas)
         return RunResult(trace=trace, final_theta=theta, thetas=thetas)
 
     def _run_batched(
-        self, estimator: IncrementalEstimator, stream: RegressionStream, batch_size: int
+        self,
+        estimator: IncrementalEstimator,
+        stream: RegressionStream,
+        batch_size: int,
+        handle=None,
     ) -> RunResult:
         risk = QuadraticRisk(stream.dim)
         trace = ExcessRiskTrace()
@@ -179,10 +204,13 @@ class IncrementalRunner:
             block_x = stream.xs[start:stop]
             block_y = stream.ys[start:stop]
             if batched_observe is not None:
-                theta = np.asarray(batched_observe(block_x, block_y), dtype=float)
+                released = batched_observe(block_x, block_y)
             else:
                 for x, y in zip(block_x, block_y):
-                    theta = np.asarray(estimator.observe(x, float(y)), dtype=float)
+                    released = estimator.observe(x, float(y))
+            theta = np.asarray(
+                handle.theta() if handle is not None else released, dtype=float
+            )
             risk.add_block(block_x, block_y)
             crossed_eval = stop // self.eval_every > start // self.eval_every
             if crossed_eval or stop == stream.length:

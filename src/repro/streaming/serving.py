@@ -57,11 +57,17 @@ the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
   linearizability contract ``tests/test_sharded_equivalence.py`` pins
   down).  ``mode="manual"`` exposes the queue pump for deterministic
   interleaving tests.
-* **Cached reads** — every completed solve publishes a read-only,
-  versioned :class:`ServedEstimate` into an :class:`EstimateCache`;
-  ``current_estimate`` fan-out reads are O(1) pointer reads between
-  refreshes and can never observe an estimate older than the last
-  completed solve.
+* **Cached reads, lock-free** — every completed solve publishes a
+  read-only, versioned :class:`ServedEstimate` into an
+  :class:`EstimateCache` by *atomic reference swap*;
+  ``current_estimate`` fan-out reads are single lock-free pointer loads
+  (no hot-path mutex, no shared counter) that can never observe an
+  estimate older than the last completed solve.  For scaled fan-out,
+  :meth:`ShardedStream.reader` hands out per-reader
+  :class:`~repro.streaming.readers.ReaderHandle` snapshots (version
+  fast-path, per-reader stats), and the hub's pub-sub surface
+  (:meth:`ShardedStream.subscribe`, ``wait_for_version``) turns pollers
+  into waiters — see :mod:`repro.streaming.readers`.
 
 Ingest tiers (mirroring the batched-API contract):
 
@@ -114,10 +120,12 @@ from ..core.unbounded import UnboundedPrivIncReg
 from ..exceptions import (
     GroupIngestionError,
     NoEstimateError,
+    PublishConflictError,
     ServingError,
     ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
+    WaitTimeoutError,
 )
 from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
@@ -125,6 +133,8 @@ from ..privacy.hybrid import HybridMechanism
 from ..privacy.parameters import PrivacyParams, shard_budgets
 from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
+from .metrics import ReadStats
+from .readers import EstimateHub, ReaderHandle, Subscription
 from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = [
@@ -134,6 +144,9 @@ __all__ = [
     "ProcessShardWorker",
     "EstimateCache",
     "ServedEstimate",
+    "EstimateHub",
+    "ReaderHandle",
+    "Subscription",
 ]
 
 _CLOSE = object()  # queue sentinel
@@ -166,25 +179,57 @@ class ServedEstimate:
 
 
 class EstimateCache:
-    """A versioned, thread-safe, single-slot cache for estimate fan-out.
+    """A versioned, single-slot, lock-free-read cache for estimate fan-out.
 
-    ``get`` is an O(1) pointer read under a lock — no copies, no solver
-    work — which is what makes ``current_estimate`` fan-out reads cheap
-    between refreshes.  ``put`` swaps in a frozen copy and must carry a
-    non-decreasing version (the publisher's solve counter), so a reader
-    can never observe an estimate older than the last completed solve.
+    The read path is the point: ``get`` is a single attribute load of the
+    current frozen :class:`ServedEstimate` — no lock, no counter mutation,
+    no allocation — so ``current_estimate`` fan-out scales with reader
+    threads instead of serializing on a hot-path mutex.  This is sound
+    because the cache is published by *atomic reference swap*: ``put``
+    builds a fully-frozen immutable entry first and installs it with one
+    reference assignment (atomic under the GIL, and a single store on
+    free-threaded builds), so a reader either sees the old entry or the
+    new one, never a torn mixture.  The DP cost of the estimate was paid
+    at release time; reads are pure post-processing and should cost what
+    the hardware charges for a pointer load.
+
+    ``put`` keeps a writer-side lock for the things that *do* need
+    serialization: the version-monotonicity check (the version is the
+    publisher's solve counter, so a reader can never observe an estimate
+    older than the last completed solve), the equal-version payload check
+    (``same version ⇒ same payload`` — what the per-reader snapshot fast
+    path in :mod:`repro.streaming.readers` relies on), the write counter,
+    and waking :meth:`wait_for_version` waiters.
+
+    Read statistics live on :class:`~repro.streaming.readers.ReaderHandle`
+    objects (aggregated on demand), never on this hot path; publisher-side
+    stats come from :meth:`stats`, a single consistent snapshot.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        # Waiters block on the writer lock (waiting is never the hot
+        # path); `put` notifies under the same lock, so no wakeup can be
+        # missed between a waiter's version check and its wait().
+        self._published = threading.Condition(self._write_lock)
         self._entry: ServedEstimate | None = None
-        self.reads = 0
-        self.writes = 0
+        self._writes = 0
 
     def put(
         self, theta: np.ndarray, version: int, timestep: int, covered_steps: int
     ) -> ServedEstimate:
-        """Publish a new estimate; returns the cached entry."""
+        """Publish a new estimate (atomic reference swap); returns the entry.
+
+        Raises
+        ------
+        PublishConflictError
+            If ``version`` is lower than the cached entry's, or equal to
+            it with a *different* payload — version-based refresh
+            detection would otherwise miss a changed estimate.  An
+            identical-payload republish under the current version is an
+            idempotent no-op (the existing entry is returned unchanged,
+            and the write counter does not advance).
+        """
         frozen = np.array(theta, dtype=float)
         frozen.setflags(write=False)
         entry = ServedEstimate(
@@ -193,18 +238,43 @@ class EstimateCache:
             timestep=int(timestep),
             covered_steps=int(covered_steps),
         )
-        with self._lock:
-            if self._entry is not None and entry.version < self._entry.version:
-                raise ServingError(
-                    f"cache version must not decrease: {entry.version} < "
-                    f"{self._entry.version}"
-                )
+        with self._write_lock:
+            current = self._entry
+            if current is not None:
+                if entry.version < current.version:
+                    raise PublishConflictError(
+                        f"cache version must not decrease: {entry.version} < "
+                        f"{current.version}"
+                    )
+                if entry.version == current.version:
+                    if (
+                        entry.timestep == current.timestep
+                        and entry.covered_steps == current.covered_steps
+                        and np.array_equal(entry.theta, current.theta)
+                    ):
+                        return current
+                    raise PublishConflictError(
+                        f"duplicate publish of version {entry.version} with a "
+                        f"different payload — readers detect refreshes by "
+                        f"version, so the solve counter must advance whenever "
+                        f"the served estimate changes"
+                    )
             self._entry = entry
-            self.writes += 1
+            self._writes += 1
+            self._published.notify_all()
         return entry
 
+    def peek(self) -> ServedEstimate | None:
+        """The current entry, or ``None`` before the first publish.
+
+        One atomic reference load — the lock-free primitive every read
+        path (``get``, the reader handles, the version property) is built
+        on.
+        """
+        return self._entry
+
     def get(self) -> ServedEstimate:
-        """The current entry — O(1), no solver work.
+        """The current entry — one lock-free pointer read, no solver work.
 
         Raises
         ------
@@ -214,21 +284,104 @@ class EstimateCache:
             :class:`LookupError` lets readers distinguish "no estimate
             yet" from real serving failures.
         """
-        with self._lock:
-            self.reads += 1
-            if self._entry is None:
-                raise NoEstimateError(
-                    "no estimate has been published to this cache yet — "
-                    "ingest data and call flush() (or wait for the first "
-                    "scheduled refresh) so a merge + solve can publish one"
+        entry = self._entry
+        if entry is None:
+            raise NoEstimateError(
+                "no estimate has been published to this cache yet — "
+                "ingest data and call flush() (or wait for the first "
+                "scheduled refresh) so a merge + solve can publish one"
+            )
+        return entry
+
+    def wait_for_version(
+        self, version: int, timeout: float | None = None, abort=None
+    ) -> ServedEstimate:
+        """Block until an entry with ``version`` (or newer) is published.
+
+        Turns pollers into waiters: instead of spinning on
+        :attr:`version`, a reader parks on the cache's condition variable
+        and is woken by the ``put`` that satisfies it.  Returns the entry
+        that satisfied the wait (which may be newer than ``version``).
+
+        Parameters
+        ----------
+        abort:
+            Optional callable evaluated together with the version
+            predicate.  Returning a non-empty string aborts the wait with
+            a :class:`~repro.exceptions.ServingError` carrying that
+            message — how an owner (e.g. a closing
+            :class:`~repro.streaming.readers.EstimateHub`) releases
+            parked waiters that can never be satisfied; pair it with
+            :meth:`wake_waiters` when the abort condition changes.
+
+        Raises
+        ------
+        WaitTimeoutError
+            If ``timeout`` (seconds) elapses first.  ``timeout=None``
+            waits indefinitely.
+        """
+        version = int(version)
+        entry = self._entry  # fast path: already satisfied, skip the lock
+        if entry is not None and entry.version >= version:
+            return entry
+        with self._published:
+            self._published.wait_for(
+                lambda: (
+                    self._entry is not None and self._entry.version >= version
                 )
-            return self._entry
+                or (abort is not None and bool(abort())),
+                timeout=timeout,
+            )
+            entry = self._entry
+            if entry is not None and entry.version >= version:
+                return entry
+            reason = abort() if abort is not None else None
+            if reason:
+                raise ServingError(str(reason))
+            have = -1 if entry is None else entry.version
+            raise WaitTimeoutError(
+                f"no estimate with version >= {version} was published "
+                f"within {timeout}s (current version: {have})"
+            )
+
+    def wake_waiters(self) -> None:
+        """Force every parked :meth:`wait_for_version` to re-check.
+
+        For owners whose ``abort`` condition just changed (e.g. a hub
+        closing); a no-op for waiters whose predicates are still false.
+        """
+        with self._published:
+            self._published.notify_all()
 
     @property
     def version(self) -> int:
-        """Version of the current entry (−1 when empty)."""
-        with self._lock:
-            return -1 if self._entry is None else self._entry.version
+        """Version of the current entry (−1 when empty) — lock-free."""
+        entry = self._entry
+        return -1 if entry is None else entry.version
+
+    @property
+    def writes(self) -> int:
+        """Completed publishes (idempotent republishes excluded)."""
+        with self._write_lock:
+            return self._writes
+
+    def stats(self) -> dict:
+        """One consistent publisher-side snapshot (version/writes/coverage).
+
+        Taken under the writer lock so ``version`` and ``writes`` can
+        never disagree mid-publish — the single sanctioned way to read
+        cache statistics (benchmarks used to read the bare attributes
+        racily).  Reader-side counts live on the handles; aggregate them
+        via :meth:`repro.streaming.readers.EstimateHub.read_stats`.
+        """
+        with self._write_lock:
+            entry = self._entry
+            return {
+                "version": -1 if entry is None else entry.version,
+                "writes": self._writes,
+                "timestep": None if entry is None else entry.timestep,
+                "covered_steps": None if entry is None else entry.covered_steps,
+            }
 
 
 class MomentShard:
@@ -722,7 +875,11 @@ class ShardedStream:
             solver = self._default_solver(beta, fidelity, iteration_cap)
         self.solver = solver
 
-        self.cache = EstimateCache()
+        # The hub is the single publish path (cache swap + waiter wakeup +
+        # subscriber fan-out); `self.cache` stays exposed for read-only
+        # inspection and the conformance suites.
+        self._hub = EstimateHub()
+        self.cache = self._hub.cache
         self._lock = threading.RLock()
         self._queue: queue.Queue = queue.Queue()
         self._processed = 0  # logical t: points fully ingested by shards
@@ -735,7 +892,7 @@ class ShardedStream:
         self._closed = False
         self._group_executor: ThreadPoolExecutor | None = None
         # Publish the solver's initial parameter so reads never block.
-        self.cache.put(
+        self._hub.publish(
             self.solver.current_estimate(),
             self.solver.estimate_version,
             timestep=0,
@@ -1122,6 +1279,9 @@ class ShardedStream:
                 self._group_executor = None
             for shard in self._shards:
                 shard.shutdown()
+            # Release parked wait_for_version callers (no further publish
+            # can ever satisfy them); served entries stay readable.
+            self._hub.close()
 
     def __enter__(self) -> "ShardedStream":
         return self
@@ -1134,16 +1294,60 @@ class ShardedStream:
     # ------------------------------------------------------------------
 
     def current_estimate(self) -> np.ndarray:
-        """The cached parameter — an O(1) read-only view, no solver work."""
+        """The cached parameter — one lock-free read-only pointer read.
+
+        The anonymous shared read: thread-safe from any number of
+        readers, touches no shared mutable state, keeps no statistics.
+        Readers that want per-reader stats, the snapshot fast path, or
+        blocking waits should hold a :meth:`reader` handle instead.
+        """
         return self.cache.get().theta
 
     def current_served(self) -> ServedEstimate:
-        """The cached estimate with version/coverage metadata."""
+        """The cached estimate with version/coverage metadata (lock-free)."""
         return self.cache.get()
+
+    def reader(self) -> ReaderHandle:
+        """A per-reader fan-out handle (one per reader thread).
+
+        Handles hold a private snapshot with a version fast-path check —
+        between refreshes a read returns the reader's own reference
+        without touching shared state — and keep per-reader read counts
+        that :meth:`read_stats` aggregates on demand.  Usable as a
+        context manager; ``close()`` (or stream close) retires it.
+        """
+        return self._hub.reader()
+
+    def subscribe(self, callback) -> Subscription:
+        """Fire ``callback(entry)`` on every publish (pub-sub invalidation).
+
+        Callbacks run on the publishing thread after the new entry is
+        visible to readers; exceptions are isolated per subscription
+        (counted on ``Subscription.errors``, never propagated to the
+        refresh path).  Returns the :class:`Subscription`; call its
+        ``unsubscribe()`` to stop.
+        """
+        return self._hub.subscribe(callback)
+
+    def wait_for_version(
+        self, version: int, timeout: float | None = None
+    ) -> ServedEstimate:
+        """Block until a solve with ``version`` (or newer) is published.
+
+        The poller-to-waiter conversion: built on the cache's condition
+        variable, woken by the publish that satisfies it (or by
+        :meth:`close`, with a :class:`~repro.exceptions.ServingError`).
+        Raises :class:`~repro.exceptions.WaitTimeoutError` on timeout.
+        """
+        return self._hub.wait_for_version(version, timeout=timeout)
+
+    def read_stats(self) -> ReadStats:
+        """One consistent snapshot of the read fan-out (aggregated on demand)."""
+        return self._hub.read_stats()
 
     @property
     def estimate_version(self) -> int:
-        """Number of completed solves published to the cache."""
+        """Number of completed solves published to the cache (lock-free)."""
         return self.cache.version
 
     @property
@@ -1386,7 +1590,7 @@ class ShardedStream:
             self._last_refresh_t = self._processed
             return
         theta = self.solver.refresh_from_released(covered, gram.value, cross.value)
-        self.cache.put(
+        self._hub.publish(
             theta,
             self.solver.estimate_version,
             timestep=self._processed,

@@ -338,10 +338,19 @@ class TestCacheFreshness:
         second = server.current_estimate()
         assert first is second  # same frozen buffer — a pointer read
         assert not first.flags.writeable
-        before = server.cache.reads
-        for _ in range(100):
-            server.current_estimate()
-        assert server.cache.reads == before + 100
+        # Read stats live on per-reader handles (aggregated on demand),
+        # never on the lock-free anonymous read path.
+        before = server.read_stats().reads
+        with server.reader() as handle:
+            for _ in range(100):
+                assert handle.theta() is first
+            stats = server.read_stats()
+            assert stats.reads == before + 100
+            # Between refreshes every read after the first hits the
+            # per-reader snapshot fast path.
+            assert handle.snapshot_hits == 99
+        # Closing the handle folds its counts into the retired totals.
+        assert server.read_stats().reads == before + 100
 
     def test_cache_invalidates_on_solve(self, stream):
         server = _make_server(2, seed=41)
