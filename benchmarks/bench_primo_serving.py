@@ -1,0 +1,206 @@
+"""Experiment N.primo — the shared-Gram economy of multi-tenant serving.
+
+Claim (ISSUE 6 acceptance criterion): serving ``k`` regression problems
+over one covariate stream through a single ``MultiTenantStream`` ingests
+materially cheaper than running ``k`` independent ``ShardedStream``s,
+because the ``(d, d)`` Gram tree — the ``O(d²)`` part of every block —
+is advanced **once** per shard instead of ``k`` times, and lives in
+memory once instead of ``k`` times.
+
+What is measured, per tenant count ``k``:
+
+* **independent baseline** — ``k`` separate ``ShardedStream``s, each at
+  ``(ε/k, δ/k)`` (basic composition: every element appears in all ``k``
+  streams), each paying its own Gram tree in time and memory;
+* **multi-tenant** — one ``MultiTenantStream`` with ``k`` tenants at the
+  full ``(ε, δ)``: one shared Gram tree per shard plus ``k`` cheap
+  ``(d,)`` cross trees, one solver + hub per tenant (the per-tenant
+  solve work is identical in both columns — the economy is in ingest
+  and memory, the read/solve tail just fans out).
+
+The privacy side of the same economy (shared Gram pays its noise once
+while independent streams pay more than ``k²`` the Gram noise variance)
+is pinned distributionally in ``tests/test_tenancy.py``; this benchmark
+records the systems side.  Results are written to
+``BENCH_primo_serving.json``; ``BENCH_PRIMO_T`` / ``BENCH_PRIMO_DIM``
+shrink the stream for smoke runs (CI), which write the JSON only when
+``BENCH_PRIMO_WRITE=1`` so local smoke runs never clobber the committed
+full-scale numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro import L2Ball, MultiTenantStream, PrivacyParams, ShardedStream
+from repro.data import make_dense_stream
+
+from common import bench_budget, record
+
+T = int(os.environ.get("BENCH_PRIMO_T", "16000"))
+DIM = int(os.environ.get("BENCH_PRIMO_DIM", "32"))
+BATCH = 64
+# Refreshes are deliberately sparse: the solve tail is NOT comparable
+# across the two columns (the tenant front solves at full-budget noise →
+# the iteration schedule `noisy_pgd_iterations(L, α, cap)` warrants more
+# PGD steps per solve than the (ε/k, δ/k)-noisy independent solvers take
+# for their worse estimates), so the benchmark amortizes it to expose the
+# per-block ingest economy — the part the shared Gram actually changes.
+REFRESH_EVERY = 2048
+ITERATION_CAP = 40
+SHARDS = 2
+TENANT_COUNTS = [1, 2, 4, 8]
+RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_primo_serving.json"
+
+
+def _blocks():
+    return [(s, min(s + BATCH, T)) for s in range(0, T, BATCH)]
+
+
+def _outcome_panel(k: int) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return np.clip(rng.normal(size=(T, k)) * 0.4, -1.0, 1.0)
+
+
+def _independent_seconds(stream, ys: np.ndarray, k: int) -> tuple[float, float]:
+    """k separate ShardedStreams, each at (ε/k, δ/k): seconds, memory floats."""
+    budget = bench_budget()
+    per_stream = PrivacyParams(budget.epsilon / k, budget.delta / k)
+    servers = [
+        ShardedStream(
+            L2Ball(DIM),
+            per_stream,
+            shards=SHARDS,
+            horizon=T,
+            ingest="fast",
+            refresh_every=REFRESH_EVERY,
+            iteration_cap=ITERATION_CAP,
+            rng=j,
+        )
+        for j in range(k)
+    ]
+    try:
+        start = time.perf_counter()
+        for s, e in _blocks():
+            for j, server in enumerate(servers):
+                server.observe_batch(stream.xs[s:e], ys[s:e, j])
+        for server in servers:
+            server.flush()
+        seconds = time.perf_counter() - start
+        memory = float(sum(server.memory_floats() for server in servers))
+    finally:
+        for server in servers:
+            server.close()
+    return seconds, memory
+
+
+def _tenant_seconds(stream, ys: np.ndarray, k: int) -> tuple[float, float]:
+    """One MultiTenantStream with k tenants: seconds, memory floats."""
+    server = MultiTenantStream(
+        L2Ball(DIM),
+        bench_budget(),
+        tenants=k,
+        shards=SHARDS,
+        horizon=T,
+        ingest="fast",
+        refresh_every=REFRESH_EVERY,
+        iteration_cap=ITERATION_CAP,
+        rng=0,
+    )
+    try:
+        start = time.perf_counter()
+        for s, e in _blocks():
+            server.observe_batch(stream.xs[s:e], ys[s:e])
+        server.flush()
+        seconds = time.perf_counter() - start
+        memory = float(server.memory_floats())
+    finally:
+        server.close()
+    return seconds, memory
+
+
+def test_primo_serving_economy(benchmark):
+    """Shared-Gram ingest must beat k independent streams at k=8."""
+    stream = make_dense_stream(T, DIM, noise_std=0.05, rng=0)
+    panel = _outcome_panel(max(TENANT_COUNTS))
+
+    rows = []
+
+    def sweep():
+        for k in TENANT_COUNTS:
+            ys = panel[:, :k]
+            independent_seconds, independent_memory = _independent_seconds(
+                stream, ys, k
+            )
+            tenant_seconds, tenant_memory = _tenant_seconds(stream, ys, k)
+            rows.append(
+                {
+                    "tenants": k,
+                    "independent_seconds": independent_seconds,
+                    "tenant_seconds": tenant_seconds,
+                    "ingest_speedup": independent_seconds / tenant_seconds,
+                    "independent_memory_floats": independent_memory,
+                    "tenant_memory_floats": tenant_memory,
+                    "memory_ratio": independent_memory / tenant_memory,
+                }
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        record(
+            "N.primo shared-Gram economy",
+            tenants=row["tenants"],
+            T=T,
+            d=DIM,
+            independent_s=row["independent_seconds"],
+            tenant_s=row["tenant_seconds"],
+            speedup=row["ingest_speedup"],
+            memory_ratio=row["memory_ratio"],
+        )
+
+    payload = {
+        "experiment": "bench_primo_serving",
+        "config": {
+            "T": T,
+            "d": DIM,
+            "batch": BATCH,
+            "refresh_every": REFRESH_EVERY,
+            "iteration_cap": ITERATION_CAP,
+            "shards": SHARDS,
+            "epsilon": bench_budget().epsilon,
+            "delta": bench_budget().delta,
+            "baseline": "k independent ShardedStreams at (eps/k, delta/k) each",
+        },
+        "sweep": rows,
+    }
+    full_scale = (
+        "BENCH_PRIMO_T" not in os.environ and "BENCH_PRIMO_DIM" not in os.environ
+    )
+    if full_scale or os.environ.get("BENCH_PRIMO_WRITE") == "1":
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    by_k = {row["tenants"]: row for row in rows}
+    # k=1 is overhead parity: one tenant stream ≈ one ShardedStream (the
+    # shared-Gram machinery must not cost more than a modest constant).
+    assert by_k[1]["tenant_seconds"] < by_k[1]["independent_seconds"] * 2.0
+    # The economy must grow with k: by k=8 the shared Gram is a clear win
+    # in both time and memory (each independent stream re-pays d² log T).
+    # Smoke scales dilute the time win (the per-tenant solve work, equal in
+    # both columns, dominates tiny streams), so the ingest bar is softer
+    # there; the memory ratio is scale-free.
+    speedup_bar = 1.5 if full_scale else 1.1
+    assert by_k[8]["ingest_speedup"] > speedup_bar, (
+        f"k=8 shared-Gram ingest speedup {by_k[8]['ingest_speedup']:.2f}x "
+        f"below the {speedup_bar}x acceptance bar"
+    )
+    assert by_k[8]["memory_ratio"] > 2.0, (
+        f"k=8 memory ratio {by_k[8]['memory_ratio']:.2f}x below 2x: the "
+        f"shared Gram tree should dominate the independent copies"
+    )
+    assert by_k[8]["ingest_speedup"] > by_k[2]["ingest_speedup"], (
+        "speedup should grow with tenant count"
+    )

@@ -51,6 +51,7 @@ from .privacy import (
     TreeMechanism,
     merge_released,
     shard_budgets,
+    tenant_budgets,
 )
 from .geometry import (
     GroupL1Ball,
@@ -90,6 +91,7 @@ from .streaming import (
     FleetRunner,
     IncrementalRunner,
     MomentShard,
+    MultiTenantStream,
     ProcessShardWorker,
     ProjectedMomentShard,
     ReaderHandle,
@@ -101,6 +103,8 @@ from .streaming import (
     ServedEstimate,
     ShardedStream,
     Subscription,
+    TenantShard,
+    TenantView,
 )
 from .core import (
     NaiveRecompute,
@@ -146,6 +150,7 @@ __all__ = [
     "ReleasedMoments",
     "merge_released",
     "shard_budgets",
+    "tenant_budgets",
     # geometry
     "L2Ball",
     "L1Ball",
@@ -185,6 +190,9 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "TenantShard",
+    "MultiTenantStream",
+    "TenantView",
     "ProcessShardWorker",
     "EstimateCache",
     "EstimateHub",

@@ -15,7 +15,7 @@ differential-privacy literature:
   the known-horizon assumption.
 """
 
-from .parameters import PrivacyParams, shard_budgets
+from .parameters import PrivacyParams, shard_budgets, tenant_budgets
 from .mechanisms import (
     GaussianMechanism,
     LaplaceMechanism,
@@ -44,6 +44,7 @@ from .rdp import RdpAccountant, gaussian_rdp, rdp_to_dp
 __all__ = [
     "PrivacyParams",
     "shard_budgets",
+    "tenant_budgets",
     "MergedRelease",
     "ReleasedMoments",
     "merge_released",

@@ -80,6 +80,33 @@ class PrivacyAccountant:
                 f"charge {label!r} ({count} x {params}) would exceed total budget {self.total}"
             )
 
+    def refund(self, label: str) -> int:
+        """Remove every charge recorded under ``label``; returns the count.
+
+        For callers whose composition argument is a *capacity* bound — the
+        multi-tenant serving layer charges one slot per active tenant and
+        refunds the slot when the tenant is removed, because the removed
+        tenant's mechanism never ingests again and no stream element is
+        ever seen by two occupants of one slot (per-element composition).
+        The ledger then tracks the worst-case per-element loss of the
+        stream *going forward*, which is the quantity the budget bounds.
+
+        Only sound when the refunded mechanism's transcript is final; a
+        refund does not and cannot un-release what was already published.
+
+        Raises
+        ------
+        PrivacyBudgetError
+            If no charge with ``label`` is on the ledger (a refund that
+            matches nothing is an accounting bug, not a no-op).
+        """
+        kept = [c for c in self.charges if c.label != label]
+        removed = len(self.charges) - len(kept)
+        if removed == 0:
+            raise PrivacyBudgetError(f"no charge labeled {label!r} to refund")
+        self.charges[:] = kept
+        return removed
+
     def spent(self) -> PrivacyParams:
         """The cumulative budget consumed so far under the configured mode."""
         if not self.charges:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from .._validation import check_int, check_positive, check_probability
 from ..exceptions import ValidationError
 
-__all__ = ["PrivacyParams", "shard_budgets"]
+__all__ = ["PrivacyParams", "shard_budgets", "tenant_budgets"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,3 +135,39 @@ def shard_budgets(
     raise ValidationError(
         f"composition must be 'parallel' or 'basic', got {composition!r}"
     )
+
+
+def tenant_budgets(
+    total: PrivacyParams, capacity: int
+) -> tuple[PrivacyParams, tuple[PrivacyParams, ...]]:
+    """The PRIMO budget split: one shared Gram budget + per-tenant slots.
+
+    When ``k`` outcome vectors share one covariate stream (PRIMO, *Private
+    Regression in Multiple Outcomes*), the expensive ``(d, d)`` Gram
+    statistic is computed and privatized **once** for all tenants, while
+    each tenant only pays for its own cheap ``(d,)`` cross-moment tree.
+    Returns ``(gram_budget, slot_budgets)`` where
+
+    * ``gram_budget = total.halve()`` — the shared Gram tree runs at
+      ``(ε/2, δ/2)`` **independent of the tenant count**, which is exactly
+      the economy the multi-tenant serving layer exposes (per-tenant Gram
+      release variance does not grow with ``k``);
+    * ``slot_budgets`` splits the other half across ``capacity`` tenant
+      slots via :meth:`PrivacyParams.split_weighted` (equal weights):
+      each slot gets ``(ε/(2·capacity), δ/(2·capacity))``.
+
+    Soundness is per-element composition: a stream element is ingested by
+    the Gram tree once and by at most ``capacity`` concurrently active
+    cross trees, so its privacy loss is at most
+    ``ε/2 + capacity·ε/(2·capacity) = ε``.  A removed tenant's tree never
+    ingests again, so handing its slot to a later tenant keeps the bound:
+    no element is ever seen by two occupants of one slot.
+
+    For ``capacity = 1`` both pieces equal ``total.halve()`` bit-exactly —
+    the split a single-tenant :class:`~repro.streaming.serving.MomentShard`
+    applies — which is what makes a ``k = 1`` multi-tenant stream
+    bit-identical to the plain sharded path.
+    """
+    capacity = check_int("capacity", capacity, minimum=1)
+    half = total.halve()
+    return half, half.split_weighted([1.0] * capacity)

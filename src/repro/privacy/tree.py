@@ -674,6 +674,14 @@ class ReleasedMoments:
             and np.array_equal(self.value, other.value)
         )
 
+    def __hash__(self) -> int:
+        # Defining __eq__ in the class body sets __hash__ = None even with
+        # eq=False, silently making snapshots unusable as dict/set keys.
+        # Hash the scalar fields only: equal snapshots share them, and the
+        # value array (excluded — ndarrays are unhashable) is checked by
+        # __eq__ on collision.
+        return hash((self.shape, int(self.steps), float(self.noise_variance)))
+
     @property
     def steps_taken(self) -> int:
         """Steps the snapshotted mechanism had ingested (mechanism surface)."""

@@ -31,7 +31,9 @@ from .serving import (
     ProjectedMomentShard,
     ServedEstimate,
     ShardedStream,
+    TenantShard,
 )
+from .tenancy import MultiTenantStream, TenantView
 from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = [
@@ -49,6 +51,9 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "TenantShard",
+    "MultiTenantStream",
+    "TenantView",
     "ProcessShardWorker",
     "ShardSpec",
     "EstimateCache",

@@ -120,6 +120,7 @@ from ..core.unbounded import UnboundedPrivIncReg
 from ..exceptions import (
     GroupIngestionError,
     NoEstimateError,
+    PrivacyBudgetError,
     PublishConflictError,
     ServingError,
     ShardUnavailableError,
@@ -130,7 +131,7 @@ from ..exceptions import (
 from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.hybrid import HybridMechanism
-from ..privacy.parameters import PrivacyParams, shard_budgets
+from ..privacy.parameters import PrivacyParams, shard_budgets, tenant_budgets
 from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 from .metrics import ReadStats
@@ -141,6 +142,7 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "TenantShard",
     "ProcessShardWorker",
     "EstimateCache",
     "ServedEstimate",
@@ -576,6 +578,197 @@ class ProjectedMomentShard(MomentShard):
         return step4_rescale_block(self.projection, xs)
 
 
+class TenantShard:
+    """One multi-tenant shard: a **shared** Gram tree + per-tenant cross trees.
+
+    The PRIMO shard backend (*Private Regression in Multiple Outcomes*):
+    when ``k`` outcome streams share one covariate stream, the expensive
+    ``(d, d)`` second-moment statistic is identical for every tenant, so
+    this shard privatizes it **once** — one Gram tree at ``(ε/2, δ/2)``,
+    independent of the tenant count — and keeps only a cheap ``(d,)``
+    cross tree per tenant, each at a ``(ε/(2·cap), δ/(2·cap))`` slot of
+    the other half (:func:`~repro.privacy.parameters.tenant_budgets`).
+    Ingesting ``(x, y_1..y_k)`` advances the Gram tree exactly once and
+    tenant ``j``'s cross tree with ``x·y_j``, so the per-element privacy
+    loss is at most ``ε/2 + cap·ε/(2·cap) = ε`` — the same total budget a
+    single-tenant shard spends, now serving ``k`` models.
+
+    Tenants are dynamic: :meth:`add_tenant` occupies a free capacity slot
+    with a fresh cross tree, :meth:`remove_tenant` retires one.  Slot
+    reuse is sound because a removed tenant's tree never ingests again —
+    no stream element is ever seen by two occupants of one slot, so the
+    per-element bound above survives any add/remove schedule.
+
+    For a single tenant both budget pieces equal ``budget.halve()``
+    bit-exactly and the ingest arithmetic reduces to
+    :class:`MomentShard`'s, which is what makes a ``k = 1`` multi-tenant
+    stream bit-identical to the plain sharded path (given the same rng
+    children — see :class:`~repro.streaming.tenancy.MultiTenantStream`).
+    """
+
+    backend = "tenant"
+
+    def __init__(
+        self,
+        index: int,
+        dim: int,
+        budget: PrivacyParams,
+        tenant_rngs,
+        gram_rng: np.random.Generator,
+        tenants,
+        tenant_capacity: int | None = None,
+        mechanism: str = "tree",
+        shard_horizon: int | None = None,
+    ) -> None:
+        if mechanism != "tree":
+            raise ValidationError(
+                "TenantShard requires mechanism='tree' (the PRIMO serving "
+                "layer assumes a known horizon)"
+            )
+        names = tuple(str(name) for name in tenants)
+        if len(set(names)) != len(names):
+            raise ValidationError(f"tenant names must be unique, got {names!r}")
+        if not names:
+            raise ValidationError("TenantShard needs at least one tenant")
+        tenant_rngs = tuple(tenant_rngs)
+        if len(tenant_rngs) != len(names):
+            raise ValidationError(
+                f"need one rng per tenant: {len(names)} tenants, "
+                f"{len(tenant_rngs)} rngs"
+            )
+        self.index = index
+        self.dim = dim
+        self.moment_dim = dim
+        self.budget = budget
+        self.mechanism = mechanism
+        self.shard_horizon = shard_horizon
+        self.tenant_capacity = check_int(
+            "tenant_capacity",
+            len(names) if tenant_capacity is None else tenant_capacity,
+            minimum=len(names),
+        )
+        self.steps = 0
+        self.alive = True
+        self.lost_accounted = False
+        gram_budget, slot_budgets = tenant_budgets(budget, self.tenant_capacity)
+        #: Every slot carries the same budget; keep one for later adds.
+        self._slot_budget = slot_budgets[0]
+        # Cross trees first, then the Gram tree — the same construction
+        # order as MomentShard.  Insertion order of this dict is the
+        # tenant order every merge indexes by.
+        self.cross: dict[str, TreeMechanism] = {}
+        for name, rng in zip(names, tenant_rngs):
+            self.cross[name] = TreeMechanism(
+                horizon=shard_horizon,
+                shape=(dim,),
+                l2_sensitivity=MOMENT_SENSITIVITY,
+                params=self._slot_budget,
+                rng=rng,
+            )
+        self.gram = TreeMechanism(
+            horizon=shard_horizon,
+            shape=(dim, dim),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=gram_budget,
+            rng=gram_rng,
+        )
+
+    def tenants(self) -> tuple[str, ...]:
+        """Active tenant names, in the order merges index them."""
+        return tuple(self.cross)
+
+    def add_tenant(self, name: str, rng: np.random.Generator) -> None:
+        """Occupy a free capacity slot with a fresh cross tree for ``name``."""
+        name = str(name)
+        if name in self.cross:
+            raise ValidationError(f"tenant {name!r} already exists")
+        if len(self.cross) >= self.tenant_capacity:
+            raise PrivacyBudgetError(
+                f"all {self.tenant_capacity} tenant slots are occupied; "
+                f"remove a tenant before adding {name!r} (the slot budgets "
+                f"are what keep the per-element loss within the total)"
+            )
+        self.cross[name] = TreeMechanism(
+            horizon=self.shard_horizon,
+            shape=(self.dim,),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=self._slot_budget,
+            rng=rng,
+        )
+
+    def remove_tenant(self, name: str) -> None:
+        """Retire ``name``'s cross tree, freeing its capacity slot."""
+        if str(name) not in self.cross:
+            raise ValidationError(f"unknown tenant {name!r}")
+        del self.cross[str(name)]
+
+    def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
+        """Feed a routed block: the Gram tree once, each tenant's cross once.
+
+        ``ys`` is the ``(n, k)`` outcome matrix, one column per active
+        tenant in :meth:`tenants` order.  All moment inputs are
+        materialized first, and the Gram tree — never behind any cross
+        tree in step count, so the first to hit capacity — advances before
+        the crosses: any failure the library can raise happens before a
+        tree mutates, preserving the block-atomic no-consumption
+        guarantee.  Per tree the arithmetic is exactly
+        :class:`MomentShard.ingest`'s, so a single tenant's trees stay
+        bit-identical to a single-tenant shard's.
+        """
+        Y = np.asarray(ys, dtype=float)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if Y.shape != (xs.shape[0], len(self.cross)):
+            raise ValidationError(
+                f"outcome block must have shape ({xs.shape[0]}, "
+                f"{len(self.cross)}) — one column per active tenant — got "
+                f"{Y.shape}"
+            )
+        k = xs.shape[0]
+        if fast:
+            gram_total = xs.T @ xs
+            cross_totals = [Y[:, j] @ xs for j in range(Y.shape[1])]
+            self.gram.advance_sum(gram_total, k)
+            for mechanism, total in zip(self.cross.values(), cross_totals):
+                mechanism.advance_sum(total, k)
+        else:
+            gram_values = xs[:, :, None] * xs[:, None, :]
+            cross_values = [Y[:, j, None] * xs for j in range(Y.shape[1])]
+            self.gram.advance_batch(gram_values)
+            for mechanism, values in zip(self.cross.values(), cross_values):
+                mechanism.advance_batch(values)
+        self.steps += k
+
+    def released(self):
+        """The (per-tenant cross tuple, gram) merge handles.
+
+        Same seam as :meth:`MomentShard.released`, with the cross slot
+        widened to a tuple — one handle per active tenant, in
+        :meth:`tenants` order.  The process transport snapshots each
+        element as a :class:`~repro.privacy.tree.ReleasedMoments`, so the
+        wire format is unchanged: the same snapshots, just ``k`` of them.
+        """
+        return tuple(self.cross.values()), self.gram
+
+    def memory_floats(self) -> int:
+        """Floats held by the shard: ``O((d² + k·d) log T)`` — the PRIMO
+        economy, vs ``k·O(d² log T)`` for ``k`` independent shards."""
+        if not self.alive:
+            return 0
+        return self.gram.memory_floats() + sum(
+            mechanism.memory_floats() for mechanism in self.cross.values()
+        )
+
+    def kill(self) -> None:
+        """Drop the mechanisms; the shard's ingested mass is lost."""
+        self.alive = False
+        self.cross = None
+        self.gram = None
+
+    def shutdown(self) -> None:
+        """Transport-uniform teardown hook (nothing to release in-process)."""
+
+
 class ShardedStream:
     """A sharded, optionally asynchronous, algorithm-generic serving front.
 
@@ -885,11 +1078,16 @@ class ShardedStream:
         self._processed = 0  # logical t: points fully ingested by shards
         self._enqueued = 0  # points accepted at the API boundary
         self._blocks_routed = 0
+        self._blocks_refunded = 0
         self._next_shard = 0
         self._last_refresh_t = 0
         self.lost_steps = 0
         self._error: BaseException | None = None
         self._closed = False
+        # close() must be serialized on its own lock: it blocks on the
+        # queue drain, and the ingestion lock is exactly what the worker
+        # needs to finish that drain.
+        self._close_lock = threading.Lock()
         self._group_executor: ThreadPoolExecutor | None = None
         # Publish the solver's initial parameter so reads never block.
         self._hub.publish(
@@ -1144,15 +1342,20 @@ class ShardedStream:
         check capacity before consuming), per-shard fail-stop (a shard
         stops at its first failed block), and fully reported.
         """
+        routed = 0
         try:
             assignments: dict[int, list[tuple[int, MomentShard, np.ndarray, np.ndarray]]] = {}
             for group_index, (xs, ys) in enumerate(blocks):
                 shard = self._route(xs, ys)
                 self._blocks_routed += 1
+                routed += 1
                 assignments.setdefault(shard.index, []).append(
                     (group_index, shard, xs, ys)
                 )
         except BaseException:
+            # A routing failure refunds the whole group: nothing ingested,
+            # so every block counted so far is a refund, not a commit.
+            self._blocks_refunded += routed
             self._enqueued -= sum(len(ys) for _, ys in blocks)
             raise
 
@@ -1210,6 +1413,11 @@ class ShardedStream:
                 len(blocks[group_index][1]) for group_index, _ in failures
             )
             self._enqueued -= lost
+            # Every failed block — the one that raised and the unattempted
+            # fail-stop casualties behind it — was refunded above; without
+            # this the routing stats would overcount commits on partial
+            # failure (blocks_routed − blocks_refunded == blocks committed).
+            self._blocks_refunded += len(failures)
             raise GroupIngestionError(
                 f"{len(failures)} of {len(blocks)} group blocks failed to "
                 f"ingest ({lost} points refunded); first error: "
@@ -1229,12 +1437,36 @@ class ShardedStream:
         if self.mode == "manual":
             self.pump()
         elif self.mode == "async":
-            self._queue.join()
+            self._join_queue()
         self._raise_if_unusable()
         with self._lock:
             if self._processed > self._last_refresh_t:
                 self._refresh()
         return self.current_served()
+
+    def _join_queue(self) -> None:
+        """``Queue.join`` with a worker-liveness probe (bounded waits).
+
+        A bare ``join()`` parks on ``task_done`` calls that can never come
+        if the async worker thread died between ``get()`` and
+        ``task_done()`` — the flush would hang forever.  Waiting in
+        bounded slices on the queue's ``all_tasks_done`` condition and
+        probing the worker's ``is_alive()`` between them turns that hang
+        into a typed :class:`~repro.exceptions.ServingError`; the live
+        path is unchanged (the ``task_done`` notify wakes the wait early).
+        """
+        q = self._queue
+        with q.all_tasks_done:
+            while q.unfinished_tasks:
+                worker = self._worker
+                if worker is None or not worker.is_alive():
+                    raise ServingError(
+                        f"async ingestion worker is dead with "
+                        f"{q.unfinished_tasks} queued block(s) unprocessed; "
+                        f"the queue can never drain, so the stream cannot "
+                        f"be flushed"
+                    )
+                q.all_tasks_done.wait(timeout=0.05)
 
     def pump(self, max_blocks: int | None = None) -> int:
         """Process up to ``max_blocks`` queued blocks inline (manual mode).
@@ -1262,7 +1494,17 @@ class ShardedStream:
         poisoned server): shutdown must never leak the async thread, the
         group pool, or — under ``transport="process"`` — the shard worker
         processes.
+
+        Idempotent under concurrency: all of close runs under a dedicated
+        lock (a bare ``_closed`` check-then-act would let two concurrent
+        closers both run the teardown — double ``_CLOSE`` sentinels, a
+        ``join`` on a reset ``_worker``, double executor shutdown), so a
+        second caller blocks until the first finishes, then returns.
         """
+        with self._close_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._closed:
             return
         try:
@@ -1359,6 +1601,19 @@ class ShardedStream:
     def steps_enqueued(self) -> int:
         """Points accepted at the API boundary (≥ ``steps_ingested``)."""
         return self._enqueued
+
+    @property
+    def blocks_routed(self) -> int:
+        """Blocks assigned a shard so far (monotone — feeds the callable
+        router's ``block_index``, so refunds never reuse an index)."""
+        return self._blocks_routed
+
+    @property
+    def blocks_refunded(self) -> int:
+        """Routed blocks whose ingestion failed or was never attempted
+        (fail-stop casualties); their reservations were refunded, so
+        ``blocks_routed − blocks_refunded`` counts committed blocks."""
+        return self._blocks_refunded
 
     def shard_states(self) -> list[dict]:
         """Per-shard liveness and load snapshot (diagnostics)."""
@@ -1521,6 +1776,13 @@ class ShardedStream:
             # mass is lost; the block itself was not acknowledged and is
             # refunded by the caller, so a retry routes to a live shard.
             self._note_shard_death(shard)
+            self._blocks_refunded += 1
+            raise
+        except BaseException:
+            # Any other ingest failure (capacity, validation) also leaves
+            # the block unconsumed and refundable — the routing stat must
+            # not count it as committed.
+            self._blocks_refunded += 1
             raise
         self._processed += len(ys)
 

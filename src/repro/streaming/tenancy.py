@@ -1,0 +1,749 @@
+"""Multi-tenant (PRIMO) serving: one covariate stream, ``k`` outcome models.
+
+The PRIMO observation (*Private Regression in Multiple Outcomes*): when
+``k`` regression problems share one covariate stream — the same ``x_t``
+scored against ``k`` different outcome signals ``y_t^{(1)}..y_t^{(k)}`` —
+the expensive part of the released statistic, the ``(d, d)`` second-moment
+(Gram) matrix, is *identical* for every problem.  Running ``k`` independent
+:class:`~repro.streaming.serving.ShardedStream` fronts privatizes it ``k``
+times: ``k·(d² + d)`` tree floats, ``k`` Gram noise draws per step, and a
+``k``-way budget split that inflates every tenant's noise variance by
+``k²``.  :class:`MultiTenantStream` privatizes it **once**:
+
+* each shard is a :class:`~repro.streaming.serving.TenantShard` — one
+  shared Gram tree at ``(ε/2, δ/2)`` (independent of ``k``) plus one cheap
+  ``(d,)`` cross tree per tenant at an equal slot of the other half
+  (:func:`~repro.privacy.parameters.tenant_budgets`);
+* :meth:`MultiTenantStream.observe_batch` routes each
+  ``(x, y^{(1)}..y^{(k)})`` block through the shared Gram exactly once and
+  fans the outcomes out to the per-tenant cross trees;
+* every tenant keeps its own solver and its own
+  :class:`~repro.streaming.readers.EstimateHub`, so the whole read-side
+  surface — ``reader()`` / ``subscribe()`` / ``wait_for_version()`` —
+  works unchanged *per tenant* (:meth:`MultiTenantStream.tenant`);
+* merges reuse :func:`~repro.privacy.tree.merge_released` and
+  :class:`~repro.privacy.tree.ReleasedMoments` unchanged — the process
+  transport ships a tenant shard's releases as the same snapshots the
+  single-tenant path ships, just ``k`` of them per shard.
+
+Privacy is per-element composition over the *slot capacity*: one element
+is ingested by the Gram tree once (``ε/2``) and by at most ``capacity``
+concurrently active cross trees (``capacity · ε/(2·capacity)``), so its
+loss is at most ``ε`` under any :meth:`~MultiTenantStream.add_tenant` /
+:meth:`~MultiTenantStream.remove_tenant` schedule — a removed tenant's
+tree never ingests again, so a reused slot never sees one element twice.
+The ledger mirrors this: adds charge a slot, removes refund it
+(:meth:`~repro.privacy.accountant.PrivacyAccountant.refund`).
+
+For ``k = 1`` (and the default ``tenant_capacity=1``) both budget pieces
+equal ``params.halve()`` bit-exactly, the shard rng children and solver
+spawn order match :class:`~repro.streaming.serving.ShardedStream`'s, and
+the ingest arithmetic reduces to the single-tenant shard's — so a
+one-tenant front is **bit-identical** to the plain sharded path on both
+transports (``tests/test_tenancy.py``, ``tests/test_sharded_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .._validation import (
+    check_int,
+    check_rng,
+    check_unit_xy_domain,
+    check_vector,
+    check_xy_block,
+)
+from ..core.incremental_regression import PrivIncReg1
+from ..exceptions import (
+    PrivacyBudgetError,
+    ServingError,
+    ShardUnavailableError,
+    StreamExhaustedError,
+    ValidationError,
+)
+from ..geometry.base import ConvexSet
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.parameters import PrivacyParams, tenant_budgets
+from ..privacy.tree import MergedRelease, merge_released
+from .readers import EstimateHub, ReaderHandle, Subscription
+from .serving import ServedEstimate, TenantShard
+from .transport import ProcessShardWorker, ShardSpec
+
+__all__ = ["MultiTenantStream", "TenantView"]
+
+#: Ledger label of the shared Gram trees (parallel composition: one charge).
+_GRAM_LABEL = "tenants:gram-moments(parallel)"
+
+
+def _cross_label(name: str) -> str:
+    """Ledger label of one tenant's cross-tree slot (charged and refunded)."""
+    return f"tenant:{name}:cross-moments"
+
+
+class TenantView:
+    """One tenant's read surface over a :class:`MultiTenantStream`.
+
+    A thin, cheap facade bound to the tenant's own
+    :class:`~repro.streaming.readers.EstimateHub`, exposing exactly the
+    read API a single-tenant :class:`~repro.streaming.serving.ShardedStream`
+    exposes — lock-free cached reads, per-reader handles, pub-sub, version
+    waits — so per-tenant consumers never see the multi-tenancy.  Obtained
+    from :meth:`MultiTenantStream.tenant`; stays readable (cache and
+    stats) after the tenant is removed, though no further publish can
+    arrive.
+    """
+
+    def __init__(self, name: str, hub: EstimateHub) -> None:
+        self.name = name
+        self._hub = hub
+        self.cache = hub.cache
+
+    def current_estimate(self) -> np.ndarray:
+        """The tenant's cached parameter — one lock-free pointer read."""
+        return self.cache.get().theta
+
+    def current_served(self) -> ServedEstimate:
+        """The cached estimate with version/coverage metadata (lock-free)."""
+        return self.cache.get()
+
+    def reader(self) -> ReaderHandle:
+        """A per-reader fan-out handle (one per reader thread)."""
+        return self._hub.reader()
+
+    def subscribe(self, callback) -> Subscription:
+        """Fire ``callback(entry)`` on every publish for this tenant."""
+        return self._hub.subscribe(callback)
+
+    def wait_for_version(
+        self, version: int, timeout: float | None = None
+    ) -> ServedEstimate:
+        """Block until this tenant publishes ``version`` (or newer)."""
+        return self._hub.wait_for_version(version, timeout=timeout)
+
+    def read_stats(self):
+        """One consistent snapshot of this tenant's read fan-out."""
+        return self._hub.read_stats()
+
+    @property
+    def estimate_version(self) -> int:
+        """Completed solves published for this tenant (lock-free)."""
+        return self.cache.version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TenantView(name={self.name!r}, version={self.cache.version})"
+
+
+class MultiTenantStream:
+    """The PRIMO serving front: ``k`` tenant models over one shared stream.
+
+    Routes each incoming ``(x, y^{(1)}..y^{(k)})`` block round-robin to
+    one of ``K`` :class:`~repro.streaming.serving.TenantShard` workers;
+    the shard advances its **shared** Gram tree once and each active
+    tenant's cross tree with that tenant's outcome column.  At refresh
+    points the Gram releases are merged once and reused for every
+    tenant's solve, so ingest and merge cost grow like ``d² + k·d``
+    instead of the ``k·d²`` that ``k`` independent
+    :class:`~repro.streaming.serving.ShardedStream` fronts pay
+    (``benchmarks/bench_primo_serving.py`` measures the gap).
+
+    Synchronous by design: multi-tenant ingestion is the batch-heavy
+    production path, and the async/manual queue modes of the
+    single-tenant front add nothing per tenant (reads are already
+    decoupled through the per-tenant hubs).
+
+    Parameters
+    ----------
+    constraint:
+        The constraint set ``C`` shared by every tenant's solver; fixes
+        the dimension.
+    params:
+        The stream's total ``(ε, δ)`` budget — what one element's
+        participation costs *in total*, across the shared Gram and every
+        tenant slot (see :func:`~repro.privacy.parameters.tenant_budgets`).
+    tenants:
+        Initial tenants: an ``int k`` (named ``tenant-0..tenant-{k-1}``)
+        or a sequence of unique non-empty names.
+    shards:
+        Number of shard workers ``K`` (disjoint routing, parallel
+        composition — every shard runs at the full budget, exactly as
+        the single-tenant front's default).
+    horizon:
+        Logical stream length ``T``; required (tenant shards are tree
+        shards — the PRIMO layer assumes a known horizon).
+    tenant_capacity:
+        Concurrent-tenant slot count the budget is split across; defaults
+        to the initial tenant count.  Fixed for the stream's lifetime —
+        it is a privacy parameter (each element may meet up to this many
+        cross trees), not a sizing hint.  Leave headroom only if tenants
+        will be added at runtime; a larger capacity means a smaller
+        per-tenant slot budget.
+    refresh_every:
+        Merge + solve whenever the processed count crosses a multiple of
+        this (and at the horizon); ``None`` refreshes every block.
+    ingest:
+        ``"exact"`` (bit-identical tier) or ``"fast"`` (distributional
+        BLAS tier) — the same two tiers as the single-tenant front.
+    transport:
+        ``"thread"`` (in-process shards) or ``"process"`` (one
+        interpreter per shard behind a pipe; releases come back as
+        :class:`~repro.privacy.tree.ReleasedMoments` snapshots, ``k``
+        per shard).  Both transports build the same mechanisms from the
+        same rng children.
+    shard_horizon:
+        Tree capacity per shard; defaults to ``horizon`` so any routing
+        imbalance fits.
+    beta, fidelity, iteration_cap:
+        Forwarded to every tenant's default
+        :class:`~repro.core.incremental_regression.PrivIncReg1` solver.
+    rng:
+        Seed or Generator.  Shard ``i``'s tenant trees use child ``2i``
+        of ``rng.spawn(2K)`` (tenant 0) plus its spawned siblings
+        (tenants 1..k-1), and its Gram tree uses child ``2i+1``; each
+        tenant's solver then spawns one child in tenant order.  For
+        ``k = 1`` this is exactly the single-tenant front's consumption,
+        which is what makes the one-tenant stream bit-identical to
+        :class:`~repro.streaming.serving.ShardedStream`.
+    """
+
+    def __init__(
+        self,
+        constraint: ConvexSet,
+        params: PrivacyParams,
+        tenants,
+        shards: int = 2,
+        *,
+        horizon: int | None = None,
+        tenant_capacity: int | None = None,
+        refresh_every: int | None = None,
+        ingest: str = "exact",
+        transport: str = "thread",
+        shard_horizon: int | None = None,
+        beta: float = 0.05,
+        fidelity: str = "fast",
+        iteration_cap: int = 400,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if ingest not in ("exact", "fast"):
+            raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
+        if transport not in ("thread", "process"):
+            raise ValidationError(
+                f"transport must be 'thread' or 'process', got {transport!r}"
+            )
+        if horizon is None:
+            raise ValidationError(
+                "MultiTenantStream needs a horizon (tenant shards are tree "
+                "shards; there is no horizon-free PRIMO serving path)"
+            )
+        if isinstance(tenants, (int, np.integer)) and not isinstance(tenants, bool):
+            count = check_int("tenants", tenants, minimum=1)
+            names = tuple(f"tenant-{i}" for i in range(count))
+        else:
+            names = tuple(str(name) for name in tenants)
+        if not names:
+            raise ValidationError("tenants must name at least one tenant")
+        if len(set(names)) != len(names):
+            raise ValidationError(f"tenant names must be unique, got {names!r}")
+        if any(not name for name in names):
+            raise ValidationError("tenant names must be non-empty")
+
+        self.constraint = constraint
+        self.params = params
+        self.dim = constraint.dim
+        self.shards_count = check_int("shards", shards, minimum=1)
+        self.horizon = check_int("horizon", horizon, minimum=1)
+        self.tenant_capacity = check_int(
+            "tenant_capacity",
+            len(names) if tenant_capacity is None else tenant_capacity,
+            minimum=len(names),
+        )
+        self.refresh_every = (
+            None
+            if refresh_every is None
+            else check_int("refresh_every", refresh_every, minimum=1)
+        )
+        self.ingest = ingest
+        self.transport = transport
+        self.shard_horizon = (
+            self.horizon
+            if shard_horizon is None
+            else check_int("shard_horizon", shard_horizon, minimum=1)
+        )
+        self._rng = check_rng(rng)
+        self._fast = ingest == "fast"
+        self._beta = beta
+        self._fidelity = fidelity
+        self._iteration_cap = iteration_cap
+
+        # The per-slot budget every tenant (initial or added later) runs
+        # at; the gram half is spent once, jointly, independent of k.
+        gram_budget, slot_budgets = tenant_budgets(params, self.tenant_capacity)
+        self._slot_budget = slot_budgets[0]
+
+        k = len(names)
+        children = self._rng.spawn(2 * self.shards_count)
+        shard_list: list = []
+        try:
+            for i in range(self.shards_count):
+                # Tenant 0 consumes child 2i itself — the exact child the
+                # single-tenant front hands its cross tree — and tenants
+                # 1..k-1 consume its spawned siblings (spawning advances
+                # the child's spawn counter, never its bit stream, so
+                # tenant 0 stays bit-identical at any k).
+                base = children[2 * i]
+                extras = tuple(base.spawn(k - 1)) if k > 1 else ()
+                shard_list.append(
+                    self._make_shard(i, (base,) + extras, children[2 * i + 1], names)
+                )
+        except BaseException:
+            for shard in shard_list:
+                shard.shutdown()
+            raise
+        self._shards = shard_list
+
+        # Ledger: the shared Gram is one parallel-composition charge; each
+        # active tenant holds one refundable slot charge.  Fully occupied,
+        # the ledger sums back to `params`.
+        self.accountant = PrivacyAccountant(params, mode="basic")
+        self.accountant.charge(_GRAM_LABEL, gram_budget)
+        for name in names:
+            self.accountant.charge(_cross_label(name), self._slot_budget)
+
+        # Per-tenant solve + publish state, keyed in tenant (slot) order —
+        # the order every shard's released() tuple is indexed by.
+        self._solvers: dict[str, PrivIncReg1] = {}
+        self._hubs: dict[str, EstimateHub] = {}
+        self._views: dict[str, TenantView] = {}
+        for name in names:
+            self._attach_tenant_state(name)
+
+        self._lock = threading.RLock()
+        self._close_lock = threading.Lock()
+        self._processed = 0
+        self._enqueued = 0
+        self._next_shard = 0
+        self._last_refresh_t = 0
+        self.lost_steps = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _make_shard(self, index, tenant_rngs, gram_rng, names):
+        """One tenant shard on the configured transport (full budget each)."""
+        if self.transport == "process":
+            return ProcessShardWorker(
+                ShardSpec(
+                    index=index,
+                    dim=self.dim,
+                    budget=self.params,
+                    gram_rng=gram_rng,
+                    mechanism="tree",
+                    shard_horizon=self.shard_horizon,
+                    backend="tenant",
+                    tenants=tuple(names),
+                    tenant_rngs=tuple(tenant_rngs),
+                    tenant_capacity=self.tenant_capacity,
+                )
+            )
+        return TenantShard(
+            index=index,
+            dim=self.dim,
+            budget=self.params,
+            tenant_rngs=tenant_rngs,
+            gram_rng=gram_rng,
+            tenants=names,
+            tenant_capacity=self.tenant_capacity,
+            shard_horizon=self.shard_horizon,
+        )
+
+    def _attach_tenant_state(self, name: str) -> None:
+        """Create one tenant's solver + hub + view and publish version 0."""
+        solver = PrivIncReg1(
+            horizon=self.horizon,
+            constraint=self.constraint,
+            params=self.params,
+            beta=self._beta,
+            fidelity=self._fidelity,
+            iteration_cap=self._iteration_cap,
+            rng=self._rng.spawn(1)[0],
+        )
+        hub = EstimateHub()
+        hub.publish(
+            solver.current_estimate(),
+            solver.estimate_version,
+            timestep=0,
+            covered_steps=0,
+        )
+        self._solvers[name] = solver
+        self._hubs[name] = hub
+        self._views[name] = TenantView(name, hub)
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+
+    def tenants(self) -> tuple[str, ...]:
+        """Active tenant names, in slot (merge) order."""
+        return tuple(self._views)
+
+    def tenant(self, name: str) -> TenantView:
+        """The read surface for one tenant (raises on unknown names)."""
+        try:
+            return self._views[str(name)]
+        except KeyError:
+            raise ValidationError(f"unknown tenant {name!r}") from None
+
+    def add_tenant(self, name: str) -> TenantView:
+        """Attach a new tenant to a free capacity slot, mid-stream.
+
+        The new tenant's cross trees start empty: its estimates cover
+        only elements observed after the add (the merge rescales the
+        shared Gram to the tenant's own coverage).  Charges the tenant's
+        slot on the ledger; raises
+        :class:`~repro.exceptions.PrivacyBudgetError` when every slot is
+        occupied — capacity is a privacy bound, not a sizing hint.
+        """
+        name = str(name)
+        if not name:
+            raise ValidationError("tenant names must be non-empty")
+        with self._lock:
+            self._raise_if_closed()
+            if name in self._views:
+                raise ValidationError(f"tenant {name!r} already exists")
+            if len(self._views) >= self.tenant_capacity:
+                raise PrivacyBudgetError(
+                    f"all {self.tenant_capacity} tenant slots are occupied; "
+                    f"remove a tenant before adding {name!r}"
+                )
+            self.accountant.charge(_cross_label(name), self._slot_budget)
+            # One fresh child per shard slot, spawned regardless of
+            # liveness so the rng consumption (and with it every later
+            # tenant's noise) never depends on failure history.
+            shard_rngs = self._rng.spawn(self.shards_count)
+            for shard, shard_rng in zip(self._shards, shard_rngs):
+                if not shard.alive:
+                    continue
+                try:
+                    shard.add_tenant(name, shard_rng)
+                except ShardUnavailableError:
+                    self._note_shard_death(shard)
+            self._attach_tenant_state(name)
+            return self._views[name]
+
+    def remove_tenant(self, name: str) -> None:
+        """Retire a tenant: drop its trees, refund its slot on the ledger.
+
+        The refund is sound because the removed tenant's trees never
+        ingest again — the ledger tracks the worst-case per-element loss
+        of the stream *going forward* (see
+        :meth:`~repro.privacy.accountant.PrivacyAccountant.refund`).  The
+        tenant's :class:`TenantView` stays readable (cached estimates and
+        stats survive) but receives no further publishes; parked
+        ``wait_for_version`` callers are released with a
+        :class:`~repro.exceptions.ServingError`.
+        """
+        name = str(name)
+        with self._lock:
+            self._raise_if_closed()
+            if name not in self._views:
+                raise ValidationError(f"unknown tenant {name!r}")
+            self.accountant.refund(_cross_label(name))
+            for shard in self._shards:
+                if not shard.alive:
+                    continue
+                try:
+                    shard.remove_tenant(name)
+                except ShardUnavailableError:
+                    self._note_shard_death(shard)
+            self._solvers.pop(name)
+            self._hubs.pop(name).close()
+            self._views.pop(name)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def observe(self, x: np.ndarray, ys) -> dict[str, np.ndarray]:
+        """Ingest one point with one outcome per tenant (a block of one).
+
+        ``ys`` is a length-``k`` sequence in :meth:`tenants` order (a
+        bare scalar is accepted when there is exactly one tenant).
+        Returns the cached per-tenant estimates.
+        """
+        x = check_vector("x", x, dim=self.dim)
+        if np.isscalar(ys) or getattr(ys, "ndim", None) == 0:
+            ys = [float(ys)]
+        row = check_vector("ys", ys, dim=len(self._views))
+        return self.observe_batch(x[None, :], row[None, :])
+
+    def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> dict[str, np.ndarray]:
+        """Ingest a block: ``(n, d)`` covariates, ``(n, k)`` outcomes.
+
+        One column per active tenant, in :meth:`tenants` order (a 1-D
+        ``ys`` is accepted when there is exactly one tenant).  The block
+        is validated and reserved against the horizon atomically, routed
+        whole to one shard — which advances the shared Gram tree once and
+        every tenant's cross tree — then any due refresh solves all
+        tenants off the same merged Gram.  Returns the cached per-tenant
+        estimates.
+        """
+        self._raise_if_closed()
+        with self._lock:
+            k = len(self._views)
+            if k == 0:
+                raise ServingError(
+                    "no active tenants; add_tenant() before observing"
+                )
+            xs2 = np.asarray(xs, dtype=float)
+            if xs2.ndim != 2:
+                raise ValidationError(
+                    f"X must be a 2-D (n, d) block, got shape {xs2.shape}"
+                )
+            Y = np.asarray(ys, dtype=float)
+            if Y.ndim == 1 and k == 1:
+                Y = Y[:, None]
+            if Y.shape != (xs2.shape[0], k):
+                raise ValidationError(
+                    f"ys must be an ({xs2.shape[0]}, {k}) outcome block — one "
+                    f"column per active tenant — got shape {np.shape(ys)}"
+                )
+            xs2, _ = check_xy_block(xs2, Y[:, 0], dim=self.dim)
+            if not np.all(np.isfinite(Y)):
+                raise ValidationError("batch must contain only finite entries")
+            # One domain sweep covers all k columns: ‖x‖ ≤ 1 once, |y| ≤ 1
+            # over the flattened outcome block.
+            check_unit_xy_domain("MultiTenantStream", xs2, Y.ravel())
+            n = xs2.shape[0]
+            if self._enqueued + n > self.horizon:
+                raise StreamExhaustedError(
+                    f"MultiTenantStream configured for horizon {self.horizon} "
+                    f"received a block of {n} points at logical step "
+                    f"{self._enqueued}"
+                )
+            self._enqueued += n
+            try:
+                self._ingest_block(xs2, Y)
+            except BaseException:
+                self._enqueued -= n
+                raise
+            if self._should_refresh():
+                self._refresh()
+        return self.estimates()
+
+    def _ingest_block(self, xs: np.ndarray, Y: np.ndarray) -> None:
+        shard = self._route()
+        try:
+            shard.ingest(xs, Y, self._fast)
+        except ShardUnavailableError:
+            self._note_shard_death(shard)
+            raise
+        self._processed += xs.shape[0]
+
+    def _route(self):
+        """Round-robin over live shards (same rule as the single-tenant front)."""
+        start = self._next_shard
+        self._next_shard = (self._next_shard + 1) % self.shards_count
+        for offset in range(self.shards_count):
+            shard = self._shards[(start + offset) % self.shards_count]
+            if shard.alive:
+                return shard
+        raise ShardUnavailableError("every shard is dead; nothing can ingest")
+
+    def _should_refresh(self) -> bool:
+        if self.refresh_every is None:
+            return True
+        if self._processed >= self.horizon:
+            return True
+        return (
+            self._processed // self.refresh_every
+            > self._last_refresh_t // self.refresh_every
+        )
+
+    # ------------------------------------------------------------------
+    # Merge + solve
+    # ------------------------------------------------------------------
+
+    def _released_pairs(self):
+        """Per-shard (cross tuple, gram) handles; dead shards as (None, None)."""
+        pairs = []
+        for shard in self._shards:
+            if not shard.alive:
+                self._note_shard_death(shard)
+                pairs.append((None, None))
+                continue
+            try:
+                pairs.append(shard.released())
+            except ShardUnavailableError:
+                self._note_shard_death(shard)
+                pairs.append((None, None))
+        return pairs
+
+    def _refresh(self) -> None:
+        """Merge the shared Gram once, solve every tenant against it.
+
+        The PRIMO merge economy: one ``(d, d)`` Gram merge serves all
+        ``k`` solves; each tenant only merges its own ``(d,)`` crosses.
+        A tenant added mid-stream has cross coverage behind the Gram's;
+        its solve rescales the merged Gram to the tenant's own covered
+        mass (the unbiased second-moment estimate over its window).  The
+        rescale is skipped — not applied with factor 1.0 — whenever the
+        coverages agree, which keeps from-the-start tenants (and with
+        them the ``k = 1`` stream) bit-identical to the single-tenant
+        path.  Tenants with zero coverage keep their previous estimate.
+        """
+        pairs = self._released_pairs()
+        gram = merge_released([g for _, g in pairs], strict=False)
+        for j, (name, solver) in enumerate(self._solvers.items()):
+            cross = merge_released(
+                [c[j] if c is not None else None for c, _ in pairs],
+                strict=False,
+            )
+            covered = cross.covered_steps
+            if covered == 0:
+                continue
+            gram_value = gram.value
+            if covered != gram.covered_steps:
+                gram_value = gram_value * (covered / gram.covered_steps)
+            theta = solver.refresh_from_released(covered, gram_value, cross.value)
+            self._hubs[name].publish(
+                theta,
+                solver.estimate_version,
+                timestep=self._processed,
+                covered_steps=covered,
+            )
+        self._last_refresh_t = self._processed
+
+    def merged_moments(self, name: str) -> tuple[MergedRelease, MergedRelease]:
+        """One tenant's merged (cross, gram) releases right now.
+
+        Post-processing of already-released sums — free to call; the
+        conformance suite compares these against per-shard replays and
+        against the single-tenant front's merges.
+        """
+        name = str(name)
+        with self._lock:
+            if name not in self._views:
+                raise ValidationError(f"unknown tenant {name!r}")
+            j = list(self._views).index(name)
+            pairs = self._released_pairs()
+            cross = merge_released(
+                [c[j] if c is not None else None for c, _ in pairs],
+                strict=False,
+            )
+            gram = merge_released([g for _, g in pairs], strict=False)
+            return cross, gram
+
+    # ------------------------------------------------------------------
+    # Reads / lifecycle
+    # ------------------------------------------------------------------
+
+    def estimates(self) -> dict[str, np.ndarray]:
+        """Every tenant's cached parameter (lock-free reads, no solve)."""
+        return {name: view.current_estimate() for name, view in self._views.items()}
+
+    def flush(self) -> dict[str, ServedEstimate]:
+        """Solve through everything processed; return per-tenant estimates."""
+        self._raise_if_closed()
+        with self._lock:
+            if self._processed > self._last_refresh_t:
+                self._refresh()
+            return {
+                name: view.current_served() for name, view in self._views.items()
+            }
+
+    def close(self) -> None:
+        """Flush, stop every shard worker, and refuse further ingestion.
+
+        Idempotent under concurrency (the whole teardown runs under a
+        dedicated lock).  Tenant views stay readable after close; parked
+        waiters are released with a
+        :class:`~repro.exceptions.ServingError`.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            try:
+                self.flush()
+            finally:
+                self._closed = True
+                for shard in self._shards:
+                    shard.shutdown()
+                for hub in self._hubs.values():
+                    hub.close()
+
+    def __enter__(self) -> "MultiTenantStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _raise_if_closed(self) -> None:
+        if self._closed:
+            raise ServingError("MultiTenantStream is closed")
+
+    @property
+    def steps_ingested(self) -> int:
+        """Points fully processed into shard mechanisms (logical ``t``)."""
+        return self._processed
+
+    @property
+    def steps_enqueued(self) -> int:
+        """Points accepted at the API boundary (sync front: == ingested)."""
+        return self._enqueued
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard liveness and load snapshot (diagnostics)."""
+        with self._lock:
+            return [
+                {"index": s.index, "alive": s.alive, "steps": s.steps}
+                for s in self._shards
+            ]
+
+    def memory_floats(self) -> int:
+        """Floats held by the shard mechanisms: ``K·O((d² + k·d) log T)``.
+
+        The PRIMO memory economy — ``k`` independent sharded fronts hold
+        ``k·K·O(d² log T)`` instead; ``bench_primo_serving.py`` records
+        both.
+        """
+        with self._lock:
+            total = 0
+            for shard in self._shards:
+                try:
+                    total += shard.memory_floats()
+                except ShardUnavailableError:
+                    self._note_shard_death(shard)
+            return total
+
+    def kill_shard(self, index: int) -> None:
+        """Simulate a shard worker dying (its mass is lost; merges degrade).
+
+        Same partial-coverage contract as the single-tenant front; the
+        loss applies to *every* tenant at once, because the shard held
+        one sub-stream shared by all of them.
+        """
+        index = check_int("index", index, minimum=0)
+        if index >= self.shards_count:
+            raise ValidationError(
+                f"shard index {index} out of range [0, {self.shards_count})"
+            )
+        with self._lock:
+            shard = self._shards[index]
+            shard.kill()
+            self._note_shard_death(shard)
+
+    def _note_shard_death(self, shard) -> None:
+        if not shard.alive and not shard.lost_accounted:
+            shard.lost_accounted = True
+            self.lost_steps += shard.steps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiTenantStream(tenants={len(self._views)}/"
+            f"{self.tenant_capacity}, shards={self.shards_count}, "
+            f"dim={self.dim}, horizon={self.horizon}, t={self._processed})"
+        )

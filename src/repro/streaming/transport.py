@@ -100,20 +100,44 @@ class ShardSpec:
     index: int
     dim: int
     budget: PrivacyParams
-    cross_rng: np.random.Generator
-    gram_rng: np.random.Generator
+    cross_rng: "np.random.Generator | None" = None
+    gram_rng: "np.random.Generator | None" = None
     mechanism: str = "tree"
     shard_horizon: int | None = None
     backend: str = "moment"
     projection: object | None = None
+    #: Multi-tenant (PRIMO) shards: active tenant names, one spawned rng
+    #: per tenant (the front computes them, so both transports consume
+    #: randomness identically), and the slot capacity.  ``cross_rng`` is
+    #: unused for tenant shards — the per-tenant rngs replace it.
+    tenants: "tuple[str, ...] | None" = None
+    tenant_rngs: "tuple[np.random.Generator, ...] | None" = None
+    tenant_capacity: int | None = None
 
     def build(self):
         """Construct the shard worker this spec describes (child side)."""
         # Imported here, not at module top: the parent-side transport layer
         # must stay importable from serving.py without a cycle, and the
         # child pays the serving import only once, at build time.
-        from .serving import MomentShard, ProjectedMomentShard
+        from .serving import MomentShard, ProjectedMomentShard, TenantShard
 
+        if self.backend == "tenant":
+            if self.tenants is None or self.tenant_rngs is None:
+                raise ValidationError(
+                    "ShardSpec(backend='tenant') requires the tenant names "
+                    "and per-tenant rngs in the spawn payload"
+                )
+            return TenantShard(
+                index=self.index,
+                dim=self.dim,
+                budget=self.budget,
+                tenant_rngs=self.tenant_rngs,
+                gram_rng=self.gram_rng,
+                tenants=self.tenants,
+                tenant_capacity=self.tenant_capacity,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+            )
         if self.backend == "projected":
             if self.projection is None:
                 raise ValidationError(
@@ -189,9 +213,28 @@ def _shard_worker_main(spec: ShardSpec, conn) -> None:
             elif command == "released":
                 # Snapshot, never the live mechanisms: the wire carries the
                 # released statistic (O(m)/O(m²)), not the tree (O(m² log T)
-                # plus generator state).
+                # plus generator state).  A tenant shard's cross slot is a
+                # tuple (one release per tenant) — same snapshot type, same
+                # wire format, just k of them.
                 cross, gram = shard.released()
-                result = (cross.released_moments(), gram.released_moments())
+                if isinstance(cross, tuple):
+                    cross_result = tuple(
+                        mechanism.released_moments() for mechanism in cross
+                    )
+                else:
+                    cross_result = cross.released_moments()
+                result = (cross_result, gram.released_moments())
+            elif command == "tenant":
+                action, name, extra = payload
+                if action == "add":
+                    shard.add_tenant(name, extra)
+                elif action == "remove":
+                    shard.remove_tenant(name)
+                elif action != "list":
+                    raise ValidationError(
+                        f"unknown tenant action {action!r}"
+                    )
+                result = shard.tenants()
             elif command == "memory":
                 result = shard.memory_floats()
             elif command == "describe":
@@ -317,6 +360,23 @@ class ProcessShardWorker:
     def gram(self) -> ReleasedMoments:
         """Snapshot of the second-moment release (diagnostics; one RPC)."""
         return self.released()[1]
+
+    def add_tenant(self, name: str, rng: np.random.Generator) -> None:
+        """Attach a tenant cross tree on the worker (tenant backend only).
+
+        The generator crosses the pipe by pickle, so the worker-side tree
+        consumes exactly the stream this generator would produce locally —
+        the same bit-identity contract as initial construction.
+        """
+        self._request("tenant", ("add", name, rng))
+
+    def remove_tenant(self, name: str) -> None:
+        """Drop a tenant's cross tree on the worker (tenant backend only)."""
+        self._request("tenant", ("remove", name, None))
+
+    def tenants(self) -> tuple[str, ...]:
+        """Active tenant names on the worker, in slot order."""
+        return tuple(self._request("tenant", ("list", None, None)))
 
     def memory_floats(self) -> int:
         """Floats held by the worker's mechanisms (0 once dead)."""

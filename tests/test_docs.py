@@ -72,3 +72,22 @@ def test_docs_cover_the_serving_contract_surface():
     assert not undocumented, (
         f"docs/SERVING.md knob table is missing: {undocumented}"
     )
+
+
+def test_docs_cover_the_tenancy_contract_surface():
+    """Same honesty gate for the multi-tenant front: every public
+    MultiTenantStream constructor knob must appear in SERVING.md."""
+    import inspect
+
+    from repro import MultiTenantStream
+
+    serving_doc = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    signature = inspect.signature(MultiTenantStream.__init__)
+    undocumented = [
+        name
+        for name in signature.parameters
+        if name != "self" and f"`{name}`" not in serving_doc
+    ]
+    assert not undocumented, (
+        f"docs/SERVING.md tenant knob table is missing: {undocumented}"
+    )

@@ -123,6 +123,28 @@ class TestWireSnapshots:
                 value=np.zeros(DIM), noise_variance=0.0, steps=1, shape=(DIM, DIM)
             )
 
+    def test_snapshots_are_hashable_dict_keys_across_the_wire(self):
+        """``__eq__``-with-``__hash__``: a snapshot must work as a dict/set
+        key, and the pickled copy must find the original's entry (equal
+        snapshots hash equal).  Defining ``__eq__`` in the class body sets
+        ``__hash__ = None`` unless a hash is defined explicitly — this
+        pins the explicit one."""
+        mech = TreeMechanism(T, (DIM,), 2.0, PARAMS.halve(), rng=3)
+        mech.observe_batch(np.full((5, DIM), 0.1))
+        snapshot = mech.released_moments()
+        wired = pickle.loads(pickle.dumps(snapshot))
+        assert hash(snapshot) == hash(wired)
+
+        registry = {snapshot: "shard-0"}
+        assert registry[wired] == "shard-0"  # equal key, found on lookup
+        assert len({snapshot, wired}) == 1
+
+        mech.observe(np.full(DIM, 0.1))
+        later = mech.released_moments()
+        registry[later] = "shard-0@t6"
+        assert len(registry) == 2  # unequal snapshots coexist as keys
+        assert registry[pickle.loads(pickle.dumps(later))] == "shard-0@t6"
+
 
 class TestTransportEquivalence:
     def test_k1_exact_process_equals_plain_batched_bit_for_bit(self, stream):

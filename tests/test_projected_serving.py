@@ -454,6 +454,35 @@ class TestGroupIngestion:
         assert server.steps_ingested == 16  # two committed blocks per shard
         assert server.steps_enqueued == server.steps_ingested
         assert all(s["steps"] == 4 for s in server.shard_states())
+        # The routing stats must not count the refunded blocks as commits:
+        # every routed block either committed or was refunded, and the
+        # difference is exactly the committed count (8 blocks of 2 = 16).
+        assert server.blocks_routed == 12
+        assert server.blocks_refunded == 4
+        assert server.blocks_routed - server.blocks_refunded == 8
+
+    def test_single_block_failure_counts_a_refund(self, stream):
+        """The non-group path keeps the same invariant: a failed
+        observe_batch leaves blocks_routed bumped (router indices never
+        reused) but books the block as refunded, not committed."""
+        server = ShardedStream(
+            L2Ball(DIM),
+            PARAMS,
+            shards=2,
+            horizon=T,
+            shard_horizon=2,
+            iteration_cap=5,
+            rng=4,
+        )
+        server.observe_batch(stream.xs[:2], stream.ys[:2])
+        with pytest.raises(Exception):
+            server.observe_batch(stream.xs[2:6], stream.ys[2:6])  # 4 > 2
+        assert server.blocks_routed == 2
+        assert server.blocks_refunded == 1
+        assert (
+            server.blocks_routed - server.blocks_refunded == 1
+        )  # one committed block
+        assert server.steps_ingested == 2 == server.steps_enqueued
 
 
 # ---------------------------------------------------------------------------

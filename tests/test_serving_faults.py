@@ -229,3 +229,101 @@ class TestShardRestart:
             served = server.flush()
         assert served.covered_steps == T - server.lost_steps
         assert served.covered_steps + server.lost_steps == server.steps_ingested
+
+
+class TestCloseAndFlushLiveness:
+    """Liveness of flush() and close() around a dead or dying async worker.
+
+    flush() used to park on a bare ``Queue.join()``: if the worker thread
+    died between ``get()`` and ``task_done()``, the join's condition could
+    never be notified and the flush hung forever.  The liveness-checked
+    join (``ShardedStream._join_queue``) turns that into a typed
+    ``ServingError``.  close() used to guard with a bare ``_closed``
+    check-then-act, letting two concurrent closers both run the teardown;
+    it now serializes on a dedicated lock.
+    """
+
+    def test_flush_raises_instead_of_hanging_when_worker_is_dead(self, stream):
+        from repro.streaming.serving import _CLOSE
+
+        server = _server(mode="async")
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.flush()  # live path: drains normally
+        # Kill the worker out from under the queue, then strand a block on
+        # it: the queue's unfinished count can never reach zero again —
+        # exactly the state a worker death between get() and task_done()
+        # leaves behind.
+        worker = server._worker
+        server._queue.put(_CLOSE)
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        server._queue.put((np.array(stream.xs[4:8]), np.array(stream.ys[4:8])))
+        start = __import__("time").monotonic()
+        with pytest.raises(ServingError, match="worker is dead"):
+            server.flush()
+        assert __import__("time").monotonic() - start < 5.0  # no hang
+        # Drain the stranded block so shutdown's own flush can complete.
+        server._queue.get_nowait()
+        server._queue.task_done()
+        server.close()
+
+    def test_concurrent_close_runs_teardown_exactly_once(self, stream):
+        import threading
+
+        server = _server(mode="async")
+        for s, e in BLOCKS[:3]:
+            server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def closer():
+            barrier.wait()
+            try:
+                server.close()
+            except BaseException as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # No closer crashed (a double teardown joins a None worker or
+        # double-shuts the executor), and the server ended closed exactly
+        # once: the worker is reclaimed and ingestion is refused.
+        assert errors == []
+        assert server._worker is None
+        with pytest.raises(ServingError):
+            server.observe(stream.xs[0], float(stream.ys[0]))
+
+    def test_double_close_is_idempotent(self, stream):
+        server = _server(mode="async")
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.close()
+        server.close()  # second call returns without touching anything
+        assert server._worker is None
+
+    def test_close_after_poison_reclaims_every_worker(self, stream):
+        """A poisoned server (worker error pending) still tears down fully:
+        the final flush is skipped (its failure is already recorded), the
+        async thread and shard workers are reclaimed, and close stays
+        idempotent."""
+        server = _server(mode="async")
+        server.observe_batch(stream.xs[:4], stream.ys[:4])
+        server.flush()
+        for i in range(3):
+            server.kill_shard(i)
+        server.observe_batch(stream.xs[4:8], stream.ys[4:8])  # poisons worker
+        # Wait for the worker to record the failure (every shard is dead).
+        deadline = __import__("time").monotonic() + 5.0
+        while server._error is None and __import__("time").monotonic() < deadline:
+            __import__("time").sleep(0.01)
+        assert server._error is not None
+        worker = server._worker
+        server.close()
+        server.close()
+        assert server._worker is None
+        assert not worker.is_alive()
+        with pytest.raises(ServingError):
+            server.flush()

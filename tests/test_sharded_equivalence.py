@@ -132,6 +132,45 @@ class TestMergeCorrectness:
         np.testing.assert_array_equal(cross_m.value, single_cross.current_sum())
         np.testing.assert_array_equal(gram_m.value, single_gram.current_sum())
 
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_one_tenant_stream_bit_identical_to_sharded_stream(
+        self, stream, shards
+    ):
+        """K=1-tenant exactness: a one-tenant MultiTenantStream is the same
+        server as ShardedStream — same rng children, same budget split
+        (both halves equal ``params.halve()`` bit-exactly at capacity 1),
+        same solver spawn — so merged moments AND served estimates match
+        bit for bit on the suite's transport."""
+        from repro import MultiTenantStream
+
+        single = _make_server(shards, seed=33)
+        multi = MultiTenantStream(
+            L2Ball(DIM),
+            PARAMS,
+            tenants=["only"],
+            shards=shards,
+            horizon=T,
+            iteration_cap=20,
+            transport=TRANSPORT,
+            rng=33,
+        )
+        try:
+            for s, e in RAGGED_BLOCKS:
+                single.observe_batch(stream.xs[s:e], stream.ys[s:e])
+                multi.observe_batch(stream.xs[s:e], stream.ys[s:e])
+            cross_s, gram_s = single.merged_moments()
+            cross_m, gram_m = multi.merged_moments("only")
+            np.testing.assert_array_equal(cross_s.value, cross_m.value)
+            np.testing.assert_array_equal(gram_s.value, gram_m.value)
+            assert cross_s.noise_variance == cross_m.noise_variance
+            assert gram_s.noise_variance == gram_m.noise_variance
+            np.testing.assert_array_equal(
+                single.flush().theta, multi.flush()["only"].theta
+            )
+        finally:
+            single.close()
+            multi.close()
+
     @pytest.mark.parametrize("k", SHARD_COUNTS)
     def test_served_estimate_matches_solver_replay(self, stream, k):
         """The served parameter is exactly the hook applied to the merge."""

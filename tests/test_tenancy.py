@@ -1,0 +1,624 @@
+"""Multi-tenant (PRIMO) serving conformance suite.
+
+Four contracts, over tenant counts ``k`` (the ``SERVE_TENANTS`` CI axis)
+and both shard transports (``SERVE_TRANSPORT``):
+
+(a) **Shared-Gram economy** — the merged Gram release's noise variance is
+    *independent of the tenant count* (the ``(d, d)`` statistic is
+    privatized once at ``(ε/2, δ/2)`` whatever ``k`` is), while ``k``
+    independent single-tenant streams over the same elements must split
+    the budget ``k`` ways and pay ``k²`` the per-stream Gram variance.
+    The check is analytic (the tree's variance accounting is
+    deterministic given seeds and steps), plus an empirical seed sweep.
+
+(b) **Per-tenant correctness** — each tenant's merged cross release is
+    bit-identical to a replay of its own trees under the documented rng
+    discipline, and each tenant's served estimate matches a solver replay
+    over its own merged moments.
+
+(c) **Tenant lifecycle** — adds occupy capacity slots (charged on the
+    ledger, refused once full), removes refund them (slot reuse is
+    sound: a removed tenant's trees never ingest again), and a
+    mid-stream tenant's estimates cover exactly its own window.
+
+(d) **Read-side parity** — every tenant's view exposes the single-tenant
+    read surface: lock-free cached reads, per-reader handles, pub-sub,
+    version waits.
+"""
+
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    L2Ball,
+    MultiTenantStream,
+    PrivacyParams,
+    PrivIncReg1,
+    ServingError,
+    ShardedStream,
+    TenantShard,
+    TreeMechanism,
+    merge_released,
+    tenant_budgets,
+)
+from repro.data import make_dense_stream
+from repro.exceptions import (
+    DomainViolationError,
+    PrivacyBudgetError,
+    ShardUnavailableError,
+    StreamExhaustedError,
+    ValidationError,
+    WaitTimeoutError,
+)
+
+PARAMS = PrivacyParams(4.0, 1e-6)
+DIM = 3
+T = 26
+RAGGED_BLOCKS = [(0, 5), (5, 6), (6, 13), (13, 20), (20, 26)]
+
+#: Tenant counts under test (the CI SERVE_TENANTS axis pins 1 and 8).
+if "SERVE_TENANTS" in os.environ:
+    TENANT_COUNTS = [int(os.environ["SERVE_TENANTS"])]
+else:
+    TENANT_COUNTS = [1, 4]
+
+#: Shard transport every stream in this suite runs on (the CI axis).
+TRANSPORT = os.environ.get("SERVE_TRANSPORT", "thread")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_dense_stream(T, DIM, noise_std=0.05, rng=900)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    """A (T, 8) outcome panel; column j is tenant j's signal, |y| ≤ 1."""
+    rng = np.random.default_rng(901)
+    return np.clip(rng.normal(scale=0.5, size=(T, 8)), -1.0, 1.0)
+
+
+def _make_stream(k, seed, shards=2, **kwargs):
+    defaults = dict(horizon=T, iteration_cap=20, transport=TRANSPORT)
+    defaults.update(kwargs)
+    return MultiTenantStream(
+        L2Ball(DIM), PARAMS, tenants=k, shards=shards, rng=seed, **defaults
+    )
+
+
+def _feed(server, stream, outcomes, k, blocks=RAGGED_BLOCKS):
+    for s, e in blocks:
+        server.observe_batch(stream.xs[s:e], outcomes[s:e, :k])
+
+
+def _replay_tenant_trees(k, seed, shards, blocks, stream, outcomes):
+    """Per-shard tenant trees under the documented rng discipline:
+    shard i's tenant 0 consumes child 2i of rng.spawn(2*shards) itself,
+    tenants 1..k-1 its spawned siblings, and the Gram child 2i+1."""
+    children = np.random.default_rng(seed).spawn(2 * shards)
+    gram_budget, slots = tenant_budgets(PARAMS, k)
+    cross = []
+    gram = []
+    for i in range(shards):
+        base = children[2 * i]
+        rngs = (base,) + (tuple(base.spawn(k - 1)) if k > 1 else ())
+        cross.append(
+            [TreeMechanism(T, (DIM,), 2.0, slots[0], rng=r) for r in rngs]
+        )
+        gram.append(
+            TreeMechanism(T, (DIM, DIM), 2.0, gram_budget, rng=children[2 * i + 1])
+        )
+    for block_index, (s, e) in enumerate(blocks):
+        shard = block_index % shards
+        bx = stream.xs[s:e]
+        gram[shard].advance_batch(bx[:, :, None] * bx[:, None, :])
+        for j in range(k):
+            cross[shard][j].advance_batch(outcomes[s:e, j, None] * bx)
+    return cross, gram
+
+
+# ---------------------------------------------------------------------------
+# (a) The shared-Gram economy
+# ---------------------------------------------------------------------------
+
+
+class TestSharedGramEconomy:
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_gram_noise_variance_independent_of_tenant_count(
+        self, stream, outcomes, k
+    ):
+        """ISSUE acceptance: the per-tenant Gram variance does not grow
+        with k.  Same seed, same elements — the k-tenant stream's merged
+        Gram release is *bit-identical* to the 1-tenant stream's (the
+        Gram budget is a bare halve(), independent of capacity, and the
+        Gram rng child is untouched by the tenant spawns)."""
+        multi = _make_stream(k, seed=41)
+        single = _make_stream(1, seed=41)
+        try:
+            _feed(multi, stream, outcomes, k)
+            _feed(single, stream, outcomes, 1)
+            _, gram_k = multi.merged_moments(multi.tenants()[0])
+            _, gram_1 = single.merged_moments("tenant-0")
+            np.testing.assert_array_equal(gram_k.value, gram_1.value)
+            assert gram_k.noise_variance == gram_1.noise_variance
+        finally:
+            multi.close()
+            single.close()
+
+    @pytest.mark.parametrize("k", [k for k in TENANT_COUNTS if k > 1])
+    def test_independent_streams_pay_k_squared_gram_variance(
+        self, stream, outcomes, k
+    ):
+        """The economy the tentpole buys, stated distributionally: serving
+        the same k outcome streams as k independent ShardedStreams makes
+        every element a member of all k streams, so basic composition
+        forces (ε/k, δ/k) per stream — and Gaussian calibration scales
+        the per-stream Gram noise variance by ~k² (σ ∝ 1/ε, modulo the
+        slowly-varying log(1/δ) factor).  The tenant stream's Gram
+        variance stays at the 1-stream level."""
+        multi = _make_stream(k, seed=7)
+        _feed(multi, stream, outcomes, k)
+        _, gram_multi = multi.merged_moments(multi.tenants()[0])
+        multi.close()
+
+        split = PrivacyParams(PARAMS.epsilon / k, PARAMS.delta / k)
+        independent = ShardedStream(
+            L2Ball(DIM), PARAMS, shards=2, horizon=T, rng=7,
+            iteration_cap=20,
+        )
+        taxed = ShardedStream(
+            L2Ball(DIM), split, shards=2, horizon=T, rng=7, iteration_cap=20,
+        )
+        try:
+            for s, e in RAGGED_BLOCKS:
+                independent.observe_batch(stream.xs[s:e], outcomes[s:e, 0])
+                taxed.observe_batch(stream.xs[s:e], outcomes[s:e, 0])
+            _, gram_full = independent.merged_moments()
+            _, gram_taxed = taxed.merged_moments()
+        finally:
+            independent.close()
+            taxed.close()
+
+        # The tenant stream pays exactly the full-budget single stream's
+        # Gram variance...
+        assert gram_multi.noise_variance == pytest.approx(
+            gram_full.noise_variance
+        )
+        # ...while each of the k independent streams pays ~k² that (the
+        # log(1/δ') factor in σ makes the ratio slightly exceed k²).
+        ratio = gram_taxed.noise_variance / gram_full.noise_variance
+        assert ratio > k**2
+        assert ratio < (k * 1.5) ** 2
+
+    @pytest.mark.parametrize("k", [k for k in TENANT_COUNTS if k > 1])
+    def test_empirical_gram_noise_matches_the_k1_distribution(
+        self, stream, outcomes, k
+    ):
+        """Seed sweep: the k-tenant Gram release's empirical noise (release
+        minus exact sum) has the variance the accounting reports — the
+        same number at k tenants as at 1 — within loose χ² bounds."""
+        exact = np.zeros((DIM, DIM))
+        for x in stream.xs:
+            exact += np.outer(x, x)
+        devs = []
+        reported = None
+        for seed in range(12):
+            server = _make_stream(k, seed=seed, shards=2)
+            _feed(server, stream, outcomes, k)
+            _, gram_m = server.merged_moments(server.tenants()[0])
+            devs.append(np.asarray(gram_m.value) - exact)
+            reported = gram_m.noise_variance
+            server.close()
+        sample_var = float(np.mean(np.square(devs)))
+        assert sample_var == pytest.approx(reported, rel=0.45)
+
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_memory_scales_additively_not_multiplicatively(
+        self, stream, outcomes, k
+    ):
+        """Tenant shards hold one Gram tree + k cross trees: memory grows
+        like d² + k·d, not k·d² — at DIM=3 that is strictly less than k
+        single-tenant fronts for every k > 1."""
+        multi = _make_stream(k, seed=5)
+        single = _make_stream(1, seed=5)
+        try:
+            _feed(multi, stream, outcomes, k)
+            _feed(single, stream, outcomes, 1)
+            per_tenant_extra = multi.memory_floats() - single.memory_floats()
+            if k == 1:
+                assert per_tenant_extra == 0
+            else:
+                # Each extra tenant adds (d,) trees only — far below the
+                # (d², plus d) a whole extra front would add.
+                assert 0 < per_tenant_extra < (k - 1) * single.memory_floats()
+        finally:
+            multi.close()
+            single.close()
+
+
+# ---------------------------------------------------------------------------
+# (b) Per-tenant correctness
+# ---------------------------------------------------------------------------
+
+
+class TestPerTenantCorrectness:
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_merged_releases_bit_identical_to_tenant_replay(
+        self, stream, outcomes, k
+    ):
+        shards = 2
+        server = _make_stream(k, seed=13, shards=shards)
+        try:
+            _feed(server, stream, outcomes, k)
+            cross_trees, gram_trees = _replay_tenant_trees(
+                k, 13, shards, RAGGED_BLOCKS, stream, outcomes
+            )
+            for j, name in enumerate(server.tenants()):
+                cross_m, gram_m = server.merged_moments(name)
+                np.testing.assert_array_equal(
+                    cross_m.value,
+                    merge_released([cross_trees[i][j] for i in range(shards)]).value,
+                )
+                np.testing.assert_array_equal(
+                    gram_m.value, merge_released(gram_trees).value
+                )
+                assert cross_m.covered_steps == T
+        finally:
+            server.close()
+
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_served_estimates_match_solver_replay(self, stream, outcomes, k):
+        """Tenant j's served theta == a plain PrivIncReg1 refresh over
+        tenant j's merged moments (one solve at T, so the twin's single
+        warm-start solve matches the stream's)."""
+        server = _make_stream(k, seed=29, refresh_every=T)
+        try:
+            _feed(server, stream, outcomes, k)
+            served = server.flush()
+            for name in server.tenants():
+                twin = PrivIncReg1(
+                    horizon=T,
+                    constraint=L2Ball(DIM),
+                    params=PARAMS,
+                    iteration_cap=20,
+                    rng=0,
+                )
+                cross_m, gram_m = server.merged_moments(name)
+                theta = twin.refresh_from_released(
+                    T, gram_m.value, cross_m.value
+                )
+                np.testing.assert_array_equal(served[name].theta, theta)
+        finally:
+            server.close()
+
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_fast_tier_matches_exact_statistics(self, stream, outcomes, k):
+        """ingest='fast' keeps the exact block sums (only the noise stream
+        differs) and the identical variance accounting."""
+        fast = _make_stream(k, seed=3, ingest="fast")
+        exact = _make_stream(k, seed=3, ingest="exact")
+        try:
+            _feed(fast, stream, outcomes, k)
+            _feed(exact, stream, outcomes, k)
+            for name in fast.tenants():
+                cf, gf = fast.merged_moments(name)
+                ce, ge = exact.merged_moments(name)
+                assert cf.covered_steps == ce.covered_steps == T
+                assert cf.noise_variance == pytest.approx(ce.noise_variance)
+                assert gf.noise_variance == pytest.approx(ge.noise_variance)
+        finally:
+            fast.close()
+            exact.close()
+
+    @pytest.mark.parametrize("k", TENANT_COUNTS)
+    def test_process_transport_equivalent_to_thread(self, stream, outcomes, k):
+        """Both transports build the same mechanisms from the same rng
+        children, so merged releases and served estimates agree bit for
+        bit (the suite may already be running one of the two via the env
+        axis; this test pins both explicitly)."""
+        thread = _make_stream(k, seed=11, transport="thread")
+        proc = _make_stream(k, seed=11, transport="process")
+        try:
+            _feed(thread, stream, outcomes, k)
+            _feed(proc, stream, outcomes, k)
+            served_t = thread.flush()
+            served_p = proc.flush()
+            for name in thread.tenants():
+                ct, gt = thread.merged_moments(name)
+                cp, gp = proc.merged_moments(name)
+                np.testing.assert_array_equal(ct.value, cp.value)
+                np.testing.assert_array_equal(gt.value, gp.value)
+                np.testing.assert_array_equal(
+                    served_t[name].theta, served_p[name].theta
+                )
+        finally:
+            thread.close()
+            proc.close()
+
+    def test_kill_shard_degrades_every_tenant_at_once(self, stream, outcomes):
+        server = _make_stream(2, seed=17, shards=2)
+        try:
+            server.observe_batch(stream.xs[0:5], outcomes[0:5, :2])
+            server.observe_batch(stream.xs[5:6], outcomes[5:6, :2])
+            server.kill_shard(1)
+            assert server.lost_steps == 1
+            server.observe_batch(stream.xs[6:13], outcomes[6:13, :2])
+            served = server.flush()
+            for name in server.tenants():
+                assert served[name].covered_steps == 12  # 13 ingested − 1 lost
+                cross_m, _ = server.merged_moments(name)
+                assert cross_m.missing == (1,)
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# (c) Tenant lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestTenantLifecycle:
+    def test_add_charges_and_remove_refunds_the_ledger(self, stream, outcomes):
+        server = _make_stream(
+            ["a", "b"], seed=23, tenant_capacity=4
+        )
+        try:
+            charges = len(server.accountant.charges)
+            spent_before = server.accountant.spent()
+            server.add_tenant("c")
+            assert len(server.accountant.charges) == charges + 1
+            assert server.accountant.spent().epsilon > spent_before.epsilon
+            server.remove_tenant("c")
+            assert len(server.accountant.charges) == charges
+            assert server.accountant.spent().epsilon == pytest.approx(
+                spent_before.epsilon
+            )
+            assert server.accountant.within_budget()
+        finally:
+            server.close()
+
+    def test_full_slots_refuse_adds_until_a_refund(self, stream, outcomes):
+        server = _make_stream(2, seed=23)  # capacity defaults to 2
+        try:
+            with pytest.raises(PrivacyBudgetError):
+                server.add_tenant("late")
+            server.remove_tenant("tenant-0")
+            server.add_tenant("late")  # the refunded slot is reusable
+            assert server.tenants() == ("tenant-1", "late")
+        finally:
+            server.close()
+
+    def test_duplicate_and_unknown_tenants_rejected(self, stream, outcomes):
+        server = _make_stream(["a"], seed=23, tenant_capacity=2)
+        try:
+            with pytest.raises(ValidationError):
+                server.add_tenant("a")
+            with pytest.raises(ValidationError):
+                server.remove_tenant("ghost")
+            with pytest.raises(ValidationError):
+                server.tenant("ghost")
+            with pytest.raises(ValidationError):
+                server.merged_moments("ghost")
+            with pytest.raises(ValidationError):
+                server.add_tenant("")
+        finally:
+            server.close()
+
+    def test_mid_stream_tenant_covers_only_its_own_window(
+        self, stream, outcomes
+    ):
+        server = _make_stream(["a"], seed=31, tenant_capacity=2)
+        try:
+            server.observe_batch(stream.xs[:13], outcomes[:13, 0])
+            server.add_tenant("b")
+            server.observe_batch(stream.xs[13:26], outcomes[13:26, :2])
+            served = server.flush()
+            assert served["a"].covered_steps == 26
+            assert served["b"].covered_steps == 13
+            # b's solve used the Gram rescaled to its own window; its
+            # estimate is a real solve, not a stale initial publish.
+            assert served["b"].version >= 1
+        finally:
+            server.close()
+
+    def test_mid_stream_add_matches_across_transports(self, stream, outcomes):
+        results = {}
+        for transport in ("thread", "process"):
+            server = _make_stream(
+                ["a"], seed=37, tenant_capacity=2, transport=transport
+            )
+            try:
+                server.observe_batch(stream.xs[:13], outcomes[:13, 0])
+                server.add_tenant("b")
+                server.observe_batch(stream.xs[13:26], outcomes[13:26, :2])
+                results[transport] = server.flush()
+            finally:
+                server.close()
+        for name in ("a", "b"):
+            np.testing.assert_array_equal(
+                results["thread"][name].theta, results["process"][name].theta
+            )
+
+    def test_removed_tenant_view_stays_readable_but_frozen(
+        self, stream, outcomes
+    ):
+        server = _make_stream(["a", "b"], seed=23)
+        try:
+            server.observe_batch(stream.xs[:13], outcomes[:13, :2])
+            view = server.tenant("b")
+            frozen = view.current_served()
+            server.remove_tenant("b")
+            assert view.current_served() is frozen  # cache survives removal
+            with pytest.raises(ServingError):
+                view.wait_for_version(frozen.version + 1, timeout=5.0)
+            server.observe_batch(stream.xs[13:26], outcomes[13:26, 0])
+            assert view.current_served() is frozen  # no further publishes
+        finally:
+            server.close()
+
+    def test_removing_every_tenant_parks_the_stream(self, stream, outcomes):
+        server = _make_stream(["a"], seed=23)
+        try:
+            server.observe_batch(stream.xs[:5], outcomes[:5, 0])
+            server.remove_tenant("a")
+            assert server.tenants() == ()
+            with pytest.raises(ServingError):
+                server.observe_batch(stream.xs[5:6], outcomes[5:6, 0])
+            server.add_tenant("reborn")
+            server.observe_batch(stream.xs[5:13], outcomes[5:13, 0])
+            assert server.flush()["reborn"].covered_steps == 8
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
+# (d) Read-side parity + validation
+# ---------------------------------------------------------------------------
+
+
+class TestTenantReads:
+    def test_reader_subscribe_and_wait_work_per_tenant(self, stream, outcomes):
+        server = _make_stream(["a", "b"], seed=43, refresh_every=T)
+        try:
+            view_a = server.tenant("a")
+            view_b = server.tenant("b")
+            seen_a = []
+            sub = view_a.subscribe(lambda entry: seen_a.append(entry.version))
+            reader = view_b.reader()
+
+            waited = {}
+
+            def waiter():
+                waited["entry"] = view_b.wait_for_version(1, timeout=10.0)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            _feed(server, stream, outcomes, 2)
+            server.flush()
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            assert waited["entry"].version >= 1
+            assert seen_a and seen_a[-1] >= 1
+            assert reader.current().covered_steps == T
+            assert view_b.read_stats().reads >= 1
+            sub.unsubscribe()
+            reader.close()
+        finally:
+            server.close()
+
+    def test_views_are_cached_and_independent(self, stream, outcomes):
+        server = _make_stream(["a", "b"], seed=43)
+        try:
+            assert server.tenant("a") is server.tenant("a")
+            server.observe_batch(stream.xs[:5], outcomes[:5, :2])
+            a = server.tenant("a").current_estimate()
+            b = server.tenant("b").current_estimate()
+            # Different outcome columns → different solves (same Gram).
+            assert not np.array_equal(a, b)
+        finally:
+            server.close()
+
+
+class TestTenancyValidation:
+    def test_requires_horizon(self):
+        with pytest.raises(ValidationError):
+            MultiTenantStream(L2Ball(DIM), PARAMS, tenants=2)
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValidationError):
+            _make_stream(2, seed=1, ingest="sketchy")
+        with pytest.raises(ValidationError):
+            _make_stream(2, seed=1, transport="carrier-pigeon")
+        with pytest.raises(ValidationError):
+            _make_stream(0, seed=1)
+        with pytest.raises(ValidationError):
+            MultiTenantStream(
+                L2Ball(DIM), PARAMS, tenants=["a", "a"], horizon=T
+            )
+        with pytest.raises(ValidationError):
+            _make_stream(4, seed=1, tenant_capacity=2)  # below tenant count
+
+    def test_rejects_bad_outcome_blocks(self, stream, outcomes):
+        server = _make_stream(2, seed=1)
+        try:
+            with pytest.raises(ValidationError):
+                server.observe_batch(stream.xs[:4], outcomes[:4, 0])  # (n,) at k=2
+            with pytest.raises(ValidationError):
+                server.observe_batch(stream.xs[:4], outcomes[:5, :2])
+            with pytest.raises(ValidationError):
+                server.observe_batch(stream.xs[:4], outcomes[:4, :3])
+            with pytest.raises(DomainViolationError):
+                server.observe_batch(
+                    stream.xs[:4], np.full((4, 2), 1.5)  # |y| > 1
+                )
+            with pytest.raises(ValidationError):
+                bad = outcomes[:4, :2].copy()
+                bad[0, 1] = np.nan
+                server.observe_batch(stream.xs[:4], bad)
+            assert server.steps_ingested == 0 == server.steps_enqueued
+        finally:
+            server.close()
+
+    def test_horizon_enforced_atomically(self, stream, outcomes):
+        server = _make_stream(2, seed=1)
+        try:
+            _feed(server, stream, outcomes, 2)
+            with pytest.raises(StreamExhaustedError):
+                server.observe(stream.xs[0], outcomes[0, :2])
+            assert server.steps_ingested == T
+        finally:
+            server.close()
+
+    def test_observe_accepts_scalar_outcome_for_one_tenant(
+        self, stream, outcomes
+    ):
+        server = _make_stream(1, seed=1)
+        try:
+            server.observe(stream.xs[0], float(outcomes[0, 0]))
+            server.observe(stream.xs[1], outcomes[1, :1])
+            assert server.steps_ingested == 2
+        finally:
+            server.close()
+
+    def test_tenant_shard_rejects_bad_construction(self):
+        rngs = tuple(np.random.default_rng(0).spawn(2))
+        gram_rng = np.random.default_rng(1)
+        with pytest.raises(ValidationError):
+            TenantShard(0, DIM, PARAMS, rngs, gram_rng, ("a", "a"),
+                        shard_horizon=T)
+        with pytest.raises(ValidationError):
+            TenantShard(0, DIM, PARAMS, rngs, gram_rng, (), shard_horizon=T)
+        with pytest.raises(ValidationError):
+            TenantShard(0, DIM, PARAMS, rngs[:1], gram_rng, ("a", "b"),
+                        shard_horizon=T)
+        with pytest.raises(ValidationError):
+            TenantShard(0, DIM, PARAMS, rngs, gram_rng, ("a", "b"),
+                        mechanism="hybrid", shard_horizon=T)
+        with pytest.raises(ValidationError):
+            TenantShard(0, DIM, PARAMS, rngs, gram_rng, ("a", "b"),
+                        tenant_capacity=1, shard_horizon=T)
+
+    def test_tenant_shard_block_atomicity_on_overflow(self, stream, outcomes):
+        """A block overflowing the shared Gram's capacity consumes nothing
+        in ANY tree (the Gram advances first and is never behind, so it
+        fails before any cross tree mutates)."""
+        shard = TenantShard(
+            0, DIM, PARAMS,
+            tuple(np.random.default_rng(0).spawn(2)),
+            np.random.default_rng(1),
+            ("a", "b"),
+            shard_horizon=4,
+        )
+        shard.ingest(stream.xs[:3], outcomes[:3, :2], False)
+        with pytest.raises(StreamExhaustedError):
+            shard.ingest(stream.xs[3:6], outcomes[3:6, :2], False)
+        assert shard.steps == 3
+        assert shard.gram.steps_taken == 3
+        assert all(m.steps_taken == 3 for m in shard.cross.values())
+        # The refused block is retryable at a fitting size.
+        shard.ingest(stream.xs[3:4], outcomes[3:4, :2], False)
+        assert shard.steps == 4
