@@ -37,6 +37,7 @@ from .exceptions import (
     PublishConflictError,
     ReproError,
     ServingError,
+    ShardTimeoutError,
     ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
@@ -101,8 +102,12 @@ from .streaming import (
     ReplicateSpec,
     RunResult,
     ServedEstimate,
+    ShardAddress,
     ShardedStream,
+    ShardHostListener,
+    ShardRpcClient,
     Subscription,
+    TcpShardWorker,
     TenantShard,
     TenantView,
 )
@@ -134,6 +139,7 @@ __all__ = [
     "DomainViolationError",
     "LiftingError",
     "NotSupportedError",
+    "ShardTimeoutError",
     "ShardUnavailableError",
     "ServingError",
     "NoEstimateError",
@@ -194,6 +200,10 @@ __all__ = [
     "MultiTenantStream",
     "TenantView",
     "ProcessShardWorker",
+    "ShardRpcClient",
+    "ShardAddress",
+    "ShardHostListener",
+    "TcpShardWorker",
     "EstimateCache",
     "EstimateHub",
     "ReaderHandle",

@@ -74,6 +74,23 @@ class ShardUnavailableError(ReproError):
     """
 
 
+class ShardTimeoutError(ShardUnavailableError, TimeoutError):
+    """A shard RPC missed its deadline: the worker is alive but stuck.
+
+    Raised by the transport proxies
+    (:class:`~repro.streaming.transport.ProcessShardWorker`,
+    :class:`~repro.streaming.netserve.TcpShardWorker`) when a
+    parent→worker round trip exceeds ``request_timeout``.  The worker is
+    killed (or its connection severed) *before* this is raised, so a
+    stale late reply can never pair with a future request — from that
+    point on the shard is indistinguishable from a crashed one, which is
+    the correct fault model: subclassing
+    :class:`ShardUnavailableError` folds the timeout into the existing
+    partial-coverage / ``lost_steps`` accounting, and subclassing
+    :class:`TimeoutError` keeps generic timeout handlers working.
+    """
+
+
 class ServingError(ReproError):
     """The sharded serving front is in a state that cannot serve the request.
 

@@ -13,7 +13,11 @@ front: a sharded stream with per-shard moment trees, a noise-preserving
 merge rule, asynchronous ingestion, and a versioned estimate cache; the
 transport module lets those shard workers run in their own interpreters
 behind ``multiprocessing`` pipes (``ShardedStream(transport="process")``),
-shipping released moments back as picklable snapshots.  The readers
+shipping released moments back as picklable snapshots; the netserve
+module serves the same command protocol over length-prefixed TCP frames
+(``ShardedStream(transport="tcp")``: ``ShardHostListener`` hosts,
+``ShardAddress`` rendezvous, per-RPC deadlines and heartbeats), so
+shards run on separate hosts.  The readers
 module is the read-side counterpart: lock-free estimate fan-out through
 per-reader snapshot handles and pub-sub invalidation
 (``ShardedStream.reader()`` / ``subscribe`` / ``wait_for_version``).
@@ -34,7 +38,8 @@ from .serving import (
     TenantShard,
 )
 from .tenancy import MultiTenantStream, TenantView
-from .transport import ProcessShardWorker, ShardSpec
+from .transport import ProcessShardWorker, ShardRpcClient, ShardSpec
+from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
 
 __all__ = [
     "RegressionStream",
@@ -55,7 +60,11 @@ __all__ = [
     "MultiTenantStream",
     "TenantView",
     "ProcessShardWorker",
+    "ShardRpcClient",
     "ShardSpec",
+    "ShardAddress",
+    "ShardHostListener",
+    "TcpShardWorker",
     "EstimateCache",
     "EstimateHub",
     "ReaderHandle",

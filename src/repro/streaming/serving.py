@@ -136,6 +136,7 @@ from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 from .metrics import ReadStats
 from .readers import EstimateHub, ReaderHandle, Subscription
+from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
 from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = [
@@ -820,15 +821,57 @@ class ShardedStream:
         ``"thread"`` (default) — shard workers share this interpreter;
         ``"process"`` — each shard runs in its own interpreter behind a
         ``multiprocessing`` pipe
-        (:class:`~repro.streaming.transport.ProcessShardWorker`),
-        shipping released moments back as picklable
-        :class:`~repro.privacy.tree.ReleasedMoments` snapshots.  Both
+        (:class:`~repro.streaming.transport.ProcessShardWorker`);
+        ``"tcp"`` — each shard is served by a
+        :class:`~repro.streaming.netserve.ShardHostListener` over
+        length-prefixed frames
+        (:class:`~repro.streaming.netserve.TcpShardWorker`), which is
+        how shards run on separate hosts.  Remote transports ship
+        released moments back as picklable
+        :class:`~repro.privacy.tree.ReleasedMoments` snapshots.  All
         transports build the same mechanisms from the same rng children,
         so the ingest tiers, merge rule, and fault semantics are
-        transport-independent (``tests/test_process_serving.py``); a
-        custom ``projection`` or router must be picklable-compatible
-        (the projection ships in the spawn payload; the router always
-        runs in the parent).  Orthogonal to ``mode``.
+        transport-independent (``tests/test_process_serving.py``,
+        ``tests/test_tcp_serving.py``); a custom ``projection`` or
+        router must be picklable-compatible (the projection ships in the
+        spawn payload; the router always runs in the parent).
+        Orthogonal to ``mode``.
+    request_timeout:
+        Deadline in seconds on every shard RPC (remote transports only).
+        A worker that misses it is *alive but stuck* — it is killed /
+        disconnected and the shard folds into the partial-coverage fault
+        path (:class:`~repro.exceptions.ShardTimeoutError`, a
+        :class:`~repro.exceptions.ShardUnavailableError`), exactly as if
+        it had crashed.  ``None`` (default) waits forever — the only
+        option for ``transport="thread"``, where the shard call is a
+        plain method call with no wire to deadline.
+    addresses:
+        Where the shard host listeners are (``transport="tcp"`` only): a
+        list of :class:`~repro.streaming.netserve.ShardAddress`,
+        ``"host:port"`` strings, or ``(host, port)`` pairs; shard ``i``
+        connects to ``addresses[i % len(addresses)]``, and restarts
+        reconnect to the same address.  ``None`` (the default) boots a
+        private loopback listener inside this stream — single-host tcp
+        serving with zero setup, the configuration the test suite and CI
+        exercise.
+    heartbeat_every:
+        Period in seconds of the health-check loop: a daemon thread
+        pings every live shard (one
+        :meth:`~repro.streaming.transport.ShardRpcClient.ping` RPC,
+        sharing the ingestion lock) so dead or stuck workers are
+        detected within ``heartbeat_every + request_timeout`` seconds
+        even when no traffic is flowing — without a ``request_timeout``
+        the ping only detects *crashed* workers (pipe/socket EOF), since
+        an unbounded ping to a wedged worker would block.  ``None``
+        (default) disables the loop; detection then happens on the next
+        RPC, exactly as before.
+    restart_policy:
+        ``"never"`` (default) — dead shards stay dead until an explicit
+        :meth:`restart_shard`; ``"auto"`` — the heartbeat loop restarts
+        any dead shard it finds (requires ``heartbeat_every``), with the
+        same budget semantics as a manual restart (free under parallel
+        composition; charged — and refused on an empty ledger — under
+        basic).  Counted in :meth:`heartbeat_stats`.
     shard_horizon:
         Tree capacity per shard; defaults to the full ``horizon`` so any
         routing imbalance fits (slightly conservative noise).  Set to
@@ -888,6 +931,10 @@ class ShardedStream:
         router: "str | callable" = "round_robin",
         mode: str = "sync",
         transport: str = "thread",
+        request_timeout: float | None = None,
+        addresses=None,
+        heartbeat_every: float | None = None,
+        restart_policy: str = "never",
         shard_horizon: int | None = None,
         backend: str = "moment",
         x_domain: PointSet | None = None,
@@ -929,9 +976,41 @@ class ShardedStream:
             raise ValidationError(
                 f"mode must be 'sync', 'async', or 'manual', got {mode!r}"
             )
-        if transport not in ("thread", "process"):
+        if transport not in ("thread", "process", "tcp"):
             raise ValidationError(
-                f"transport must be 'thread' or 'process', got {transport!r}"
+                f"transport must be 'thread', 'process', or 'tcp', got "
+                f"{transport!r}"
+            )
+        if request_timeout is not None:
+            if transport == "thread":
+                raise ValidationError(
+                    "request_timeout needs a wire to deadline "
+                    "(transport='process' or 'tcp'); in-process shard "
+                    "calls are plain method calls"
+                )
+            if not request_timeout > 0:
+                raise ValidationError(
+                    f"request_timeout must be positive (seconds) or None, "
+                    f"got {request_timeout!r}"
+                )
+        if addresses is not None and transport != "tcp":
+            raise ValidationError(
+                "addresses only applies to transport='tcp'"
+            )
+        if restart_policy not in ("never", "auto"):
+            raise ValidationError(
+                f"restart_policy must be 'never' or 'auto', got "
+                f"{restart_policy!r}"
+            )
+        if heartbeat_every is not None and not heartbeat_every > 0:
+            raise ValidationError(
+                f"heartbeat_every must be positive (seconds) or None, got "
+                f"{heartbeat_every!r}"
+            )
+        if restart_policy == "auto" and heartbeat_every is None:
+            raise ValidationError(
+                "restart_policy='auto' is driven by the health-check loop; "
+                "set heartbeat_every"
             )
         if ingest == "fast" and mechanism != "tree":
             raise ValidationError(
@@ -976,6 +1055,25 @@ class ShardedStream:
         self.composition = composition
         self.mode = mode
         self.transport = transport
+        self.request_timeout = request_timeout
+        self.heartbeat_every = heartbeat_every
+        self.restart_policy = restart_policy
+        # transport="tcp" with no addresses: boot a private loopback
+        # listener owned (and closed) by this stream — single-host tcp
+        # with zero setup.  Explicit addresses mean the listeners are
+        # someone else's lifecycle (other hosts); we only connect.
+        self._listener: ShardHostListener | None = None
+        self._owns_listener = False
+        if transport == "tcp":
+            if addresses is None:
+                self._listener = ShardHostListener()
+                self._owns_listener = True
+                addresses = [self._listener.address]
+            self.addresses = tuple(
+                ShardAddress.coerce(address) for address in addresses
+            )
+        else:
+            self.addresses = None
         self._router = router
         self._rng = check_rng(rng)
         self._fast = ingest == "fast"
@@ -1043,9 +1141,12 @@ class ShardedStream:
                 )
         except BaseException:
             # A failed shard (e.g. a process worker whose spawn payload
-            # would not pickle) must not leak the workers already booted.
+            # would not pickle) must not leak the workers already booted,
+            # nor the self-hosted tcp listener.
             for shard in shards:
                 shard.shutdown()
+            if self._owns_listener:
+                self._listener.close()
             raise
         self._shards = shards
 
@@ -1102,6 +1203,23 @@ class ShardedStream:
                 target=self._worker_loop, name="sharded-stream-worker", daemon=True
             )
             self._worker.start()
+        # The health-check loop: detects dead/stuck shards between RPCs.
+        # Started last so a constructor failure never leaks it.
+        self._heartbeat = {
+            "pings": 0,
+            "deaths_detected": 0,
+            "restarts": 0,
+            "errors": 0,
+        }
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        if heartbeat_every is not None:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="sharded-stream-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
 
     def _make_shard(
         self,
@@ -1112,26 +1230,36 @@ class ShardedStream:
     ) -> MomentShard:
         """Construct one shard worker for the configured backend + transport.
 
-        ``transport="process"`` packs the identical configuration — same
+        The remote transports pack the identical configuration — same
         rng children, same budget, same shared ``Φ`` — into a picklable
-        :class:`~repro.streaming.transport.ShardSpec` and boots a
-        :class:`~repro.streaming.transport.ProcessShardWorker` around it,
-        so the two transports build byte-for-byte the same mechanisms and
-        consume randomness identically.
+        :class:`~repro.streaming.transport.ShardSpec` and boot a proxy
+        around it (:class:`~repro.streaming.transport.ProcessShardWorker`
+        over a pipe, or
+        :class:`~repro.streaming.netserve.TcpShardWorker` against
+        ``addresses[index % len(addresses)]``), so every transport builds
+        byte-for-byte the same mechanisms and consumes randomness
+        identically.
         """
-        if self.transport == "process":
-            return ProcessShardWorker(
-                ShardSpec(
-                    index=index,
-                    dim=self.dim,
-                    budget=budget,
-                    cross_rng=cross_rng,
-                    gram_rng=gram_rng,
-                    mechanism=self.mechanism,
-                    shard_horizon=self.shard_horizon,
-                    backend=self.backend,
-                    projection=self.projection,
+        if self.transport in ("process", "tcp"):
+            spec = ShardSpec(
+                index=index,
+                dim=self.dim,
+                budget=budget,
+                cross_rng=cross_rng,
+                gram_rng=gram_rng,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+                backend=self.backend,
+                projection=self.projection,
+            )
+            if self.transport == "tcp":
+                return TcpShardWorker(
+                    spec,
+                    self.addresses[index % len(self.addresses)],
+                    request_timeout=self.request_timeout,
                 )
+            return ProcessShardWorker(
+                spec, request_timeout=self.request_timeout
             )
         if self.backend == "projected":
             return ProjectedMomentShard(
@@ -1507,11 +1635,19 @@ class ShardedStream:
     def _close_locked(self) -> None:
         if self._closed:
             return
+        # Stop the health-check loop first: an auto-restart racing the
+        # teardown would re-boot workers close is about to reap.
+        self._heartbeat_stop.set()
         try:
             if self._error is None:
                 self.flush()
         finally:
             self._closed = True
+            if self._heartbeat_thread is not None:
+                # Bounded: the loop might be mid-ping on a wedged worker
+                # (daemon thread — safe to abandon past the deadline).
+                self._heartbeat_thread.join(timeout=5.0)
+                self._heartbeat_thread = None
             if self._worker is not None:
                 self._queue.put(_CLOSE)
                 self._worker.join()
@@ -1521,6 +1657,8 @@ class ShardedStream:
                 self._group_executor = None
             for shard in self._shards:
                 shard.shutdown()
+            if self._owns_listener:
+                self._listener.close()
             # Release parked wait_for_version callers (no further publish
             # can ever satisfy them); served entries stay readable.
             self._hub.close()
@@ -1622,6 +1760,60 @@ class ShardedStream:
                 {"index": s.index, "alive": s.alive, "steps": s.steps}
                 for s in self._shards
             ]
+
+    def heartbeat_stats(self) -> dict:
+        """Counters from the health-check loop (one consistent snapshot).
+
+        ``pings`` (successful probes), ``deaths_detected`` (probes that
+        found a dead/stuck worker and booked its loss),
+        ``restarts`` (``restart_policy="auto"`` recoveries), ``errors``
+        (probe or restart failures that were neither — e.g. a refused
+        restart under basic composition).  All zero when
+        ``heartbeat_every`` is unset.
+        """
+        with self._lock:
+            return dict(self._heartbeat)
+
+    def _heartbeat_loop(self) -> None:
+        """The health-check daemon: ping every live shard, book deaths.
+
+        Shares the ingestion lock, so probes are serialized with real
+        traffic — a ping can never interleave mid-RPC on a worker's wire.
+        With a ``request_timeout`` a *stuck* worker fails its ping within
+        the deadline; without one the probe only catches *crashed*
+        workers (pipe/socket EOF fails fast).  Under
+        ``restart_policy="auto"`` any dead shard found is restarted on
+        the spot with :meth:`restart_shard` semantics (reentrant — the
+        ingestion lock is an RLock).
+        """
+        while not self._heartbeat_stop.wait(self.heartbeat_every):
+            with self._lock:
+                if self._closed:
+                    return
+                for shard in self._shards:
+                    if not shard.alive:
+                        continue
+                    probe = getattr(shard, "ping", None)
+                    try:
+                        if probe is not None:
+                            probe()
+                        self._heartbeat["pings"] += 1
+                    except ShardUnavailableError:
+                        self._heartbeat["deaths_detected"] += 1
+                        self._note_shard_death(shard)
+                    except Exception:  # pragma: no cover - defensive
+                        self._heartbeat["errors"] += 1
+                if self.restart_policy == "auto":
+                    for index in range(self.shards_count):
+                        if self._shards[index].alive:
+                            continue
+                        try:
+                            self.restart_shard(index)
+                            self._heartbeat["restarts"] += 1
+                        except Exception:
+                            # e.g. budget refusal under basic composition:
+                            # the shard stays dead, merges stay partial.
+                            self._heartbeat["errors"] += 1
 
     def memory_floats(self) -> int:
         """Floats held by the shard mechanisms (plus the shared ``Φ``).

@@ -70,6 +70,7 @@ from ..privacy.parameters import PrivacyParams, tenant_budgets
 from ..privacy.tree import MergedRelease, merge_released
 from .readers import EstimateHub, ReaderHandle, Subscription
 from .serving import ServedEstimate, TenantShard
+from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
 from .transport import ProcessShardWorker, ShardSpec
 
 __all__ = ["MultiTenantStream", "TenantView"]
@@ -187,11 +188,22 @@ class MultiTenantStream:
         ``"exact"`` (bit-identical tier) or ``"fast"`` (distributional
         BLAS tier) — the same two tiers as the single-tenant front.
     transport:
-        ``"thread"`` (in-process shards) or ``"process"`` (one
-        interpreter per shard behind a pipe; releases come back as
-        :class:`~repro.privacy.tree.ReleasedMoments` snapshots, ``k``
-        per shard).  Both transports build the same mechanisms from the
-        same rng children.
+        ``"thread"`` (in-process shards), ``"process"`` (one
+        interpreter per shard behind a pipe), or ``"tcp"`` (shards
+        served by :class:`~repro.streaming.netserve.ShardHostListener`
+        hosts, reachable cross-host).  Remote transports ship releases
+        back as :class:`~repro.privacy.tree.ReleasedMoments` snapshots,
+        ``k`` per shard; all transports build the same mechanisms from
+        the same rng children.
+    request_timeout:
+        Deadline in seconds on every shard RPC (remote transports only;
+        same stuck-worker → :class:`~repro.exceptions.ShardTimeoutError`
+        → partial-coverage semantics as
+        :class:`~repro.streaming.serving.ShardedStream`).
+    addresses:
+        Shard host listener addresses (``transport="tcp"`` only); shard
+        ``i`` connects to ``addresses[i % len(addresses)]``.  ``None``
+        boots a private loopback listener owned by this stream.
     shard_horizon:
         Tree capacity per shard; defaults to ``horizon`` so any routing
         imbalance fits.
@@ -220,6 +232,8 @@ class MultiTenantStream:
         refresh_every: int | None = None,
         ingest: str = "exact",
         transport: str = "thread",
+        request_timeout: float | None = None,
+        addresses=None,
         shard_horizon: int | None = None,
         beta: float = 0.05,
         fidelity: str = "fast",
@@ -228,9 +242,26 @@ class MultiTenantStream:
     ) -> None:
         if ingest not in ("exact", "fast"):
             raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
-        if transport not in ("thread", "process"):
+        if transport not in ("thread", "process", "tcp"):
             raise ValidationError(
-                f"transport must be 'thread' or 'process', got {transport!r}"
+                f"transport must be 'thread', 'process', or 'tcp', got "
+                f"{transport!r}"
+            )
+        if request_timeout is not None:
+            if transport == "thread":
+                raise ValidationError(
+                    "request_timeout needs a wire to deadline "
+                    "(transport='process' or 'tcp'); in-process shard "
+                    "calls are plain method calls"
+                )
+            if not request_timeout > 0:
+                raise ValidationError(
+                    f"request_timeout must be positive (seconds) or None, "
+                    f"got {request_timeout!r}"
+                )
+        if addresses is not None and transport != "tcp":
+            raise ValidationError(
+                "addresses only applies to transport='tcp'"
             )
         if horizon is None:
             raise ValidationError(
@@ -266,6 +297,19 @@ class MultiTenantStream:
         )
         self.ingest = ingest
         self.transport = transport
+        self.request_timeout = request_timeout
+        self._listener: ShardHostListener | None = None
+        self._owns_listener = False
+        if transport == "tcp":
+            if addresses is None:
+                self._listener = ShardHostListener()
+                self._owns_listener = True
+                addresses = [self._listener.address]
+            self.addresses = tuple(
+                ShardAddress.coerce(address) for address in addresses
+            )
+        else:
+            self.addresses = None
         self.shard_horizon = (
             self.horizon
             if shard_horizon is None
@@ -300,6 +344,8 @@ class MultiTenantStream:
         except BaseException:
             for shard in shard_list:
                 shard.shutdown()
+            if self._owns_listener:
+                self._listener.close()
             raise
         self._shards = shard_list
 
@@ -334,20 +380,27 @@ class MultiTenantStream:
 
     def _make_shard(self, index, tenant_rngs, gram_rng, names):
         """One tenant shard on the configured transport (full budget each)."""
-        if self.transport == "process":
-            return ProcessShardWorker(
-                ShardSpec(
-                    index=index,
-                    dim=self.dim,
-                    budget=self.params,
-                    gram_rng=gram_rng,
-                    mechanism="tree",
-                    shard_horizon=self.shard_horizon,
-                    backend="tenant",
-                    tenants=tuple(names),
-                    tenant_rngs=tuple(tenant_rngs),
-                    tenant_capacity=self.tenant_capacity,
+        if self.transport in ("process", "tcp"):
+            spec = ShardSpec(
+                index=index,
+                dim=self.dim,
+                budget=self.params,
+                gram_rng=gram_rng,
+                mechanism="tree",
+                shard_horizon=self.shard_horizon,
+                backend="tenant",
+                tenants=tuple(names),
+                tenant_rngs=tuple(tenant_rngs),
+                tenant_capacity=self.tenant_capacity,
+            )
+            if self.transport == "tcp":
+                return TcpShardWorker(
+                    spec,
+                    self.addresses[index % len(self.addresses)],
+                    request_timeout=self.request_timeout,
                 )
+            return ProcessShardWorker(
+                spec, request_timeout=self.request_timeout
             )
         return TenantShard(
             index=index,
@@ -672,6 +725,8 @@ class MultiTenantStream:
                 self._closed = True
                 for shard in self._shards:
                     shard.shutdown()
+                if self._owns_listener:
+                    self._listener.close()
                 for hub in self._hubs.values():
                     hub.close()
 
