@@ -15,8 +15,6 @@ assumed:
   Ablation: risk under 50/50 vs gram-favoring splits.
 """
 
-import numpy as np
-import pytest
 
 from repro import L1Ball, L2Ball, PrivacyParams, PrivIncReg1, PrivIncReg2, SparseVectors
 from repro.data import make_dense_stream, make_sparse_stream

@@ -10,7 +10,6 @@ kernel adversary and (b) the strongest sparse-domain adversary, against
 JL-sized and Gordon-sized projections.
 """
 
-import pytest
 
 from repro import GaussianProjection, SparseVectors, gordon_dimension
 from repro.data import adaptive_null_space_points, adaptive_sparse_points

@@ -21,7 +21,6 @@ asserted here, is the pair of slopes the crossover follows from: Algorithm
 2's excess risk grows markedly with ``d``; Algorithm 3's grows much slower.
 """
 
-import pytest
 
 from repro import L1Ball, PrivIncReg1, PrivIncReg2, SparseVectors
 from repro.core.bounds import bound_mech1, bound_mech2, mech2_beats_mech1_dimension

@@ -1,0 +1,233 @@
+"""Experiment N.drift — tracking regret of non-stationary release mechanisms.
+
+Claim (ISSUE 8 acceptance criterion): on a piecewise-stationary stream
+whose ground truth jumps between segments, a ``ShardedStream`` with a
+forgetting factor (``decay``) tracks the *current* segment's parameter
+with strictly lower time-averaged error than the static prefix server,
+which converges to a stale average of every segment it has seen.  The
+sliding-window server (``window``) is recorded alongside as the
+hard-expiry point on the same tradeoff.
+
+The decayed release's signal is capped at the geometric weight
+``1/(1−γ)`` per shard while its tree noise still scales with the
+horizon, so the informative regime needs ``1/(1−γ)`` large relative to
+the per-release noise — hence the elevated ε (see ``common.py`` on the
+``T·ε`` operating point) and γ close to 1.
+
+Also measured: the ingest overhead the knobs add on both tiers (the
+γ-weighted BLAS totals on ``ingest="fast"``, the chunk-ring bookkeeping
+on ``ingest="exact"``), so the cost of non-stationarity is a committed
+number rather than folklore.
+
+Results go to ``BENCH_drift_tracking.json``; ``BENCH_DRIFT_T`` /
+``BENCH_DRIFT_DIM`` shrink the stream for smoke runs, which write the
+JSON only when ``BENCH_DRIFT_WRITE=1`` so they never clobber the
+committed full-scale numbers.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro import L2Ball, PrivacyParams, ShardedStream
+from repro.data import make_drift_stream
+
+from common import DELTA, record
+
+T = int(os.environ.get("BENCH_DRIFT_T", "8192"))
+DIM = int(os.environ.get("BENCH_DRIFT_DIM", "8"))
+SEGMENTS = 4
+BATCH = 64
+SHARDS = 2
+ITERATION_CAP = 40
+#: Elevated ε (see module docstring): the tracking comparison needs the
+#: forgetting bias, not the noise floor, to dominate.
+EPSILON = 128.0
+DECAY = 0.995
+WINDOW = max(BATCH, T // 16)
+RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_drift_tracking.json"
+
+
+def _budget() -> PrivacyParams:
+    return PrivacyParams(EPSILON, DELTA)
+
+
+def _segment_bounds() -> np.ndarray:
+    return np.linspace(0, T, SEGMENTS + 1, dtype=int)
+
+
+def _run_tracking(stream, thetas, **kwargs):
+    """Feed the stream; return (mean tracking error, ingest seconds)."""
+    bounds = _segment_bounds()
+    server = ShardedStream(
+        L2Ball(DIM),
+        _budget(),
+        shards=SHARDS,
+        horizon=T,
+        refresh_every=BATCH,
+        iteration_cap=ITERATION_CAP,
+        rng=1,
+        **kwargs,
+    )
+    errors = []
+    try:
+        start = time.perf_counter()
+        for s in range(0, T, BATCH):
+            server.observe_batch(
+                stream.xs[s : s + BATCH], stream.ys[s : s + BATCH]
+            )
+            t = min(s + BATCH, T)
+            segment = min(
+                int(np.searchsorted(bounds, t - 1, side="right")) - 1,
+                SEGMENTS - 1,
+            )
+            errors.append(
+                float(
+                    np.linalg.norm(
+                        server.current_estimate() - thetas[segment]
+                    )
+                )
+            )
+        server.flush()
+        seconds = time.perf_counter() - start
+    finally:
+        server.close()
+    return float(np.mean(errors)), seconds
+
+
+def _ingest_seconds(stream, ingest: str, **kwargs) -> float:
+    """Pure ingest wall time (no estimate reads between blocks)."""
+    server = ShardedStream(
+        L2Ball(DIM),
+        _budget(),
+        shards=SHARDS,
+        horizon=T,
+        refresh_every=BATCH,
+        iteration_cap=ITERATION_CAP,
+        ingest=ingest,
+        rng=1,
+        **kwargs,
+    )
+    try:
+        start = time.perf_counter()
+        for s in range(0, T, BATCH):
+            server.observe_batch(
+                stream.xs[s : s + BATCH], stream.ys[s : s + BATCH]
+            )
+        server.flush()
+        return time.perf_counter() - start
+    finally:
+        server.close()
+
+
+def test_drift_tracking(benchmark):
+    """Decayed serving must beat the static prefix server on drift regret."""
+    stream, thetas = make_drift_stream(
+        T, DIM, n_segments=SEGMENTS, noise_std=0.05, rng=42
+    )
+
+    configs = [
+        ("static", {}),
+        ("decayed", {"decay": DECAY}),
+        ("windowed", {"window": WINDOW}),
+    ]
+    regret = {}
+    tracked_seconds = {}
+
+    def sweep():
+        for label, kwargs in configs:
+            regret[label], tracked_seconds[label] = _run_tracking(
+                stream, thetas, **kwargs
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for label, kwargs in configs:
+        record(
+            "N.drift tracking regret",
+            server=label,
+            knobs=kwargs or "-",
+            T=T,
+            d=DIM,
+            segments=SEGMENTS,
+            epsilon=EPSILON,
+            mean_tracking_error=regret[label],
+            vs_static=regret[label] / regret["static"],
+        )
+
+    # Ingest overhead of the non-stationary paths, both tiers.  The
+    # finite window cannot run the fast tier (pre-reduced totals cannot
+    # split at chunk expiry), so it is measured on exact only.
+    overhead_rows = []
+    for label, ingest, kwargs in [
+        ("plain fast", "fast", {}),
+        ("decayed fast", "fast", {"decay": DECAY}),
+        ("plain exact", "exact", {}),
+        ("decayed exact", "exact", {"decay": DECAY}),
+        ("windowed exact", "exact", {"window": WINDOW}),
+    ]:
+        seconds = _ingest_seconds(stream, ingest, **kwargs)
+        overhead_rows.append(
+            {
+                "config": label,
+                "ingest": ingest,
+                "seconds": seconds,
+                "points_per_second": T / seconds,
+            }
+        )
+        record(
+            "N.drift ingest overhead",
+            config=label,
+            ingest=ingest,
+            T=T,
+            d=DIM,
+            seconds=seconds,
+            points_per_second=T / seconds,
+        )
+    by_config = {row["config"]: row["seconds"] for row in overhead_rows}
+    for row in overhead_rows:
+        baseline = "plain fast" if row["ingest"] == "fast" else "plain exact"
+        row["overhead_vs_plain"] = row["seconds"] / by_config[baseline]
+
+    payload = {
+        "experiment": "bench_drift_tracking",
+        "config": {
+            "T": T,
+            "d": DIM,
+            "segments": SEGMENTS,
+            "batch": BATCH,
+            "shards": SHARDS,
+            "refresh_every": BATCH,
+            "iteration_cap": ITERATION_CAP,
+            "epsilon": EPSILON,
+            "delta": DELTA,
+            "decay": DECAY,
+            "window": WINDOW,
+        },
+        "cpu_count": os.cpu_count(),
+        "tracking_regret": [
+            {
+                "server": label,
+                "mean_tracking_error": regret[label],
+                "vs_static": regret[label] / regret["static"],
+                "run_seconds": tracked_seconds[label],
+            }
+            for label, _ in configs
+        ],
+        "ingest_overhead": overhead_rows,
+    }
+    full_scale = (
+        "BENCH_DRIFT_T" not in os.environ
+        and "BENCH_DRIFT_DIM" not in os.environ
+    )
+    if full_scale or os.environ.get("BENCH_DRIFT_WRITE") == "1":
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert regret["decayed"] < regret["static"], (
+        f"decayed tracking error {regret['decayed']:.3f} did not beat the "
+        f"static prefix server's {regret['static']:.3f} — forgetting is "
+        f"not paying for itself on a drifting stream"
+    )

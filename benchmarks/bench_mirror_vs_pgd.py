@@ -13,7 +13,6 @@ iteration budgets; reported: achieved objective value on the true risk.
 """
 
 import numpy as np
-import pytest
 
 from repro import L1Ball, PrivateGradientFunction, QuadraticRisk
 from repro.erm import NoisyMirrorDescent, NoisyProjectedGradient

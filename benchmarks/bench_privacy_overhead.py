@@ -7,10 +7,8 @@ internal ledgers conserve the declared ``(ε, δ)``?
 """
 
 import numpy as np
-import pytest
 
 from repro import L2Ball, NonPrivateIncremental, PrivIncReg1
-from repro.data import make_dense_stream
 
 from common import bench_budget, record
 

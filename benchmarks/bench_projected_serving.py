@@ -37,7 +37,7 @@ import os
 import pathlib
 import time
 
-from repro import L2Ball, PrivacyParams, PrivIncReg2, ShardedStream
+from repro import L2Ball, PrivIncReg2, ShardedStream
 from repro.data import make_dense_stream
 
 from common import bench_budget, record

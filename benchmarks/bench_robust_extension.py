@@ -13,7 +13,6 @@ substituted without any privacy-budget impact.
 """
 
 import numpy as np
-import pytest
 
 from repro import L1Ball, RobustPrivIncReg, SparseVectors
 from repro.core.bounds import bound_mech2

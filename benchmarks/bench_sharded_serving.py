@@ -33,7 +33,7 @@ import os
 import pathlib
 import time
 
-from repro import L2Ball, PrivIncReg1, PrivacyParams, ShardedStream
+from repro import L2Ball, PrivIncReg1, ShardedStream
 from repro.data import make_dense_stream
 
 from common import bench_budget, record

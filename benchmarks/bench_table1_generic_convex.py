@@ -20,7 +20,6 @@ What is regenerated, and how honestly:
   the second test runs it and asserts the sublinear-in-n shape.
 """
 
-import pytest
 
 from repro import NoisySGD, PrivIncERM, SquaredLoss, L2Ball, tau_convex
 from repro.core.bounds import bound_generic_convex, trivial_bound

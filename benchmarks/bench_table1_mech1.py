@@ -13,7 +13,6 @@ Remark 4.3 comparison against the generic transformation on identical
 streams.
 """
 
-import pytest
 
 from repro import L2Ball, NoisySGD, PrivIncERM, PrivIncReg1, SquaredLoss, tau_convex
 from repro.core.bounds import bound_generic_convex, bound_mech1

@@ -16,8 +16,6 @@ sweep at fixed widths — measured excess should stay nearly flat while the
 ``√d`` mechanism's bound grows.
 """
 
-import numpy as np
-import pytest
 
 from repro import L1Ball, PrivIncReg2, SparseVectors
 from repro.core.bounds import bound_mech1, bound_mech2

@@ -18,7 +18,6 @@ What is regenerated, and how honestly:
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     L2Ball,

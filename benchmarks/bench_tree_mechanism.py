@@ -10,12 +10,11 @@ polynomial), (b) the memory footprint table, and (c) per-observation
 throughput (the timed unit).
 """
 
-import math
 
 import numpy as np
 import pytest
 
-from repro import PrivacyParams, TreeMechanism
+from repro import TreeMechanism
 from repro.privacy import tree_error_bound, tree_levels
 
 from common import bench_budget, growth_exponent, record

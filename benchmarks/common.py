@@ -19,7 +19,6 @@ checked, never absolute constants.
 
 from __future__ import annotations
 
-import math
 from collections import defaultdict
 
 import numpy as np

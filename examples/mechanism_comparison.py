@@ -11,7 +11,6 @@ Run with:  python examples/mechanism_comparison.py
 
 import time
 
-import numpy as np
 
 from repro import (
     IncrementalRunner,
@@ -23,7 +22,6 @@ from repro import (
     PrivIncERM,
     PrivIncReg1,
     PrivIncReg2,
-    SparseVectors,
     SquaredLoss,
     StaticOutput,
     tau_convex,

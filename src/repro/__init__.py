@@ -44,12 +44,16 @@ from .exceptions import (
     WaitTimeoutError,
 )
 from .privacy import (
+    DecayedTreeMechanism,
     HybridMechanism,
     MergedRelease,
     PrivacyAccountant,
     PrivacyParams,
+    ReleaseMechanism,
     ReleasedMoments,
+    SlidingWindowMechanism,
     TreeMechanism,
+    make_release_mechanism,
     merge_released,
     shard_budgets,
     tenant_budgets,
@@ -152,6 +156,10 @@ __all__ = [
     "PrivacyAccountant",
     "TreeMechanism",
     "HybridMechanism",
+    "ReleaseMechanism",
+    "DecayedTreeMechanism",
+    "SlidingWindowMechanism",
+    "make_release_mechanism",
     "MergedRelease",
     "ReleasedMoments",
     "merge_released",

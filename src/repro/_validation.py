@@ -128,6 +128,57 @@ def check_unit_xy_domain(name: str, xs: np.ndarray, ys: np.ndarray) -> None:
         )
 
 
+def check_decay(name: str, value: float) -> float:
+    """Validate a forgetting factor ``γ``: a finite number in ``(0, 1]``.
+
+    The single definition of the ``decay=`` knob contract, shared by every
+    layer that accepts it (mechanisms, estimators, serving fronts,
+    :class:`~repro.erm.objective.QuadraticRisk`), so a nonsensical γ is
+    rejected up front with the knob named — never deep inside tree code.
+    """
+    value = check_finite(name, value)
+    if not 0.0 < value <= 1.0:
+        raise ValidationError(
+            f"{name} must be a forgetting factor in (0, 1], got {value!r}"
+        )
+    return value
+
+
+def check_window(name: str, value: "int | float") -> "int | float":
+    """Validate a sliding-window length ``W``: an integer ≥ 1, or ``inf``.
+
+    ``math.inf`` selects the degenerate never-expiring window (one tree
+    over the whole horizon — bit-identical to the plain mechanism); any
+    finite value must be a whole number of stream elements.
+    """
+    if isinstance(value, float) and np.isinf(value) and value > 0:
+        return float("inf")
+    return check_int(name, value, minimum=1)
+
+
+def check_release_knobs(
+    decay: "float | None", window: "int | float | None"
+) -> "tuple[float | None, int | float | None]":
+    """Validate the ``decay=`` / ``window=`` knob pair of a moment layer.
+
+    The two knobs select mutually exclusive non-stationarity models
+    (exponential forgetting vs hard expiry), so setting both is rejected
+    here — once, for every layer that threads them — with both knobs
+    named.  Returns the validated pair (either or both may be ``None``).
+    """
+    if decay is not None and window is not None:
+        raise ValidationError(
+            "decay and window cannot both be set: exponential forgetting "
+            "(decay=) and hard expiry (window=) are mutually exclusive "
+            "non-stationarity models"
+        )
+    if decay is not None:
+        decay = check_decay("decay", decay)
+    if window is not None:
+        window = check_window("window", window)
+    return decay, window
+
+
 def check_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
     """Normalize a seed-or-generator argument into a ``numpy`` Generator.
 

@@ -50,7 +50,9 @@ import numpy as np
 from .._validation import (
     check_int,
     check_matrix,
+    check_positive,
     check_probability,
+    check_release_knobs,
     check_rng,
     check_unit_xy_domain,
     check_vector,
@@ -61,7 +63,7 @@ from ..exceptions import DomainViolationError, ValidationError
 from ..geometry.base import ConvexSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.parameters import PrivacyParams
-from ..privacy.tree import TreeMechanism
+from ..privacy.release import SlidingWindowMechanism, make_release_mechanism
 from .private_gradient import PrivateGradientFunction
 
 __all__ = ["PrivIncReg1", "solve_schedule"]
@@ -107,6 +109,20 @@ class PrivIncReg1:
         Run the PGD refresh every ``solve_every`` steps (and at the
         horizon), replaying the stale parameter in between; 1 = paper.
         Post-processing only — privacy is unchanged.
+    decay:
+        Optional forgetting factor ``γ ∈ (0, 1]``: the moment trees become
+        :class:`~repro.privacy.release.DecayedTreeMechanism` instances
+        tracking the γ-weighted moments ``Σ γ^{t−i} x_i y_i`` etc., and
+        the PGD refresh sizes its Lipschitz constant from the *effective*
+        sample weight ``(1−γ^t)/(1−γ)`` instead of ``t``.  Privacy is
+        unchanged (per-node sensitivity only shrinks under γ ≤ 1).
+        Mutually exclusive with ``window``; ``None``/``1.0`` reproduce
+        the paper exactly.
+    window:
+        Optional sliding window ``W`` (elements): the moment trees become
+        :class:`~repro.privacy.release.SlidingWindowMechanism` rings whose
+        releases cover only the last ``≤ W`` elements.  Mutually
+        exclusive with ``decay``.
     rng:
         Seed or Generator.  Each moment tree receives an independent child
         generator spawned from it, so batched and sequential ingestion
@@ -133,6 +149,8 @@ class PrivIncReg1:
         fidelity: str = "fast",
         iteration_cap: int = 400,
         solve_every: int = 1,
+        decay: float | None = None,
+        window: int | float | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if fidelity not in ("paper", "fast"):
@@ -144,6 +162,7 @@ class PrivIncReg1:
         self.fidelity = fidelity
         self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
         self.solve_every = check_int("solve_every", solve_every, minimum=1)
+        self.decay, self.window = check_release_knobs(decay, window)
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
@@ -154,19 +173,25 @@ class PrivIncReg1:
         # sequential draw-per-step order exactly.
         half = params.halve()
         cross_rng, gram_rng = self._rng.spawn(2)
-        self._tree_cross = TreeMechanism(
-            horizon=self.horizon,
+        self._tree_cross = make_release_mechanism(
             shape=(self.dim,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=cross_rng,
-        )
-        self._tree_gram = TreeMechanism(
+            mechanism="tree",
             horizon=self.horizon,
+            decay=self.decay,
+            window=self.window,
+        )
+        self._tree_gram = make_release_mechanism(
             shape=(self.dim, self.dim),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=gram_rng,
+            mechanism="tree",
+            horizon=self.horizon,
+            decay=self.decay,
+            window=self.window,
         )
         self.accountant = PrivacyAccountant(params, mode="basic")
         self.accountant.charge("tree:cross-moments", half)
@@ -195,11 +220,32 @@ class PrivIncReg1:
             gram_error, cross_error, self.constraint.diameter()
         )
 
-    def _prefix_lipschitz(self, t: int) -> float:
+    def _prefix_lipschitz(self, t: float) -> float:
         """Lipschitz bound of ``L(·; Γ_t)`` over ``C``: ``2t(‖C‖ + 1)``."""
         return 2.0 * t * (self.constraint.diameter() + 1.0)
 
-    def _iterations(self, t: int, alpha: float) -> int:
+    def _logical_t(self, t: int) -> int | float:
+        """The effective sample weight at stream position ``t``.
+
+        The quantity the PGD refresh should size its Lipschitz constant
+        (and hence its iteration schedule) from: ``t`` itself for the
+        plain mechanism, the γ-series ``(1−γ^t)/(1−γ)`` under decay, and
+        the covered count under a window.  Pure arithmetic in ``t`` so the
+        batched path's interior solves agree bit-for-bit with the
+        sequential path.
+        """
+        if self.window is not None:
+            return max(
+                SlidingWindowMechanism.covered_at(
+                    t, self.window, self._tree_cross.chunk
+                ),
+                1,
+            )
+        if self.decay is not None and self.decay != 1.0:
+            return (1.0 - self.decay**t) / (1.0 - self.decay)
+        return t
+
+    def _iterations(self, t: float, alpha: float) -> int:
         if self.fidelity == "paper":
             # Algorithm 2 Step 1: r = Θ((1 + T‖C‖/α′)²), horizon-based.
             horizon_lipschitz = self._prefix_lipschitz(self.horizon)
@@ -230,7 +276,7 @@ class PrivIncReg1:
         self.steps_taken += 1
         t = self.steps_taken
         if t % self.solve_every == 0 or t == self.horizon:
-            self._solve_at(t, noisy_gram, noisy_cross)
+            self._solve_at(self._logical_t(t), noisy_gram, noisy_cross)
         return self._theta.copy()
 
     def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -262,11 +308,13 @@ class PrivIncReg1:
         self.steps_taken = t0 + k
         for t in solve_schedule(t0, t0 + k, self.solve_every, self.horizon):
             idx = t - t0 - 1
-            self._solve_at(t, gram_all[idx], cross_all[idx])
+            self._solve_at(self._logical_t(t), gram_all[idx], cross_all[idx])
         return self._theta.copy()
 
-    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
-        """One PGD refresh against the step-``t`` released moments."""
+    def _solve_at(
+        self, t: float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> None:
+        """One PGD refresh against the released moments at logical ``t``."""
         # Symmetrize: the true moment matrix is symmetric; averaging with the
         # transpose is post-processing and only reduces the error.
         noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
@@ -282,7 +330,7 @@ class PrivIncReg1:
         self.estimate_version += 1
 
     def refresh_from_released(
-        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+        self, t: int | float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
     ) -> np.ndarray:
         """Serve-mode hook: one PGD refresh against *external* released moments.
 
@@ -294,8 +342,16 @@ class PrivIncReg1:
         ``estimate_version``.  Pure post-processing of already-released
         statistics: privacy is untouched regardless of how the moments were
         assembled.  Returns the refreshed parameter.
+
+        ``t`` may be a positive float: a front serving *weighted* moments
+        (``decay`` / ``window``) passes the mechanisms' effective weight —
+        the γ-series ``Σ γ^{t−i}`` or the covered window count — as the
+        logical sample count the Lipschitz sizing uses.
         """
-        t = check_int("t", t, minimum=1)
+        if isinstance(t, (int, np.integer)) and not isinstance(t, bool):
+            t = check_int("t", t, minimum=1)
+        else:
+            t = check_positive("t", t)
         noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(self.dim, self.dim))
         noisy_cross = check_vector("noisy_cross", noisy_cross, dim=self.dim)
         self._solve_at(t, noisy_gram, noisy_cross)

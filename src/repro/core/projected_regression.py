@@ -40,7 +40,9 @@ import numpy as np
 from .._validation import (
     check_int,
     check_matrix,
+    check_positive,
     check_probability,
+    check_release_knobs,
     check_rng,
     check_unit_xy_domain,
     check_vector,
@@ -51,7 +53,7 @@ from ..exceptions import DomainViolationError, ValidationError
 from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
 from ..privacy.parameters import PrivacyParams
-from ..privacy.tree import TreeMechanism
+from ..privacy.release import SlidingWindowMechanism, make_release_mechanism
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 from ..sketching.gordon import gordon_dimension
 from ..sketching.lifting import lift
@@ -142,6 +144,15 @@ class PrivIncReg2:
         re-attach to the same map from its shipped matrix
         (:meth:`~repro.sketching.gaussian.GaussianProjection.from_matrix`
         rebuilds a projection around an existing matrix).
+    decay:
+        Optional forgetting factor ``γ ∈ (0, 1]`` for non-stationary
+        streams (distinct from ``gamma``, the projection distortion):
+        the projected moment trees become γ-decayed and the solves size
+        their Lipschitz constant from the effective weight
+        ``(1−γ^t)/(1−γ)``.  Mutually exclusive with ``window``.
+    window:
+        Optional sliding window ``W``: the projected moment trees become
+        hard-expiry rings covering only the last ``≤ W`` elements.
     rng:
         Seed or Generator.
     """
@@ -160,6 +171,8 @@ class PrivIncReg2:
         solve_every: int = 1,
         projected_solver_iterations: int = 80,
         projection: GaussianProjection | None = None,
+        decay: float | None = None,
+        window: int | float | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         if fidelity not in ("paper", "fast"):
@@ -176,6 +189,7 @@ class PrivIncReg2:
         self.fidelity = fidelity
         self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
         self.solve_every = check_int("solve_every", solve_every, minimum=1)
+        self.decay, self.window = check_release_knobs(decay, window)
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
@@ -213,19 +227,25 @@ class PrivIncReg2:
         half = params.halve()
         m = self.projected_dim
         cross_rng, gram_rng = self._rng.spawn(2)
-        self._tree_cross = TreeMechanism(
-            horizon=self.horizon,
+        self._tree_cross = make_release_mechanism(
             shape=(m,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=cross_rng,
-        )
-        self._tree_gram = TreeMechanism(
+            mechanism="tree",
             horizon=self.horizon,
+            decay=self.decay,
+            window=self.window,
+        )
+        self._tree_gram = make_release_mechanism(
             shape=(m, m),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=gram_rng,
+            mechanism="tree",
+            horizon=self.horizon,
+            decay=self.decay,
+            window=self.window,
         )
         self.accountant = PrivacyAccountant(params, mode="basic")
         self.accountant.charge("tree:projected-cross-moments", half)
@@ -254,11 +274,30 @@ class PrivIncReg2:
             gram_error, cross_error, projected_diameter
         )
 
-    def _prefix_lipschitz(self, t: int) -> float:
+    def _prefix_lipschitz(self, t: float) -> float:
         """Lipschitz bound of the projected loss: ``2t((1+γ)‖C‖ + 1)``."""
         return 2.0 * t * ((1.0 + self.gamma) * self.constraint.diameter() + 1.0)
 
-    def _iterations(self, t: int, alpha: float) -> int:
+    def _logical_t(self, t: int) -> int | float:
+        """Effective sample weight at stream position ``t``.
+
+        ``t`` when plain, the γ-series under ``decay``, the covered count
+        under ``window`` — pure arithmetic in ``t`` (see
+        :meth:`PrivIncReg1._logical_t
+        <repro.core.incremental_regression.PrivIncReg1._logical_t>`).
+        """
+        if self.window is not None:
+            return max(
+                SlidingWindowMechanism.covered_at(
+                    t, self.window, self._tree_cross.chunk
+                ),
+                1,
+            )
+        if self.decay is not None and self.decay != 1.0:
+            return (1.0 - self.decay**t) / (1.0 - self.decay)
+        return t
+
+    def _iterations(self, t: float, alpha: float) -> int:
         if self.fidelity == "paper":
             return noisy_pgd_iterations(self._prefix_lipschitz(self.horizon), alpha, cap=None)
         return noisy_pgd_iterations(self._prefix_lipschitz(t), alpha, cap=self.iteration_cap)
@@ -288,7 +327,7 @@ class PrivIncReg2:
         # amortized across a solve_every-window (staleness ≤ solve_every
         # points, as in Mechanism 1's τ-window argument).
         if t % self.solve_every == 0 or t == self.horizon:
-            self._solve_at(t, noisy_gram, noisy_cross)
+            self._solve_at(self._logical_t(t), noisy_gram, noisy_cross)
         return self._theta.copy()
 
     def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -319,11 +358,13 @@ class PrivIncReg2:
         self.steps_taken = t0 + k
         for t in solve_schedule(t0, t0 + k, self.solve_every, self.horizon):
             idx = t - t0 - 1
-            self._solve_at(t, gram_all[idx], cross_all[idx])
+            self._solve_at(self._logical_t(t), gram_all[idx], cross_all[idx])
         return self._theta.copy()
 
-    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
-        """Steps 7-9 against the step-``t`` released projected moments."""
+    def _solve_at(
+        self, t: float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> None:
+        """Steps 7-9 against the released projected moments at logical ``t``."""
         noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
         alpha = self.gradient_error()
         gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
@@ -342,7 +383,7 @@ class PrivIncReg2:
         self.estimate_version += 1
 
     def refresh_from_released(
-        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+        self, t: int | float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
     ) -> np.ndarray:
         """Serve-mode hook: Steps 7–9 against external *projected* moments.
 
@@ -350,9 +391,15 @@ class PrivIncReg2:
         a sharded front serving Algorithm 3 shares one ``Φ`` across shards
         and merges the per-shard projected-moment trees before calling
         this.  Post-processing only; bumps ``estimate_version`` and
-        returns the refreshed lifted parameter.
+        returns the refreshed lifted parameter.  ``t`` may be a positive
+        float: a front serving weighted (``decay``/``window``) moments
+        passes the mechanisms' effective weight as the logical sample
+        count.
         """
-        t = check_int("t", t, minimum=1)
+        if isinstance(t, (int, np.integer)) and not isinstance(t, bool):
+            t = check_int("t", t, minimum=1)
+        else:
+            t = check_positive("t", t)
         m = self.projected_dim
         noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(m, m))
         noisy_cross = check_vector("noisy_cross", noisy_cross, dim=m)

@@ -22,7 +22,9 @@ import numpy as np
 from .._validation import (
     check_int,
     check_matrix,
+    check_positive,
     check_probability,
+    check_release_knobs,
     check_rng,
     check_unit_xy_domain,
     check_vector,
@@ -31,8 +33,8 @@ from .._validation import (
 from ..erm.noisy_pgd import NoisyProjectedGradient, noisy_pgd_iterations
 from ..exceptions import DomainViolationError
 from ..geometry.base import ConvexSet
-from ..privacy.hybrid import HybridMechanism
 from ..privacy.parameters import PrivacyParams
+from ..privacy.release import SlidingWindowMechanism, make_release_mechanism
 from .incremental_regression import MOMENT_SENSITIVITY
 from .private_gradient import PrivateGradientFunction
 
@@ -57,6 +59,17 @@ class UnboundedPrivIncReg:
         Run the PGD refresh every ``solve_every`` steps, replaying the
         stale parameter in between (post-processing only; the hybrid
         moment mechanisms advance every step).  1 = per-step refresh.
+    decay:
+        Optional forgetting factor ``γ ∈ (0, 1]``: the hybrid moment
+        mechanisms decay their epoch trees and frozen totals so releases
+        track ``Σ γ^{t−i} υ_i``, and solves size their Lipschitz constant
+        from the effective weight ``(1−γ^t)/(1−γ)``.  Mutually exclusive
+        with ``window``.
+    window:
+        Optional **finite** sliding window ``W``: the moment mechanisms
+        become :class:`~repro.privacy.release.SlidingWindowMechanism`
+        rings, which need no horizon at all — a natural pairing with the
+        unbounded stream.  Mutually exclusive with ``decay``.
     rng:
         Seed or Generator; each hybrid moment mechanism receives an
         independent child generator spawned from it.
@@ -80,6 +93,8 @@ class UnboundedPrivIncReg:
         beta: float = 0.05,
         iteration_cap: int = 400,
         solve_every: int = 1,
+        decay: float | None = None,
+        window: int | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> None:
         self.constraint = constraint
@@ -87,22 +102,29 @@ class UnboundedPrivIncReg:
         self.beta = check_probability("beta", beta)
         self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
         self.solve_every = check_int("solve_every", solve_every, minimum=1)
+        self.decay, self.window = check_release_knobs(decay, window)
         self._rng = check_rng(rng)
         self.dim = constraint.dim
 
         half = params.halve()
         cross_rng, gram_rng = self._rng.spawn(2)
-        self._tree_cross = HybridMechanism(
+        self._tree_cross = make_release_mechanism(
             shape=(self.dim,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=cross_rng,
+            mechanism="hybrid",
+            decay=self.decay,
+            window=self.window,
         )
-        self._tree_gram = HybridMechanism(
+        self._tree_gram = make_release_mechanism(
             shape=(self.dim, self.dim),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=gram_rng,
+            mechanism="hybrid",
+            decay=self.decay,
+            window=self.window,
         )
         self.steps_taken = 0
         self.estimate_version = 0
@@ -138,8 +160,26 @@ class UnboundedPrivIncReg:
         self.steps_taken += 1
         t = self.steps_taken
         if t % self.solve_every == 0:
-            self._solve_at(t, noisy_gram, noisy_cross)
+            self._solve_at(self._logical_t(t), noisy_gram, noisy_cross)
         return self._theta.copy()
+
+    def _logical_t(self, t: int) -> int | float:
+        """Effective sample weight at stream position ``t``.
+
+        ``t`` when plain, the γ-series ``(1−γ^t)/(1−γ)`` under ``decay``,
+        the covered count under ``window`` — pure arithmetic in ``t`` so
+        batched and sequential ingestion size their solves identically.
+        """
+        if self.window is not None:
+            return max(
+                SlidingWindowMechanism.covered_at(
+                    t, self.window, self._tree_cross.chunk
+                ),
+                1,
+            )
+        if self.decay is not None and self.decay != 1.0:
+            return (1.0 - self.decay**t) / (1.0 - self.decay)
+        return t
 
     def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Process a block of points; release ``θ`` after the final one.
@@ -168,7 +208,7 @@ class UnboundedPrivIncReg:
             for t in range(chunk_start + 1, chunk_stop + 1):
                 if t % self.solve_every == 0:
                     idx = t - chunk_start - 1
-                    self._solve_at(t, gram_all[idx], cross_all[idx])
+                    self._solve_at(self._logical_t(t), gram_all[idx], cross_all[idx])
         return self._theta.copy()
 
     @staticmethod
@@ -189,8 +229,10 @@ class UnboundedPrivIncReg:
         edges = [t0] + cuts + [t1]
         return list(zip(edges[:-1], edges[1:]))
 
-    def _solve_at(self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray) -> None:
-        """One PGD refresh against the step-``t`` released moments."""
+    def _solve_at(
+        self, t: float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+    ) -> None:
+        """One PGD refresh against the released moments at logical ``t``."""
         noisy_gram = 0.5 * (noisy_gram + noisy_gram.T)
         alpha = self.gradient_error()
         gradient_fn = PrivateGradientFunction(noisy_gram, noisy_cross, alpha)
@@ -205,7 +247,7 @@ class UnboundedPrivIncReg:
         self.estimate_version += 1
 
     def refresh_from_released(
-        self, t: int, noisy_gram: np.ndarray, noisy_cross: np.ndarray
+        self, t: int | float, noisy_gram: np.ndarray, noisy_cross: np.ndarray
     ) -> np.ndarray:
         """Serve-mode hook: one PGD refresh against external released moments.
 
@@ -214,9 +256,14 @@ class UnboundedPrivIncReg:
         — a :class:`~repro.streaming.serving.ShardedStream` with hybrid
         shards and no declared horizon uses this solver.  Post-processing
         only; bumps ``estimate_version`` and returns the refreshed
-        parameter.
+        parameter.  ``t`` may be a positive float: a front serving
+        weighted (``decay``/``window``) moments passes the mechanisms'
+        effective weight as the logical sample count.
         """
-        t = check_int("t", t, minimum=1)
+        if isinstance(t, (int, np.integer)) and not isinstance(t, bool):
+            t = check_int("t", t, minimum=1)
+        else:
+            t = check_positive("t", t)
         noisy_gram = check_matrix("noisy_gram", noisy_gram, shape=(self.dim, self.dim))
         noisy_cross = check_vector("noisy_cross", noisy_cross, dim=self.dim)
         self._solve_at(t, noisy_gram, noisy_cross)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_int, check_vector, check_xy_block
+from .._validation import check_decay, check_int, check_vector, check_xy_block
 from .losses import Loss
 
 __all__ = ["EmpiricalRisk", "QuadraticRisk"]
@@ -89,14 +89,30 @@ class QuadraticRisk:
     ----------
     dim:
         Covariate dimension ``d``.
+    decay:
+        Optional forgetting factor ``γ ∈ (0, 1]``.  Under ``γ < 1`` the
+        statistics track the γ-weighted moments ``G = Σ γ^{n−i} x_i x_iᵀ``
+        etc. — the same weighting the decayed release mechanisms apply —
+        so the objective stays comparable with what a decayed private
+        estimator consumes.  ``weight`` reports the total element weight
+        ``Σ γ^{n−i}`` (equal to ``n_points`` at γ = 1).
     """
 
-    def __init__(self, dim: int) -> None:
+    def __init__(self, dim: int, decay: float = 1.0) -> None:
         self.dim = check_int("dim", dim, minimum=1)
+        self.decay = check_decay("decay", decay)
         self.gram = np.zeros((dim, dim))
         self.cross = np.zeros(dim)
         self.response_sq = 0.0
         self.n_points = 0
+        self._weight = 0.0
+
+    @property
+    def weight(self) -> float:
+        """Total weight of the absorbed elements (``n_points`` at γ = 1)."""
+        if self.decay == 1.0:
+            return float(self.n_points)
+        return self._weight
 
     @classmethod
     def from_data(cls, xs: np.ndarray, ys: np.ndarray) -> "QuadraticRisk":
@@ -113,6 +129,11 @@ class QuadraticRisk:
     def add_point(self, x: np.ndarray, y: float) -> None:
         """Absorb one ``(x, y)`` pair in ``O(d²)``."""
         x = check_vector("x", x, dim=self.dim)
+        if self.decay != 1.0:
+            self.gram *= self.decay
+            self.cross *= self.decay
+            self.response_sq *= self.decay
+            self._weight = self.decay * self._weight + 1.0
         self.gram += np.outer(x, x)
         self.cross += x * float(y)
         self.response_sq += float(y) * float(y)
@@ -125,12 +146,25 @@ class QuadraticRisk:
         products, so absorbing a block costs one ``O(n·d²)`` matrix product
         instead of ``n`` interpreter round-trips.  Equal to ``n``
         :meth:`add_point` calls up to floating-point summation order.
+        Under ``decay < 1`` the running statistics fade by ``γ^n`` and the
+        block enters with weights ``γ^{n−1−i}`` — one weighted BLAS
+        product, matching the sequential recursion telescoped over the
+        block.
         """
         xs, ys = check_xy_block(xs, ys, dim=self.dim)
-        self.gram += xs.T @ xs
-        self.cross += xs.T @ ys
-        self.response_sq += float(ys @ ys)
-        self.n_points += xs.shape[0]
+        n = xs.shape[0]
+        if self.decay != 1.0:
+            fade = self.decay**n
+            weights = self.decay ** np.arange(n - 1, -1, -1, dtype=float)
+            self.gram = fade * self.gram + (weights[:, None] * xs).T @ xs
+            self.cross = fade * self.cross + (weights * ys) @ xs
+            self.response_sq = fade * self.response_sq + float(weights @ (ys * ys))
+            self._weight = fade * self._weight + float(weights.sum())
+        else:
+            self.gram += xs.T @ xs
+            self.cross += xs.T @ ys
+            self.response_sq += float(ys @ ys)
+        self.n_points += n
 
     def value(self, theta: np.ndarray) -> float:
         """``L(θ) = θᵀGθ − 2⟨b, θ⟩ + Σy²`` (non-negative by construction)."""
@@ -151,9 +185,10 @@ class QuadraticRisk:
 
     def copy(self) -> "QuadraticRisk":
         """An independent snapshot of the current statistics."""
-        clone = QuadraticRisk(self.dim)
+        clone = QuadraticRisk(self.dim, decay=self.decay)
         clone.gram = self.gram.copy()
         clone.cross = self.cross.copy()
         clone.response_sq = self.response_sq
         clone.n_points = self.n_points
+        clone._weight = self._weight
         return clone

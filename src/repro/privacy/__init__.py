@@ -13,6 +13,10 @@ differential-privacy literature:
   for continual private release of vector sums.
 * :mod:`repro.privacy.hybrid` — the Hybrid Mechanism of Chan et al. removing
   the known-horizon assumption.
+* :mod:`repro.privacy.release` — the :class:`ReleaseMechanism` protocol the
+  serving layer programs against, plus the non-stationary members of the
+  family: :class:`DecayedTreeMechanism` (exponential forgetting) and
+  :class:`SlidingWindowMechanism` (hard expiry).
 """
 
 from .parameters import PrivacyParams, shard_budgets, tenant_budgets
@@ -39,6 +43,12 @@ from .tree import (
     tree_levels,
 )
 from .hybrid import HybridMechanism
+from .release import (
+    DecayedTreeMechanism,
+    ReleaseMechanism,
+    SlidingWindowMechanism,
+    make_release_mechanism,
+)
 from .rdp import RdpAccountant, gaussian_rdp, rdp_to_dp
 
 __all__ = [
@@ -62,6 +72,10 @@ __all__ = [
     "tree_error_bound",
     "tree_error_bound_spectral",
     "HybridMechanism",
+    "ReleaseMechanism",
+    "DecayedTreeMechanism",
+    "SlidingWindowMechanism",
+    "make_release_mechanism",
     "RdpAccountant",
     "gaussian_rdp",
     "rdp_to_dp",

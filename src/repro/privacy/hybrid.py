@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._validation import check_positive, check_rng
+from .._validation import check_decay, check_positive, check_rng
 from .parameters import PrivacyParams
 from .tree import (
     TreeMechanism,
@@ -49,6 +49,12 @@ class HybridMechanism:
         composition across disjoint epochs).
     rng:
         Seed or Generator for reproducible noise.
+    decay:
+        Forgetting factor ``γ ∈ (0, 1]``; ``1.0`` (default) is the plain
+        unweighted mechanism.  Under ``γ < 1`` the epoch trees are
+        :class:`~repro.privacy.release.DecayedTreeMechanism` instances and
+        the frozen epochs' totals fade by ``γ`` per subsequent element, so
+        the release tracks ``Σ γ^{t−i} υ_i`` across epoch boundaries.
 
     Examples
     --------
@@ -66,10 +72,12 @@ class HybridMechanism:
         l2_sensitivity: float,
         params: PrivacyParams,
         rng: np.random.Generator | int | None = None,
+        decay: float = 1.0,
     ) -> None:
         self.shape = tuple(int(s) for s in shape)
         self.l2_sensitivity = check_positive("l2_sensitivity", l2_sensitivity)
         self.params = params
+        self.decay = check_decay("decay", decay)
         self._rng = check_rng(rng)
         self._flat_dim = int(np.prod(self.shape)) if self.shape else 1
         self.steps_taken = 0
@@ -81,6 +89,19 @@ class HybridMechanism:
 
     def _new_tree(self) -> TreeMechanism:
         horizon = 2**self._epoch_index
+        if self.decay != 1.0:
+            # Imported here to avoid a module cycle (release.py imports
+            # this module's class from its factory).
+            from .release import DecayedTreeMechanism
+
+            return DecayedTreeMechanism(
+                horizon=horizon,
+                shape=self.shape,
+                l2_sensitivity=self.l2_sensitivity,
+                params=self.params,
+                rng=self._rng,
+                decay=self.decay,
+            )
         return TreeMechanism(
             horizon=horizon,
             shape=self.shape,
@@ -88,6 +109,14 @@ class HybridMechanism:
             params=self.params,
             rng=self._rng,
         )
+
+    def _frozen_fade(self) -> float:
+        """``γ^e`` for ``e`` elements ingested since the last epoch roll.
+
+        The frozen epochs' total is decayed *to the roll time*; reading it
+        at the current step fades it by the live epoch's elapsed length.
+        """
+        return self.decay**self._current_tree.steps_taken
 
     def observe(self, value: np.ndarray | float) -> np.ndarray:
         """Ingest the next element; return the noisy prefix sum over all epochs.
@@ -102,7 +131,11 @@ class HybridMechanism:
         array = coerce_stream_element(value, self.shape)
         if self._current_tree.steps_taken >= self._current_tree.horizon:
             self._roll_epoch()
-        release = self._frozen_total + self._current_tree.observe(array)
+        tree_release = self._current_tree.observe(array)
+        if self.decay == 1.0:
+            release = self._frozen_total + tree_release
+        else:
+            release = self._frozen_fade() * self._frozen_total + tree_release
         self.steps_taken += 1
         return release
 
@@ -127,9 +160,18 @@ class HybridMechanism:
                 self._roll_epoch()
             capacity = self._current_tree.horizon - self._current_tree.steps_taken
             stop = min(start + capacity, k)
-            pieces.append(
-                self._frozen_total + self._current_tree.observe_batch(array[start:stop])
-            )
+            elapsed0 = self._current_tree.steps_taken
+            piece = self._current_tree.observe_batch(array[start:stop])
+            if self.decay == 1.0:
+                pieces.append(self._frozen_total + piece)
+            else:
+                # Each row fades the frozen epochs by its own elapsed
+                # length inside the live epoch.
+                fades = self.decay ** np.arange(
+                    elapsed0 + 1, elapsed0 + (stop - start) + 1, dtype=float
+                )
+                fades = fades.reshape((stop - start,) + (1,) * len(self.shape))
+                pieces.append(fades * self._frozen_total + piece)
             start = stop
         self.steps_taken += k
         return np.concatenate(pieces, axis=0)
@@ -153,24 +195,41 @@ class HybridMechanism:
                 self._roll_epoch()
             capacity = self._current_tree.horizon - self._current_tree.steps_taken
             stop = min(start + capacity, k)
-            release = self._frozen_total + self._current_tree.advance_batch(
-                array[start:stop]
-            )
+            tree_release = self._current_tree.advance_batch(array[start:stop])
+            if self.decay == 1.0:
+                release = self._frozen_total + tree_release
+            else:
+                release = self._frozen_fade() * self._frozen_total + tree_release
             start = stop
         self.steps_taken += k
         return release
 
     def _roll_epoch(self) -> None:
         """Freeze the finished epoch's final noisy total and double."""
-        self._frozen_total = self._frozen_total + self._current_tree.current_sum()
-        self._frozen_noise_variance += self._current_tree.release_noise_variance()
+        if self.decay == 1.0:
+            self._frozen_total = self._frozen_total + self._current_tree.current_sum()
+            self._frozen_noise_variance += self._current_tree.release_noise_variance()
+        else:
+            # The previous frozen total was decayed to the *previous* roll;
+            # fade it across the epoch that just finished before folding in
+            # that epoch's (already internally decayed) final total.
+            fade = self._frozen_fade()
+            self._frozen_total = (
+                fade * self._frozen_total + self._current_tree.current_sum()
+            )
+            self._frozen_noise_variance = (
+                fade * fade * self._frozen_noise_variance
+                + self._current_tree.release_noise_variance()
+            )
         self._completed_epochs += 1
         self._epoch_index += 1
         self._current_tree = self._new_tree()
 
     def current_sum(self) -> np.ndarray:
         """The most recent noisy prefix sum (post-processing, free)."""
-        return self._frozen_total + self._current_tree.current_sum()
+        if self.decay == 1.0:
+            return self._frozen_total + self._current_tree.current_sum()
+        return self._frozen_fade() * self._frozen_total + self._current_tree.current_sum()
 
     def release_noise_variance(self) -> float:
         """Per-coordinate noise variance of the current release.
@@ -180,8 +239,27 @@ class HybridMechanism:
         tree's ``popcount(t) · σ²_node`` term — all independent Gaussians,
         so variances add.  The per-shard term of
         :func:`~repro.privacy.tree.merge_released`'s variance accounting.
+        Under ``decay < 1`` the frozen epochs' term fades by ``γ^{2e}``
+        with the live epoch's elapsed length ``e`` (noise scaled by ``c``
+        has variance scaled by ``c²``).
         """
-        return self._frozen_noise_variance + self._current_tree.release_noise_variance()
+        if self.decay == 1.0:
+            return (
+                self._frozen_noise_variance
+                + self._current_tree.release_noise_variance()
+            )
+        fade = self._frozen_fade()
+        return (
+            fade * fade * self._frozen_noise_variance
+            + self._current_tree.release_noise_variance()
+        )
+
+    @property
+    def effective_weight(self) -> float:
+        """Total weight of the current sum (``Σ γ^{t−i}``; ``t`` at γ=1)."""
+        if self.decay == 1.0:
+            return float(self.steps_taken)
+        return (1.0 - self.decay**self.steps_taken) / (1.0 - self.decay)
 
     def released_moments(self):
         """Snapshot the current release as a picklable ``ReleasedMoments``.

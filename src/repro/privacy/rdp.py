@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from .._validation import check_positive, check_probability
 from .parameters import PrivacyParams

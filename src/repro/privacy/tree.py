@@ -559,6 +559,19 @@ class TreeMechanism:
         """
         return int(self.steps_taken).bit_count() * self.sigma_node**2
 
+    @property
+    def effective_weight(self) -> float:
+        """Total weight of the elements in the current sum.
+
+        For the plain (unweighted) tree every ingested element carries
+        weight 1, so this equals ``steps_taken``.  Decayed and windowed
+        mechanisms override it — ``Σ γ^{t−i}`` and the covered window
+        count respectively — and it is what the estimators use as the
+        logical ``t`` when consuming weighted moments
+        (``refresh_from_released``).
+        """
+        return float(self.steps_taken)
+
     def released_moments(self) -> "ReleasedMoments":
         """Snapshot the current release as a picklable :class:`ReleasedMoments`.
 
@@ -650,12 +663,19 @@ class ReleasedMoments:
     noise_variance: float
     steps: int
     shape: tuple[int, ...]
+    #: Effective weight of the snapshotted sum (``Σ γ^{t−i}`` for decayed
+    #: mechanisms, the covered count for windowed ones).  ``None`` means
+    #: "unweighted" — the weight equals ``steps`` — which keeps snapshots
+    #: of plain mechanisms byte-identical to the pre-weight wire format.
+    weight: float | None = None
 
     def __post_init__(self) -> None:
         frozen = np.array(self.value, dtype=float)
         frozen.setflags(write=False)
         object.__setattr__(self, "value", frozen)
         object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        if self.weight is not None:
+            object.__setattr__(self, "weight", float(self.weight))
         if frozen.shape != self.shape:
             raise ValidationError(
                 f"released value has shape {frozen.shape}, expected {self.shape}"
@@ -671,6 +691,7 @@ class ReleasedMoments:
             self.shape == other.shape
             and self.steps == other.steps
             and self.noise_variance == other.noise_variance
+            and self.effective_weight == other.effective_weight
             and np.array_equal(self.value, other.value)
         )
 
@@ -687,6 +708,11 @@ class ReleasedMoments:
         """Steps the snapshotted mechanism had ingested (mechanism surface)."""
         return int(self.steps)
 
+    @property
+    def effective_weight(self) -> float:
+        """Total weight of the snapshotted sum (mechanism surface)."""
+        return float(self.steps) if self.weight is None else float(self.weight)
+
     def current_sum(self) -> np.ndarray:
         """The snapshotted release (mechanism surface; post-processing)."""
         return self.value
@@ -698,11 +724,16 @@ class ReleasedMoments:
 
 def _snapshot_released(mechanism) -> ReleasedMoments:
     """Snapshot any mechanism exposing the merge read surface."""
+    steps = int(mechanism.steps_taken)
+    weight = float(getattr(mechanism, "effective_weight", steps))
     return ReleasedMoments(
         value=np.array(mechanism.current_sum(), dtype=float),
         noise_variance=float(mechanism.release_noise_variance()),
-        steps=int(mechanism.steps_taken),
+        steps=steps,
         shape=tuple(mechanism.shape),
+        # Canonicalize the unweighted case to None so plain mechanisms'
+        # snapshots stay identical to the pre-weight wire format.
+        weight=None if weight == float(steps) else weight,
     )
 
 
@@ -737,11 +768,26 @@ class MergedRelease:
     noise_variance: float
     coverage: tuple[int, ...]
     missing: tuple[int, ...]
+    #: Summed effective weight of the contributing releases (``None`` when
+    #: every contributor was unweighted, i.e. weight = coverage).
+    weight: float | None = None
 
     @property
     def covered_steps(self) -> int:
         """Total stream elements the merged statistic actually covers."""
         return int(sum(self.coverage))
+
+    @property
+    def covered_weight(self) -> float:
+        """Total effective weight of the merged statistic.
+
+        Equals :attr:`covered_steps` for unweighted (plain) mechanisms;
+        for decayed/windowed shards it is the sum of the contributors'
+        ``effective_weight`` terms — the logical ``t`` the estimators'
+        ``refresh_from_released`` must consume so the variance ledger and
+        the Lipschitz scaling stay correct for γ-weighted moments.
+        """
+        return float(sum(self.coverage)) if self.weight is None else float(self.weight)
 
 
 def merge_released(
@@ -813,14 +859,21 @@ def merge_released(
     value: np.ndarray | None = None
     noise_variance = 0.0
     coverage = [0] * len(mechs)
+    weight_total = 0.0
     for i, mech in live:
         release = np.asarray(mech.current_sum(), dtype=float)
         value = release.copy() if value is None else value + release
         noise_variance += mech.release_noise_variance()
-        coverage[i] = int(mech.steps_taken)
+        steps = int(mech.steps_taken)
+        coverage[i] = steps
+        weight_total += float(getattr(mech, "effective_weight", steps))
+    covered = sum(coverage)
     return MergedRelease(
         value=value,
         noise_variance=float(noise_variance),
         coverage=tuple(coverage),
         missing=missing,
+        # Canonicalized like ReleasedMoments.weight: None when every
+        # contributor was unweighted.
+        weight=None if weight_total == float(covered) else weight_total,
     )

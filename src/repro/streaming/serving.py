@@ -100,6 +100,7 @@ acknowledged mass lands in ``lost_steps``.
 
 from __future__ import annotations
 
+import math
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -108,7 +109,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import (
+    check_decay,
     check_int,
+    check_release_knobs,
     check_rng,
     check_unit_xy_domain,
     check_vector,
@@ -130,9 +133,9 @@ from ..exceptions import (
 )
 from ..geometry.base import ConvexSet, PointSet
 from ..privacy.accountant import PrivacyAccountant
-from ..privacy.hybrid import HybridMechanism
 from ..privacy.parameters import PrivacyParams, shard_budgets, tenant_budgets
-from ..privacy.tree import MergedRelease, TreeMechanism, merge_released
+from ..privacy.release import make_release_mechanism
+from ..privacy.tree import MergedRelease, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
 from .metrics import ReadStats
 from .readers import EstimateHub, ReaderHandle, Subscription
@@ -153,6 +156,26 @@ __all__ = [
 ]
 
 _CLOSE = object()  # queue sentinel
+
+
+def _check_decay_groups(decays) -> tuple[float, ...]:
+    """Validate a declared tuple of shared-Gram γ groups (PRIMO serving).
+
+    ``None`` means the single plain group ``(1.0,)``.  Each entry must be
+    a valid forgetting factor (``γ ∈ (0, 1]``) and the entries must be
+    distinct — one shared Gram mechanism is built per group, so a repeat
+    would silently spend gram budget twice on the same weighting.
+    """
+    if decays is None:
+        return (1.0,)
+    groups = tuple(
+        check_decay(f"decays[{i}]", g) for i, g in enumerate(decays)
+    )
+    if not groups:
+        raise ValidationError("decays must declare at least one γ group")
+    if len(set(groups)) != len(groups):
+        raise ValidationError(f"decays entries must be distinct, got {groups!r}")
+    return groups
 
 
 @dataclass(frozen=True)
@@ -425,6 +448,8 @@ class MomentShard:
         mechanism: str = "tree",
         shard_horizon: int | None = None,
         moment_dim: int | None = None,
+        decay: float | None = None,
+        window: int | float | None = None,
     ) -> None:
         self.index = index
         self.dim = dim
@@ -432,6 +457,7 @@ class MomentShard:
         self.budget = budget
         self.mechanism = mechanism
         self.shard_horizon = shard_horizon
+        self.decay, self.window = check_release_knobs(decay, window)
         self.steps = 0
         self.alive = True
         #: Set once the front has credited this worker's ingested mass to
@@ -439,34 +465,31 @@ class MomentShard:
         self.lost_accounted = False
         half = budget.halve()
         m = self.moment_dim
-        if mechanism == "tree":
-            self.cross = TreeMechanism(
-                horizon=shard_horizon,
-                shape=(m,),
-                l2_sensitivity=MOMENT_SENSITIVITY,
-                params=half,
-                rng=cross_rng,
-            )
-            self.gram = TreeMechanism(
-                horizon=shard_horizon,
-                shape=(m, m),
-                l2_sensitivity=MOMENT_SENSITIVITY,
-                params=half,
-                rng=gram_rng,
-            )
-        else:
-            self.cross = HybridMechanism(
-                shape=(m,),
-                l2_sensitivity=MOMENT_SENSITIVITY,
-                params=half,
-                rng=cross_rng,
-            )
-            self.gram = HybridMechanism(
-                shape=(m, m),
-                l2_sensitivity=MOMENT_SENSITIVITY,
-                params=half,
-                rng=gram_rng,
-            )
+        # One factory call per moment stream: ``mechanism``/``decay``/
+        # ``window`` select among Tree, Hybrid, DecayedTree, and
+        # SlidingWindow implementations of the ReleaseMechanism protocol,
+        # with the plain configurations bit-identical to the historical
+        # inline construction (same ctor arguments, same rng).
+        self.cross = make_release_mechanism(
+            shape=(m,),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=half,
+            rng=cross_rng,
+            mechanism=mechanism,
+            horizon=shard_horizon,
+            decay=self.decay,
+            window=self.window,
+        )
+        self.gram = make_release_mechanism(
+            shape=(m, m),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=half,
+            rng=gram_rng,
+            mechanism=mechanism,
+            horizon=shard_horizon,
+            decay=self.decay,
+            window=self.window,
+        )
 
     def _transform(self, xs: np.ndarray) -> np.ndarray:
         """Rows the moment streams are built from (identity for Alg. 2)."""
@@ -486,9 +509,17 @@ class MomentShard:
         k = rows.shape[0]
         if fast:
             # One BLAS product per moment; trees draw only surviving-node
-            # noise (distributional tier).
-            cross_total = ys @ rows
-            gram_total = rows.T @ rows
+            # noise (distributional tier).  Under ``decay`` the block
+            # total is γ-weighted — ``advance_sum``'s contract is
+            # ``Σ γ^{k−1−i} v_i`` so the mechanism's internal fold
+            # ``γ^k·prefix + total`` reproduces the sequential recursion.
+            if self.decay is not None and self.decay != 1.0:
+                weights = self.decay ** np.arange(k - 1, -1, -1, dtype=float)
+                cross_total = (weights * ys) @ rows
+                gram_total = (weights[:, None] * rows).T @ rows
+            else:
+                cross_total = ys @ rows
+                gram_total = rows.T @ rows
             self.cross.advance_sum(cross_total, k)
             self.gram.advance_sum(gram_total, k)
         else:
@@ -562,6 +593,8 @@ class ProjectedMomentShard(MomentShard):
         projection,
         mechanism: str = "tree",
         shard_horizon: int | None = None,
+        decay: float | None = None,
+        window: int | float | None = None,
     ) -> None:
         super().__init__(
             index=index,
@@ -572,6 +605,8 @@ class ProjectedMomentShard(MomentShard):
             mechanism=mechanism,
             shard_horizon=shard_horizon,
             moment_dim=projection.projected_dim,
+            decay=decay,
+            window=window,
         )
         self.projection = projection
 
@@ -620,6 +655,8 @@ class TenantShard:
         tenant_capacity: int | None = None,
         mechanism: str = "tree",
         shard_horizon: int | None = None,
+        decays: "tuple[float, ...] | None" = None,
+        tenant_decays: "tuple[float, ...] | None" = None,
     ) -> None:
         if mechanism != "tree":
             raise ValidationError(
@@ -637,6 +674,22 @@ class TenantShard:
                 f"need one rng per tenant: {len(names)} tenants, "
                 f"{len(tenant_rngs)} rngs"
             )
+        self.decays = _check_decay_groups(decays)
+        if tenant_decays is None:
+            tenant_decays = tuple(self.decays[0] for _ in names)
+        tenant_decays = tuple(float(g) for g in tenant_decays)
+        if len(tenant_decays) != len(names):
+            raise ValidationError(
+                f"need one decay per tenant: {len(names)} tenants, "
+                f"{len(tenant_decays)} tenant_decays"
+            )
+        for g in tenant_decays:
+            if g not in self.decays:
+                raise ValidationError(
+                    f"tenant_decays entry {g!r} is not a declared γ group "
+                    f"(decays={self.decays!r}); the shared Gram stream is "
+                    f"privatized once per declared group"
+                )
         self.index = index
         self.dim = dim
         self.moment_dim = dim
@@ -654,32 +707,78 @@ class TenantShard:
         gram_budget, slot_budgets = tenant_budgets(budget, self.tenant_capacity)
         #: Every slot carries the same budget; keep one for later adds.
         self._slot_budget = slot_budgets[0]
-        # Cross trees first, then the Gram tree — the same construction
+        #: Tenant → γ group assignment (merges pick the matching Gram).
+        self.tenant_decay: dict[str, float] = dict(zip(names, tenant_decays))
+        # Cross trees first, then the Gram trees — the same construction
         # order as MomentShard.  Insertion order of this dict is the
         # tenant order every merge indexes by.
-        self.cross: dict[str, TreeMechanism] = {}
+        self.cross: dict[str, object] = {}
         for name, rng in zip(names, tenant_rngs):
-            self.cross[name] = TreeMechanism(
-                horizon=shard_horizon,
-                shape=(dim,),
-                l2_sensitivity=MOMENT_SENSITIVITY,
-                params=self._slot_budget,
-                rng=rng,
+            self.cross[name] = self._make_tree(
+                (dim,), self._slot_budget, rng, self.tenant_decay[name]
             )
-        self.gram = TreeMechanism(
-            horizon=shard_horizon,
-            shape=(dim, dim),
-            l2_sensitivity=MOMENT_SENSITIVITY,
-            params=gram_budget,
-            rng=gram_rng,
+        # One shared Gram mechanism per declared γ group, each at an equal
+        # split of the gram half (every element enters every group, so the
+        # groups compose sequentially — split(1) leaves the single plain
+        # group at the historical budget bit-exactly).  Group 0 consumes
+        # ``gram_rng`` itself — the exact generator the single-group shard
+        # uses — and later groups consume its spawned siblings (spawning
+        # advances the spawn counter, never the bit stream).
+        group_budgets = gram_budget.split(len(self.decays))
+        extra_rngs = (
+            tuple(gram_rng.spawn(len(self.decays) - 1))
+            if len(self.decays) > 1
+            else ()
         )
+        group_rngs = (gram_rng,) + extra_rngs
+        self.grams: dict[float, object] = {}
+        for g, g_budget, g_rng in zip(self.decays, group_budgets, group_rngs):
+            self.grams[g] = self._make_tree((dim, dim), g_budget, g_rng, g)
+
+    def _make_tree(self, shape, params, rng, decay: float):
+        """One tree-family release mechanism, γ-decayed when ``decay < 1``.
+
+        ``decay == 1.0`` builds the plain :class:`TreeMechanism` (not a
+        γ=1 decayed wrapper), so single-group shards stay type- and
+        bit-identical to the historical construction.
+        """
+        return make_release_mechanism(
+            shape=shape,
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=params,
+            rng=rng,
+            mechanism="tree",
+            horizon=self.shard_horizon,
+            decay=None if decay == 1.0 else decay,
+        )
+
+    @property
+    def gram(self):
+        """The primary (group-0) shared Gram mechanism, or ``None`` if killed.
+
+        Kept for diagnostics and the single-group conformance suites;
+        merges index :meth:`released`'s per-group tuple instead.
+        """
+        if self.grams is None:
+            return None
+        return self.grams[self.decays[0]]
 
     def tenants(self) -> tuple[str, ...]:
         """Active tenant names, in the order merges index them."""
         return tuple(self.cross)
 
-    def add_tenant(self, name: str, rng: np.random.Generator) -> None:
-        """Occupy a free capacity slot with a fresh cross tree for ``name``."""
+    def add_tenant(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        decay: float | None = None,
+    ) -> None:
+        """Occupy a free capacity slot with a fresh cross tree for ``name``.
+
+        ``decay`` assigns the tenant to one of the shard's declared γ
+        groups (default: the primary group); its cross tree uses the same
+        weighting, so the tenant's merged moments stay consistent.
+        """
         name = str(name)
         if name in self.cross:
             raise ValidationError(f"tenant {name!r} already exists")
@@ -689,19 +788,22 @@ class TenantShard:
                 f"remove a tenant before adding {name!r} (the slot budgets "
                 f"are what keep the per-element loss within the total)"
             )
-        self.cross[name] = TreeMechanism(
-            horizon=self.shard_horizon,
-            shape=(self.dim,),
-            l2_sensitivity=MOMENT_SENSITIVITY,
-            params=self._slot_budget,
-            rng=rng,
-        )
+        g = self.decays[0] if decay is None else float(decay)
+        if g not in self.decays:
+            raise ValidationError(
+                f"decay {g!r} is not a declared γ group "
+                f"(decays={self.decays!r}); groups are fixed at "
+                f"construction — the gram budget was split across them"
+            )
+        self.tenant_decay[name] = g
+        self.cross[name] = self._make_tree((self.dim,), self._slot_budget, rng, g)
 
     def remove_tenant(self, name: str) -> None:
         """Retire ``name``'s cross tree, freeing its capacity slot."""
         if str(name) not in self.cross:
             raise ValidationError(f"unknown tenant {name!r}")
         del self.cross[str(name)]
+        del self.tenant_decay[str(name)]
 
     def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
         """Feed a routed block: the Gram tree once, each tenant's cross once.
@@ -727,44 +829,66 @@ class TenantShard:
             )
         k = xs.shape[0]
         if fast:
-            gram_total = xs.T @ xs
-            cross_totals = [Y[:, j] @ xs for j in range(Y.shape[1])]
-            self.gram.advance_sum(gram_total, k)
+            # γ-weighted block totals per group — the decayed
+            # ``advance_sum`` contract; γ = 1 keeps the plain one-product
+            # totals bit-exactly.
+            weights = {
+                g: g ** np.arange(k - 1, -1, -1, dtype=float)
+                for g in self.decays
+                if g != 1.0
+            }
+            gram_totals = []
+            for g in self.decays:
+                if g == 1.0:
+                    gram_totals.append(xs.T @ xs)
+                else:
+                    gram_totals.append((weights[g][:, None] * xs).T @ xs)
+            cross_totals = []
+            for j, name in enumerate(self.cross):
+                g = self.tenant_decay[name]
+                col = Y[:, j] if g == 1.0 else weights[g] * Y[:, j]
+                cross_totals.append(col @ xs)
+            for mechanism, total in zip(self.grams.values(), gram_totals):
+                mechanism.advance_sum(total, k)
             for mechanism, total in zip(self.cross.values(), cross_totals):
                 mechanism.advance_sum(total, k)
         else:
+            # The decayed mechanisms fade internally, so every γ group
+            # (and every tenant tree) ingests the same raw moment values.
             gram_values = xs[:, :, None] * xs[:, None, :]
             cross_values = [Y[:, j, None] * xs for j in range(Y.shape[1])]
-            self.gram.advance_batch(gram_values)
+            for mechanism in self.grams.values():
+                mechanism.advance_batch(gram_values)
             for mechanism, values in zip(self.cross.values(), cross_values):
                 mechanism.advance_batch(values)
         self.steps += k
 
     def released(self):
-        """The (per-tenant cross tuple, gram) merge handles.
+        """The (per-tenant cross tuple, per-group gram tuple) merge handles.
 
-        Same seam as :meth:`MomentShard.released`, with the cross slot
-        widened to a tuple — one handle per active tenant, in
-        :meth:`tenants` order.  The process transport snapshots each
-        element as a :class:`~repro.privacy.tree.ReleasedMoments`, so the
-        wire format is unchanged: the same snapshots, just ``k`` of them.
+        Same seam as :meth:`MomentShard.released`, with both slots widened
+        to tuples — one cross handle per active tenant in :meth:`tenants`
+        order, one Gram handle per declared γ group in ``decays`` order.
+        The process transport snapshots each element as a
+        :class:`~repro.privacy.tree.ReleasedMoments`, so the wire format
+        is unchanged: the same snapshots, just ``k`` (and ``G``) of them.
         """
-        return tuple(self.cross.values()), self.gram
+        return tuple(self.cross.values()), tuple(self.grams.values())
 
     def memory_floats(self) -> int:
-        """Floats held by the shard: ``O((d² + k·d) log T)`` — the PRIMO
+        """Floats held by the shard: ``O((G·d² + k·d) log T)`` — the PRIMO
         economy, vs ``k·O(d² log T)`` for ``k`` independent shards."""
         if not self.alive:
             return 0
-        return self.gram.memory_floats() + sum(
-            mechanism.memory_floats() for mechanism in self.cross.values()
-        )
+        return sum(
+            mechanism.memory_floats() for mechanism in self.grams.values()
+        ) + sum(mechanism.memory_floats() for mechanism in self.cross.values())
 
     def kill(self) -> None:
         """Drop the mechanisms; the shard's ingested mass is lost."""
         self.alive = False
         self.cross = None
-        self.gram = None
+        self.grams = None
 
     def shutdown(self) -> None:
         """Transport-uniform teardown hook (nothing to release in-process)."""
@@ -804,6 +928,24 @@ class ShardedStream:
         tier, tree shards only) — see the module docstring.
     mechanism:
         ``"tree"`` (known horizon) or ``"hybrid"`` (horizon-free shards).
+    decay:
+        Optional forgetting factor ``γ ∈ (0, 1]``: every shard's moment
+        mechanisms become γ-decayed (tree or hybrid), releases track
+        ``Σ γ^{t−i} υ_i``, and refreshes pass the merged effective weight
+        ``(1−γ^t)/(1−γ)`` to the solver — recent points dominate the
+        served estimate on drifting streams.  ``γ = 1`` is bit-identical
+        to the plain front.  Mutually exclusive with ``window``; works
+        with both ingest tiers (the fast tier computes γ-weighted block
+        totals with one weighted BLAS product).
+    window:
+        Optional sliding window ``W``: shard mechanisms become chunked
+        :class:`~repro.privacy.release.SlidingWindowMechanism` rings that
+        hard-expire elements older than ``W`` steps.  Finite windows are
+        horizon-free (pair with ``mechanism="hybrid"`` for unbounded
+        recency serving) but need ``ingest="exact"`` — pre-reduced fast
+        totals cannot be split at expiry boundaries.  ``window=inf`` is
+        the degenerate never-expiring ring, bit-identical to the plain
+        tree front.  Mutually exclusive with ``decay``.
     composition:
         Budget mode for :func:`~repro.privacy.parameters.shard_budgets`:
         ``"parallel"`` (default — disjoint routing, full budget per shard)
@@ -927,6 +1069,8 @@ class ShardedStream:
         refresh_every: int | None = None,
         ingest: str = "exact",
         mechanism: str = "tree",
+        decay: float | None = None,
+        window: int | float | None = None,
         composition: str = "parallel",
         router: "str | callable" = "round_robin",
         mode: str = "sync",
@@ -1017,6 +1161,19 @@ class ShardedStream:
                 "ingest='fast' needs tree shards (advance_sum is a "
                 "TreeMechanism serving path)"
             )
+        decay, window = check_release_knobs(decay, window)
+        if window is not None and math.isinf(window) and mechanism != "tree":
+            raise ValidationError(
+                "window=inf is the degenerate never-expiring window (one "
+                "tree over the full stream): it needs mechanism='tree' and "
+                "a horizon"
+            )
+        if window is not None and not math.isinf(window) and ingest == "fast":
+            raise ValidationError(
+                "ingest='fast' cannot serve a finite window: the "
+                "pre-reduced block totals advance_sum consumes cannot be "
+                "split at chunk expiry boundaries; use ingest='exact'"
+            )
         if mechanism == "tree" and horizon is None:
             raise ValidationError(
                 "mechanism='tree' needs a horizon (use mechanism='hybrid' "
@@ -1052,6 +1209,8 @@ class ShardedStream:
         )
         self.ingest = ingest
         self.mechanism = mechanism
+        self.decay = decay
+        self.window = window
         self.composition = composition
         self.mode = mode
         self.transport = transport
@@ -1251,6 +1410,8 @@ class ShardedStream:
                 shard_horizon=self.shard_horizon,
                 backend=self.backend,
                 projection=self.projection,
+                decay=self.decay,
+                window=self.window,
             )
             if self.transport == "tcp":
                 return TcpShardWorker(
@@ -1271,6 +1432,8 @@ class ShardedStream:
                 projection=self.projection,
                 mechanism=self.mechanism,
                 shard_horizon=self.shard_horizon,
+                decay=self.decay,
+                window=self.window,
             )
         return MomentShard(
             index=index,
@@ -1280,6 +1443,8 @@ class ShardedStream:
             gram_rng=gram_rng,
             mechanism=self.mechanism,
             shard_horizon=self.shard_horizon,
+            decay=self.decay,
+            window=self.window,
         )
 
     def _group_pool(self) -> ThreadPoolExecutor:
@@ -2043,7 +2208,15 @@ class ShardedStream:
             # is no objective to solve; the previous estimate stands.
             self._last_refresh_t = self._processed
             return
-        theta = self.solver.refresh_from_released(covered, gram.value, cross.value)
+        # Decayed / windowed shards cover an *effective weight* different
+        # from their raw step count — that weight is the logical sample
+        # count the solver must size its Lipschitz constant from.  Plain
+        # shards report weight == covered exactly (float vs int compares
+        # exact for counts), so the historical integer path — and its
+        # bit-identical solves — is preserved.
+        weight = cross.covered_weight
+        t_solve = weight if weight != covered else covered
+        theta = self.solver.refresh_from_released(t_solve, gram.value, cross.value)
         self._hub.publish(
             theta,
             self.solver.estimate_version,

@@ -69,7 +69,7 @@ from ..privacy.accountant import PrivacyAccountant
 from ..privacy.parameters import PrivacyParams, tenant_budgets
 from ..privacy.tree import MergedRelease, merge_released
 from .readers import EstimateHub, ReaderHandle, Subscription
-from .serving import ServedEstimate, TenantShard
+from .serving import ServedEstimate, TenantShard, _check_decay_groups
 from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
 from .transport import ProcessShardWorker, ShardSpec
 
@@ -181,6 +181,20 @@ class MultiTenantStream:
         cross trees), not a sizing hint.  Leave headroom only if tenants
         will be added at runtime; a larger capacity means a smaller
         per-tenant slot budget.
+    decays:
+        Declared γ groups for the shared Gram stream, default ``(1.0,)``
+        (the plain group only).  Every element enters every group's Gram
+        mechanism, so the gram half of the budget is split evenly across
+        the groups (sequential composition) — declare only the γ values
+        actually served.  Fixed for the stream's lifetime, like
+        ``tenant_capacity``.
+    tenant_decays:
+        Per-tenant γ assignment for the *initial* tenants, aligned with
+        ``tenants``; each entry must be a declared group.  ``None``
+        assigns every tenant to ``decays[0]``.  A tenant's cross trees
+        use its γ too, so its merged moments are consistently weighted;
+        later :meth:`add_tenant` calls pick a group via their ``decay``
+        argument.
     refresh_every:
         Merge + solve whenever the processed count crosses a multiple of
         this (and at the horizon); ``None`` refreshes every block.
@@ -229,6 +243,8 @@ class MultiTenantStream:
         *,
         horizon: int | None = None,
         tenant_capacity: int | None = None,
+        decays: "tuple[float, ...] | None" = None,
+        tenant_decays=None,
         refresh_every: int | None = None,
         ingest: str = "exact",
         transport: str = "thread",
@@ -279,6 +295,21 @@ class MultiTenantStream:
             raise ValidationError(f"tenant names must be unique, got {names!r}")
         if any(not name for name in names):
             raise ValidationError("tenant names must be non-empty")
+        self.decays = _check_decay_groups(decays)
+        if tenant_decays is None:
+            tenant_decays = tuple(self.decays[0] for _ in names)
+        tenant_decays = tuple(float(g) for g in tenant_decays)
+        if len(tenant_decays) != len(names):
+            raise ValidationError(
+                f"need one decay per tenant: {len(names)} tenants, "
+                f"{len(tenant_decays)} tenant_decays"
+            )
+        for g in tenant_decays:
+            if g not in self.decays:
+                raise ValidationError(
+                    f"tenant_decays entry {g!r} is not a declared γ group "
+                    f"(decays={self.decays!r})"
+                )
 
         self.constraint = constraint
         self.params = params
@@ -325,6 +356,8 @@ class MultiTenantStream:
         # at; the gram half is spent once, jointly, independent of k.
         gram_budget, slot_budgets = tenant_budgets(params, self.tenant_capacity)
         self._slot_budget = slot_budgets[0]
+        #: Tenant → γ group (refreshes solve against the matching Gram).
+        self._tenant_decays: dict[str, float] = dict(zip(names, tenant_decays))
 
         k = len(names)
         children = self._rng.spawn(2 * self.shards_count)
@@ -339,7 +372,13 @@ class MultiTenantStream:
                 base = children[2 * i]
                 extras = tuple(base.spawn(k - 1)) if k > 1 else ()
                 shard_list.append(
-                    self._make_shard(i, (base,) + extras, children[2 * i + 1], names)
+                    self._make_shard(
+                        i,
+                        (base,) + extras,
+                        children[2 * i + 1],
+                        names,
+                        tenant_decays,
+                    )
                 )
         except BaseException:
             for shard in shard_list:
@@ -378,7 +417,7 @@ class MultiTenantStream:
     # Construction helpers
     # ------------------------------------------------------------------
 
-    def _make_shard(self, index, tenant_rngs, gram_rng, names):
+    def _make_shard(self, index, tenant_rngs, gram_rng, names, tenant_decays):
         """One tenant shard on the configured transport (full budget each)."""
         if self.transport in ("process", "tcp"):
             spec = ShardSpec(
@@ -392,6 +431,8 @@ class MultiTenantStream:
                 tenants=tuple(names),
                 tenant_rngs=tuple(tenant_rngs),
                 tenant_capacity=self.tenant_capacity,
+                decays=self.decays,
+                tenant_decays=tuple(tenant_decays),
             )
             if self.transport == "tcp":
                 return TcpShardWorker(
@@ -411,6 +452,8 @@ class MultiTenantStream:
             tenants=names,
             tenant_capacity=self.tenant_capacity,
             shard_horizon=self.shard_horizon,
+            decays=self.decays,
+            tenant_decays=tuple(tenant_decays),
         )
 
     def _attach_tenant_state(self, name: str) -> None:
@@ -450,19 +493,28 @@ class MultiTenantStream:
         except KeyError:
             raise ValidationError(f"unknown tenant {name!r}") from None
 
-    def add_tenant(self, name: str) -> TenantView:
+    def add_tenant(self, name: str, decay: float | None = None) -> TenantView:
         """Attach a new tenant to a free capacity slot, mid-stream.
 
         The new tenant's cross trees start empty: its estimates cover
         only elements observed after the add (the merge rescales the
-        shared Gram to the tenant's own coverage).  Charges the tenant's
-        slot on the ledger; raises
+        shared Gram to the tenant's own coverage).  ``decay`` assigns the
+        tenant to one of the stream's declared γ groups (default: the
+        primary group); groups are fixed at construction.  Charges the
+        tenant's slot on the ledger; raises
         :class:`~repro.exceptions.PrivacyBudgetError` when every slot is
         occupied — capacity is a privacy bound, not a sizing hint.
         """
         name = str(name)
         if not name:
             raise ValidationError("tenant names must be non-empty")
+        g = self.decays[0] if decay is None else float(decay)
+        if g not in self.decays:
+            raise ValidationError(
+                f"decay {g!r} is not a declared γ group "
+                f"(decays={self.decays!r}); declare every served γ up "
+                f"front — the gram budget is split across the groups"
+            )
         with self._lock:
             self._raise_if_closed()
             if name in self._views:
@@ -481,9 +533,10 @@ class MultiTenantStream:
                 if not shard.alive:
                     continue
                 try:
-                    shard.add_tenant(name, shard_rng)
+                    shard.add_tenant(name, shard_rng, decay=g)
                 except ShardUnavailableError:
                     self._note_shard_death(shard)
+            self._tenant_decays[name] = g
             self._attach_tenant_state(name)
             return self._views[name]
 
@@ -515,6 +568,7 @@ class MultiTenantStream:
             self._solvers.pop(name)
             self._hubs.pop(name).close()
             self._views.pop(name)
+            self._tenant_decays.pop(name, None)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -649,7 +703,15 @@ class MultiTenantStream:
         path.  Tenants with zero coverage keep their previous estimate.
         """
         pairs = self._released_pairs()
-        gram = merge_released([g for _, g in pairs], strict=False)
+        # One Gram merge per declared γ group, each reused by every tenant
+        # assigned to that group — the PRIMO economy, now per weighting.
+        grams = {
+            g: merge_released(
+                [gr[gi] if gr is not None else None for _, gr in pairs],
+                strict=False,
+            )
+            for gi, g in enumerate(self.decays)
+        }
         for j, (name, solver) in enumerate(self._solvers.items()):
             cross = merge_released(
                 [c[j] if c is not None else None for c, _ in pairs],
@@ -658,10 +720,19 @@ class MultiTenantStream:
             covered = cross.covered_steps
             if covered == 0:
                 continue
+            gram = grams[self._tenant_decays[name]]
             gram_value = gram.value
-            if covered != gram.covered_steps:
-                gram_value = gram_value * (covered / gram.covered_steps)
-            theta = solver.refresh_from_released(covered, gram_value, cross.value)
+            # Coverage (and under γ < 1, effective weight) can differ
+            # between a mid-stream tenant's crosses and the shared Gram;
+            # rescale to the tenant's own weight.  Skipped — not applied
+            # with factor 1.0 — whenever the weights agree, which keeps
+            # from-the-start tenants bit-identical to the single-tenant
+            # path.
+            weight = cross.covered_weight
+            if weight != gram.covered_weight:
+                gram_value = gram_value * (weight / gram.covered_weight)
+            t_solve = weight if weight != covered else covered
+            theta = solver.refresh_from_released(t_solve, gram_value, cross.value)
             self._hubs[name].publish(
                 theta,
                 solver.estimate_version,
@@ -682,12 +753,16 @@ class MultiTenantStream:
             if name not in self._views:
                 raise ValidationError(f"unknown tenant {name!r}")
             j = list(self._views).index(name)
+            gi = self.decays.index(self._tenant_decays[name])
             pairs = self._released_pairs()
             cross = merge_released(
                 [c[j] if c is not None else None for c, _ in pairs],
                 strict=False,
             )
-            gram = merge_released([g for _, g in pairs], strict=False)
+            gram = merge_released(
+                [g[gi] if g is not None else None for _, g in pairs],
+                strict=False,
+            )
             return cross, gram
 
     # ------------------------------------------------------------------

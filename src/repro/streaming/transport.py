@@ -77,6 +77,7 @@ on.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 import time
 from dataclasses import dataclass
 
@@ -138,13 +139,24 @@ class ShardSpec:
     shard_horizon: int | None = None
     backend: str = "moment"
     projection: object | None = None
+    #: Non-stationarity knobs (mutually exclusive): forgetting factor
+    #: ``γ ∈ (0, 1]`` or sliding window ``W`` — shipped verbatim so the
+    #: worker-side :func:`~repro.privacy.release.make_release_mechanism`
+    #: builds the same decayed/windowed mechanisms the in-process
+    #: transport would.
+    decay: float | None = None
+    window: "int | float | None" = None
     #: Multi-tenant (PRIMO) shards: active tenant names, one spawned rng
     #: per tenant (the front computes them, so both transports consume
     #: randomness identically), and the slot capacity.  ``cross_rng`` is
     #: unused for tenant shards — the per-tenant rngs replace it.
+    #: ``decays`` declares the shared-Gram γ groups, ``tenant_decays``
+    #: assigns each initial tenant to one of them.
     tenants: "tuple[str, ...] | None" = None
     tenant_rngs: "tuple[np.random.Generator, ...] | None" = None
     tenant_capacity: int | None = None
+    decays: "tuple[float, ...] | None" = None
+    tenant_decays: "tuple[float, ...] | None" = None
 
     def build(self):
         """Construct the shard worker this spec describes (child side)."""
@@ -169,6 +181,8 @@ class ShardSpec:
                 tenant_capacity=self.tenant_capacity,
                 mechanism=self.mechanism,
                 shard_horizon=self.shard_horizon,
+                decays=self.decays,
+                tenant_decays=self.tenant_decays,
             )
         if self.backend == "projected":
             if self.projection is None:
@@ -185,6 +199,8 @@ class ShardSpec:
                 projection=self.projection,
                 mechanism=self.mechanism,
                 shard_horizon=self.shard_horizon,
+                decay=self.decay,
+                window=self.window,
             )
         return MomentShard(
             index=self.index,
@@ -194,6 +210,8 @@ class ShardSpec:
             gram_rng=self.gram_rng,
             mechanism=self.mechanism,
             shard_horizon=self.shard_horizon,
+            decay=self.decay,
+            window=self.window,
         )
 
 
@@ -257,11 +275,20 @@ def dispatch_command(shard, command: str, payload):
             )
         else:
             cross_result = cross.released_moments()
-        return (cross_result, gram.released_moments())
+        if isinstance(gram, tuple):
+            # Tenant shards with γ groups release one shared-Gram handle
+            # per declared decay — same snapshot type, one per group.
+            gram_result = tuple(
+                mechanism.released_moments() for mechanism in gram
+            )
+        else:
+            gram_result = gram.released_moments()
+        return (cross_result, gram_result)
     if command == "tenant":
         action, name, extra = payload
         if action == "add":
-            shard.add_tenant(name, extra)
+            rng, decay = extra
+            shard.add_tenant(name, rng, decay=decay)
         elif action == "remove":
             shard.remove_tenant(name)
         elif action != "list":
@@ -416,14 +443,20 @@ class ShardRpcClient:
         """Snapshot of the second-moment release (diagnostics; one RPC)."""
         return self.released()[1]
 
-    def add_tenant(self, name: str, rng: np.random.Generator) -> None:
+    def add_tenant(
+        self,
+        name: str,
+        rng: np.random.Generator,
+        decay: float | None = None,
+    ) -> None:
         """Attach a tenant cross tree on the worker (tenant backend only).
 
         The generator crosses the wire by pickle, so the worker-side tree
         consumes exactly the stream this generator would produce locally —
-        the same bit-identity contract as initial construction.
+        the same bit-identity contract as initial construction.  ``decay``
+        assigns the tenant to one of the shard's declared γ groups.
         """
-        self._request("tenant", ("add", name, rng))
+        self._request("tenant", ("add", name, (rng, decay)))
 
     def remove_tenant(self, name: str) -> None:
         """Drop a tenant's cross tree on the worker (tenant backend only)."""
@@ -506,6 +539,7 @@ class ProcessShardWorker(ShardRpcClient):
     ) -> None:
         self._init_mirror(spec, request_timeout)
         self.shutdown_timeout = float(shutdown_timeout)
+        self._reap_lock = threading.Lock()
         ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self._process = ctx.Process(
@@ -652,21 +686,30 @@ class ProcessShardWorker(ShardRpcClient):
         """Mark dead and release OS resources (join + close pipe).
 
         Idempotent, and race-safe when a crash detection and an explicit
-        ``kill()`` reap concurrently: the handle is captured locally (the
-        other thread may null ``_process`` mid-flight) and a handle
-        closed under us (``ValueError`` from ``is_alive``) is treated as
-        already reaped."""
+        ``kill()`` reap concurrently: the whole handle teardown is
+        serialized under ``_reap_lock`` because
+        ``multiprocessing.Process.close()`` itself is not thread-safe —
+        two unsynchronized closers can both pass its popen check and the
+        loser dies on ``del self._sentinel`` (AttributeError).  The
+        remaining hazard is a handle closed by a path that does not take
+        the lock (``ValueError`` from ``is_alive``), treated as already
+        reaped; the AttributeError guard stays as a backstop for that
+        same unlocked-closer interleaving inside ``close()``."""
         self.alive = False
-        process = self._process
-        if process is not None:
-            try:
-                if process.is_alive():
-                    process.join(timeout=5.0)
-                if not process.is_alive():
-                    process.close()
+        with self._reap_lock:
+            process = self._process
+            if process is not None:
+                try:
+                    if process.is_alive():
+                        process.join(timeout=5.0)
+                    if not process.is_alive():
+                        process.close()
+                        self._process = None
+                except (
+                    ValueError,
+                    AttributeError,
+                ):  # pragma: no cover - concurrently closed
                     self._process = None
-            except ValueError:  # pragma: no cover - concurrently closed
-                self._process = None
         try:
             self._conn.close()
         except OSError:  # pragma: no cover - already closed

@@ -1,0 +1,89 @@
+"""Tests for :func:`repro.data.drift.make_drift_stream`.
+
+The drift generator feeds the non-stationary serving tests and the drift
+benchmark, so its invariants — determinism, normalization, segment
+geometry — are pinned here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_drift_stream
+from repro.exceptions import ValidationError
+
+
+class TestShapes:
+    def test_stream_and_segment_shapes(self):
+        stream, thetas = make_drift_stream(40, 5, n_segments=4, rng=0)
+        assert stream.xs.shape == (40, 5)
+        assert stream.ys.shape == (40,)
+        assert thetas.shape == (4, 5)
+
+    def test_theta_star_is_last_segment(self):
+        stream, thetas = make_drift_stream(30, 3, n_segments=3, rng=1)
+        assert np.array_equal(stream.theta_star, thetas[-1])
+
+    def test_single_segment_is_stationary(self):
+        stream, thetas = make_drift_stream(20, 3, n_segments=1, rng=2)
+        assert thetas.shape == (1, 3)
+        assert np.array_equal(stream.theta_star, thetas[0])
+
+
+class TestNormalization:
+    def test_covariates_are_unit_norm(self):
+        stream, _ = make_drift_stream(50, 4, rng=3)
+        np.testing.assert_allclose(
+            np.linalg.norm(stream.xs, axis=1), 1.0, atol=1e-12
+        )
+
+    def test_labels_are_clipped(self):
+        stream, _ = make_drift_stream(200, 4, noise_std=2.0, rng=4)
+        assert np.all(np.abs(stream.ys) <= 1.0)
+
+    def test_segment_truths_are_unit_norm(self):
+        _, thetas = make_drift_stream(40, 6, n_segments=5, rng=5)
+        np.testing.assert_allclose(
+            np.linalg.norm(thetas, axis=1), 1.0, atol=1e-12
+        )
+
+
+class TestDrift:
+    def test_segments_follow_their_own_truth(self):
+        """Noise-free labels within each segment are exactly x·θ_seg."""
+        stream, thetas = make_drift_stream(40, 3, n_segments=2, noise_std=0.0, rng=6)
+        boundaries = np.linspace(0, 40, 3, dtype=int)
+        for seg in range(2):
+            s, e = boundaries[seg], boundaries[seg + 1]
+            clean = np.clip(stream.xs[s:e] @ thetas[seg], -1.0, 1.0)
+            np.testing.assert_allclose(stream.ys[s:e], clean, atol=1e-12)
+
+    def test_ground_truth_actually_moves(self):
+        _, thetas = make_drift_stream(40, 8, n_segments=2, rng=7)
+        assert np.linalg.norm(thetas[1] - thetas[0]) > 0.1
+
+    def test_seed_determinism(self):
+        a_stream, a_thetas = make_drift_stream(30, 4, n_segments=3, rng=11)
+        b_stream, b_thetas = make_drift_stream(30, 4, n_segments=3, rng=11)
+        assert np.array_equal(a_stream.xs, b_stream.xs)
+        assert np.array_equal(a_stream.ys, b_stream.ys)
+        assert np.array_equal(a_thetas, b_thetas)
+
+    def test_distinct_seeds_differ(self):
+        a, _ = make_drift_stream(30, 4, rng=0)
+        b, _ = make_drift_stream(30, 4, rng=1)
+        assert not np.array_equal(a.xs, b.xs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(length=0, dim=3),
+            dict(length=10, dim=0),
+            dict(length=10, dim=3, n_segments=0),
+            dict(length=10, dim=3, noise_std=-0.1),
+        ],
+    )
+    def test_bad_arguments_are_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            make_drift_stream(rng=0, **kwargs)

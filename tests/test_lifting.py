@@ -1,9 +1,8 @@
 """Tests for the lifting solvers (Algorithm 3 Step 9 / Theorem 5.3)."""
 
 import numpy as np
-import pytest
 
-from repro import GaussianProjection, GroupL1Ball, L1Ball, L2Ball, Polytope, Simplex
+from repro import GaussianProjection, GroupL1Ball, L1Ball, L2Ball, Simplex
 from repro.sketching.lifting import (
     lift,
     lift_l1_basis_pursuit,

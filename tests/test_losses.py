@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import HingeLoss, HuberLoss, LogisticLoss, RegularizedLoss, SquaredLoss
-from repro.exceptions import ValidationError
 
 ALL_LOSSES = [SquaredLoss(), LogisticLoss(), HingeLoss(), HuberLoss(kink=0.5)]
 LOSS_IDS = ["squared", "logistic", "hinge", "huber"]

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro import PrivacyParams
-from repro.exceptions import PrivacyBudgetError
 from repro.privacy import (
     advanced_composition,
     basic_composition,

@@ -1,0 +1,332 @@
+"""Tests for the :mod:`repro.privacy.release` mechanism family.
+
+The serving stack programs against the :class:`ReleaseMechanism`
+protocol; these tests pin the contracts the protocol members share —
+conformance, factory dispatch, the γ=1 / W=inf bit-identity escape
+hatches, decayed and windowed correctness against brute force, the
+noise-variance ledger, and up-front knob validation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecayedTreeMechanism,
+    HybridMechanism,
+    PrivacyParams,
+    ReleaseMechanism,
+    SlidingWindowMechanism,
+    TreeMechanism,
+    make_release_mechanism,
+)
+from repro.exceptions import (
+    NotSupportedError,
+    StreamExhaustedError,
+    ValidationError,
+)
+
+HUGE_EPS = PrivacyParams(1e9, 0.5)
+NORMAL = PrivacyParams(1.0, 1e-6)
+DIM = 3
+
+
+def _stream(n, seed=0, dim=DIM):
+    return np.random.default_rng(seed).normal(size=(n, dim)) * 0.3
+
+
+# ---------------------------------------------------------------------------
+# Import surface
+# ---------------------------------------------------------------------------
+
+
+class TestImportSurface:
+    """The non-stationary family is part of the public API."""
+
+    NAMES = (
+        "ReleaseMechanism",
+        "DecayedTreeMechanism",
+        "SlidingWindowMechanism",
+        "make_release_mechanism",
+    )
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in self.NAMES:
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is not None
+
+    def test_privacy_package_exports(self):
+        import repro.privacy as privacy
+
+        for name in self.NAMES:
+            assert name in privacy.__all__, name
+            assert getattr(privacy, name) is not None
+
+    def test_top_level_matches_privacy_package(self):
+        import repro
+        import repro.privacy as privacy
+
+        for name in self.NAMES:
+            assert getattr(repro, name) is getattr(privacy, name)
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+# ---------------------------------------------------------------------------
+# Protocol conformance and factory dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "mech",
+        [
+            TreeMechanism(16, (DIM,), 2.0, NORMAL, rng=0),
+            HybridMechanism((DIM,), 2.0, NORMAL, rng=0),
+            DecayedTreeMechanism(16, (DIM,), 2.0, NORMAL, rng=0, decay=0.9),
+            SlidingWindowMechanism(8, (DIM,), 2.0, NORMAL, rng=0),
+        ],
+        ids=["tree", "hybrid", "decayed", "window"],
+    )
+    def test_members_conform(self, mech):
+        assert isinstance(mech, ReleaseMechanism)
+        out = mech.observe(np.zeros(DIM))
+        assert out.shape == (DIM,)
+        assert mech.release_noise_variance() >= 0.0
+        assert mech.memory_floats() > 0
+        assert mech.effective_weight >= 1.0
+
+    def test_factory_dispatch(self):
+        base = dict(shape=(DIM,), l2_sensitivity=2.0, params=NORMAL, rng=0)
+        assert type(make_release_mechanism(horizon=16, **base)) is TreeMechanism
+        assert (
+            type(make_release_mechanism(mechanism="hybrid", **base))
+            is HybridMechanism
+        )
+        assert (
+            type(make_release_mechanism(horizon=16, decay=0.9, **base))
+            is DecayedTreeMechanism
+        )
+        assert (
+            type(make_release_mechanism(window=8, **base))
+            is SlidingWindowMechanism
+        )
+        decayed_hybrid = make_release_mechanism(
+            mechanism="hybrid", decay=0.9, **base
+        )
+        assert isinstance(decayed_hybrid, HybridMechanism)
+        assert decayed_hybrid.decay == 0.9
+
+    def test_factory_validation_names_the_knob(self):
+        base = dict(shape=(DIM,), l2_sensitivity=2.0, params=NORMAL, rng=0)
+        with pytest.raises(ValidationError, match="decay"):
+            make_release_mechanism(horizon=16, decay=0.9, window=8, **base)
+        with pytest.raises(ValidationError, match="decay"):
+            make_release_mechanism(horizon=16, decay=1.5, **base)
+        with pytest.raises(ValidationError, match="decay"):
+            make_release_mechanism(horizon=16, decay=0.0, **base)
+        with pytest.raises(ValidationError, match="window"):
+            make_release_mechanism(horizon=16, window=0, **base)
+        with pytest.raises(ValidationError, match="horizon"):
+            make_release_mechanism(**base)  # tree without horizon
+        with pytest.raises(ValidationError, match="horizon"):
+            make_release_mechanism(window=math.inf, **base)
+        with pytest.raises(ValidationError, match="mechanism"):
+            make_release_mechanism(mechanism="laplace", horizon=16, **base)
+
+
+# ---------------------------------------------------------------------------
+# γ = 1 and W = inf are bit-identical to the plain tree
+# ---------------------------------------------------------------------------
+
+
+class TestDegenerateIdentity:
+    def test_decay_one_is_bit_identical(self):
+        data = _stream(32, seed=1)
+        plain = TreeMechanism(32, (DIM,), 2.0, NORMAL, rng=7)
+        decayed = DecayedTreeMechanism(32, (DIM,), 2.0, NORMAL, rng=7, decay=1.0)
+        for row in data:
+            assert np.array_equal(plain.observe(row), decayed.observe(row))
+        assert plain.release_noise_variance() == decayed.release_noise_variance()
+
+    def test_window_inf_is_bit_identical(self):
+        data = _stream(32, seed=2)
+        plain = TreeMechanism(32, (DIM,), 2.0, NORMAL, rng=7)
+        ring = SlidingWindowMechanism(
+            math.inf, (DIM,), 2.0, NORMAL, rng=7, horizon=32
+        )
+        for row in data:
+            assert np.array_equal(plain.observe(row), ring.observe(row))
+        assert ring.covered_steps == 32
+        assert ring.effective_weight == 32.0
+
+    def test_decay_one_batch_kernels_match(self):
+        data = _stream(24, seed=3)
+        plain = TreeMechanism(32, (DIM,), 2.0, NORMAL, rng=5)
+        decayed = DecayedTreeMechanism(32, (DIM,), 2.0, NORMAL, rng=5, decay=1.0)
+        assert np.array_equal(
+            plain.advance_batch(data), decayed.advance_batch(data)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Decayed correctness
+# ---------------------------------------------------------------------------
+
+
+class TestDecayedTree:
+    def test_release_tracks_weighted_sum(self):
+        gamma = 0.8
+        data = _stream(40, seed=4)
+        mech = DecayedTreeMechanism(40, (DIM,), 2.0, HUGE_EPS, rng=1, decay=gamma)
+        brute = np.zeros(DIM)
+        for row in data:
+            brute = gamma * brute + row
+            released = mech.observe(row)
+            np.testing.assert_allclose(released, brute, atol=1e-3)
+
+    def test_batch_matches_sequential_bitwise(self):
+        gamma = 0.9
+        data = _stream(30, seed=5)
+        seq = DecayedTreeMechanism(32, (DIM,), 2.0, NORMAL, rng=9, decay=gamma)
+        bat = DecayedTreeMechanism(32, (DIM,), 2.0, NORMAL, rng=9, decay=gamma)
+        for row in data:
+            last = seq.observe(row)
+        assert np.array_equal(last, bat.advance_batch(data))
+        assert seq.release_noise_variance() == bat.release_noise_variance()
+
+    def test_advance_sum_consumes_weighted_block_totals(self):
+        gamma = 0.7
+        data = _stream(20, seed=6)
+        mech = DecayedTreeMechanism(32, (DIM,), 2.0, HUGE_EPS, rng=2, decay=gamma)
+        for start in range(0, 20, 5):
+            block = data[start : start + 5]
+            weights = gamma ** np.arange(4, -1, -1, dtype=float)
+            mech.advance_sum((weights[:, None] * block).sum(axis=0), 5)
+        brute = np.zeros(DIM)
+        for row in data:
+            brute = gamma * brute + row
+        np.testing.assert_allclose(mech.current_sum(), brute, atol=1e-3)
+
+    def test_variance_ledger_fades(self):
+        """Decayed release variance is at most the plain popcount bound,
+        and strictly below it once old node noise has faded."""
+        gamma = 0.5
+        mech = DecayedTreeMechanism(64, (DIM,), 2.0, NORMAL, rng=0, decay=gamma)
+        plain = TreeMechanism(64, (DIM,), 2.0, NORMAL, rng=0)
+        for t in range(1, 64):
+            mech.observe(np.zeros(DIM))
+            plain.observe(np.zeros(DIM))
+            assert (
+                mech.release_noise_variance()
+                <= plain.release_noise_variance() + 1e-12
+            )
+        # t = 63 has six active levels; all but the newest have faded.
+        assert mech.release_noise_variance() < plain.release_noise_variance()
+
+    def test_effective_weight_is_geometric_series(self):
+        gamma = 0.9
+        mech = DecayedTreeMechanism(32, (DIM,), 2.0, NORMAL, rng=0, decay=gamma)
+        for t in range(1, 11):
+            mech.observe(np.zeros(DIM))
+            expected = (1 - gamma**t) / (1 - gamma)
+            assert abs(mech.effective_weight - expected) < 1e-12
+
+    def test_horizon_still_enforced(self):
+        mech = DecayedTreeMechanism(4, (DIM,), 2.0, NORMAL, rng=0, decay=0.9)
+        for _ in range(4):
+            mech.observe(np.zeros(DIM))
+        with pytest.raises(StreamExhaustedError):
+            mech.observe(np.zeros(DIM))
+
+
+# ---------------------------------------------------------------------------
+# Sliding-window correctness
+# ---------------------------------------------------------------------------
+
+
+class TestSlidingWindow:
+    def test_release_covers_only_the_window(self):
+        window, chunk = 8, 2
+        data = _stream(30, seed=7)
+        mech = SlidingWindowMechanism(
+            window, (DIM,), 2.0, HUGE_EPS, rng=1, chunk=chunk
+        )
+        for t, row in enumerate(data, start=1):
+            released = mech.observe(row)
+            covered = mech.covered_steps
+            assert covered == SlidingWindowMechanism.covered_at(t, window, chunk)
+            if t >= window:
+                assert window - chunk + 1 <= covered <= window
+            np.testing.assert_allclose(
+                released, data[t - covered : t].sum(axis=0), atol=1e-3
+            )
+
+    def test_observe_batch_matches_sequential_bitwise(self):
+        data = _stream(25, seed=8)
+        seq = SlidingWindowMechanism(10, (DIM,), 2.0, NORMAL, rng=3, chunk=3)
+        bat = SlidingWindowMechanism(10, (DIM,), 2.0, NORMAL, rng=3, chunk=3)
+        released = [seq.observe(row) for row in data]
+        assert np.array_equal(np.asarray(released), bat.observe_batch(data))
+        assert seq.covered_steps == bat.covered_steps
+
+    def test_finite_window_is_horizon_free(self):
+        mech = SlidingWindowMechanism(6, (DIM,), 2.0, NORMAL, rng=0)
+        for _ in range(500):  # far beyond any horizon
+            mech.observe(np.zeros(DIM))
+        assert mech.covered_steps <= 6
+        assert mech.effective_weight == float(mech.covered_steps)
+
+    def test_memory_is_bounded_by_the_ring(self):
+        mech = SlidingWindowMechanism(16, (DIM,), 2.0, NORMAL, rng=0, chunk=4)
+        floors = []
+        for _ in range(200):
+            mech.observe(np.zeros(DIM))
+            floors.append(mech.memory_floats())
+        assert max(floors[32:]) == max(floors[:32])  # plateaus, no growth
+
+    def test_advance_sum_refused_for_finite_windows(self):
+        mech = SlidingWindowMechanism(8, (DIM,), 2.0, NORMAL, rng=0)
+        with pytest.raises(NotSupportedError):
+            mech.advance_sum(np.zeros(DIM), 4)
+
+    def test_advance_sum_passes_through_at_inf(self):
+        plain = TreeMechanism(16, (DIM,), 2.0, NORMAL, rng=4)
+        ring = SlidingWindowMechanism(
+            math.inf, (DIM,), 2.0, NORMAL, rng=4, horizon=16
+        )
+        total = np.ones(DIM)
+        assert np.array_equal(
+            plain.advance_sum(total, 4), ring.advance_sum(total, 4)
+        )
+
+    def test_horizon_caps_capacity(self):
+        mech = SlidingWindowMechanism(4, (DIM,), 2.0, NORMAL, rng=0, horizon=10)
+        for _ in range(10):
+            mech.observe(np.zeros(DIM))
+        with pytest.raises(StreamExhaustedError):
+            mech.observe(np.zeros(DIM))
+
+    def test_error_bound_is_state_independent(self):
+        """Bounds quote the ring capacity, not the live ring, so a batch
+        solve sized mid-stream equals the same solve replayed element by
+        element (the serving layer depends on this)."""
+        mech = SlidingWindowMechanism(12, (DIM, DIM), 2.0, NORMAL, rng=0, chunk=3)
+        before = (mech.error_bound(), mech.error_bound_spectral())
+        for _ in range(40):
+            mech.observe(np.zeros((DIM, DIM)))
+        after = (mech.error_bound(), mech.error_bound_spectral())
+        assert before == after
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValidationError, match="chunk"):
+            SlidingWindowMechanism(4, (DIM,), 2.0, NORMAL, rng=0, chunk=5)
+        with pytest.raises(ValidationError, match="chunk"):
+            SlidingWindowMechanism(4, (DIM,), 2.0, NORMAL, rng=0, chunk=0)

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro import GaussianProjection, L1Ball, SparseVectors, gordon_dimension
+from repro import GaussianProjection, SparseVectors, gordon_dimension
 from repro.exceptions import ValidationError
 from repro.sketching.gordon import gordon_distortion
 

@@ -27,7 +27,6 @@ and both shard transports (``SERVE_TRANSPORT``):
 """
 
 import os
-import pickle
 import threading
 
 import numpy as np
@@ -49,10 +48,8 @@ from repro.data import make_dense_stream
 from repro.exceptions import (
     DomainViolationError,
     PrivacyBudgetError,
-    ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
-    WaitTimeoutError,
 )
 
 PARAMS = PrivacyParams(4.0, 1e-6)
