@@ -51,6 +51,7 @@ from .privacy import (
     PrivacyParams,
     ReleaseMechanism,
     ReleasedMoments,
+    SketchNoiseMechanism,
     SlidingWindowMechanism,
     TreeMechanism,
     make_release_mechanism,
@@ -110,6 +111,7 @@ from .streaming import (
     ShardedStream,
     ShardHostListener,
     ShardRpcClient,
+    SketchShard,
     Subscription,
     TcpShardWorker,
     TenantShard,
@@ -158,6 +160,7 @@ __all__ = [
     "HybridMechanism",
     "ReleaseMechanism",
     "DecayedTreeMechanism",
+    "SketchNoiseMechanism",
     "SlidingWindowMechanism",
     "make_release_mechanism",
     "MergedRelease",
@@ -204,6 +207,7 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "SketchShard",
     "TenantShard",
     "MultiTenantStream",
     "TenantView",

@@ -56,9 +56,15 @@ class Simplex(ConvexSet):
         ``ρ·C`` is exactly the set of non-negative vectors summing to ``ρ``,
         so the smallest dilation containing a non-negative ``θ`` is its
         coordinate sum; no dilation contains a vector with a negative entry.
+
+        The negativity tolerance is *relative* to the point's magnitude
+        (``−1e-12·‖θ‖_∞``): an absolute cutoff is not scale-invariant, so
+        it would break the gauge's positive homogeneity right at the
+        tolerance boundary (``θ`` inside, ``2θ`` infeasible).
         """
         point = self._check_point("point", point)
-        if np.any(point < -1e-12):
+        scale = float(np.abs(point).max(initial=0.0))
+        if np.any(point < -1e-12 * scale):
             return math.inf
         return float(np.clip(point, 0.0, None).sum())
 

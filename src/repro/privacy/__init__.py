@@ -16,7 +16,8 @@ differential-privacy literature:
 * :mod:`repro.privacy.release` — the :class:`ReleaseMechanism` protocol the
   serving layer programs against, plus the non-stationary members of the
   family: :class:`DecayedTreeMechanism` (exponential forgetting) and
-  :class:`SlidingWindowMechanism` (hard expiry).
+  :class:`SlidingWindowMechanism` (hard expiry), and the tree-free
+  :class:`SketchNoiseMechanism` (per-block sketch-side noise).
 """
 
 from .parameters import PrivacyParams, shard_budgets, tenant_budgets
@@ -46,6 +47,7 @@ from .hybrid import HybridMechanism
 from .release import (
     DecayedTreeMechanism,
     ReleaseMechanism,
+    SketchNoiseMechanism,
     SlidingWindowMechanism,
     make_release_mechanism,
 )
@@ -74,6 +76,7 @@ __all__ = [
     "HybridMechanism",
     "ReleaseMechanism",
     "DecayedTreeMechanism",
+    "SketchNoiseMechanism",
     "SlidingWindowMechanism",
     "make_release_mechanism",
     "RdpAccountant",

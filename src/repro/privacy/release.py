@@ -42,6 +42,19 @@ window count respectively — which flows through
 :func:`~repro.privacy.tree.merge_released` so cross-shard merges of
 weighted moments keep the variance ledger and the estimators' logical
 ``t`` correct.
+
+A third implementation, :class:`SketchNoiseMechanism`, carries the
+**sketch-side** noise model of *Private Sketches for Linear Regression*
+(PAPERS.md): no tree at all — the exact running sum of the (sketched)
+moment stream plus **one fresh Gaussian draw per ingested block**, added
+at ingest time.  Each stream element lives in exactly one block, so the
+per-block Gaussian mechanism at the Step-4-pinned sensitivity composes
+in parallel across blocks and the whole release sequence is ``(ε, δ)``-
+DP; every later read is post-processing of the already-noisy block
+totals.  The released noise variance is ``draws · σ²_block`` — it grows
+with the number of *blocks*, not ``popcount(t)`` tree nodes, which is
+why batch serving with large blocks beats tree noise and per-point
+streaming loses to it (see ``docs/SERVING.md`` §"Sketch backend").
 """
 
 from __future__ import annotations
@@ -68,6 +81,7 @@ from ..exceptions import (
 from .parameters import PrivacyParams
 from .tree import (
     TreeMechanism,
+    _node_sigma,
     _snapshot_released,
     coerce_stream_block,
     coerce_stream_element,
@@ -78,6 +92,7 @@ from .tree import (
 __all__ = [
     "ReleaseMechanism",
     "DecayedTreeMechanism",
+    "SketchNoiseMechanism",
     "SlidingWindowMechanism",
     "make_release_mechanism",
 ]
@@ -89,11 +104,12 @@ class ReleaseMechanism(Protocol):
 
     This is the contract the estimators, serving shards, merge rule, and
     wire snapshots were already written against implicitly — extracted so
-    new release semantics (decay, windows, future sketch-side noise) plug
+    new release semantics (decay, windows, sketch-side noise) plug
     in without touching the layers above.  Implementations:
     :class:`~repro.privacy.tree.TreeMechanism`,
     :class:`~repro.privacy.hybrid.HybridMechanism`,
-    :class:`DecayedTreeMechanism`, :class:`SlidingWindowMechanism`.
+    :class:`DecayedTreeMechanism`, :class:`SlidingWindowMechanism`,
+    :class:`SketchNoiseMechanism`.
 
     ``isinstance(obj, ReleaseMechanism)`` checks the surface structurally
     (``runtime_checkable`` protocols check attribute presence, not
@@ -676,6 +692,183 @@ class SlidingWindowMechanism:
         )
 
 
+class SketchNoiseMechanism:
+    """Continual private sums with **per-block sketch-side** noise.
+
+    The release model of *Private Sketches for Linear Regression*
+    (PAPERS.md) adapted to continual release: keep the **exact** running
+    sum of the (sketched) moment stream and add **one fresh Gaussian
+    draw per ingested block**, at ingest time, calibrated like a single
+    tree node (``levels = 1``):
+
+        ``σ_block = Δ₂ · sqrt(2 ln(2/δ)) / ε``.
+
+    Privacy: the mechanism's transcript is the sequence of noisy block
+    totals (all later releases are their running sums — post-processing).
+    One stream element changes exactly **one** block total, by at most
+    the Step-4-pinned ``Δ₂``, so each block is a plain ``(ε, δ)``
+    Gaussian mechanism and parallel composition over the disjoint blocks
+    keeps the entire stream at one ``(ε, δ)`` — no ``levels`` factor
+    anywhere.
+
+    Utility: the released noise variance is ``draws · σ²_block`` where
+    ``draws`` counts ingested blocks, reported exactly by
+    :meth:`release_noise_variance`.  Large-block serving therefore beats
+    the tree (few draws, each ``levels²`` cheaper); per-point streaming
+    (``t`` draws by step ``t``) loses to the tree's ``popcount(t)``
+    nodes.  That trade is the point: serving shards ingest in blocks.
+
+    Determinism: :meth:`observe_batch` consumes the rng exactly like
+    ``k`` sequential :meth:`observe` calls (one draw per element — each
+    element is its own block), and :meth:`advance_batch` /
+    :meth:`advance_sum` draw **one** Gaussian per block each, so the
+    exact and fast serving tiers consume identical noise bits and differ
+    only in the float summation order of the exact block totals.
+
+    Parameters
+    ----------
+    horizon:
+        Capacity cap ``T`` (blocks can never cover more elements).
+    shape, l2_sensitivity, params, rng:
+        As in :class:`~repro.privacy.tree.TreeMechanism`.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        shape: tuple[int, ...],
+        l2_sensitivity: float,
+        params: PrivacyParams,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.horizon = check_int("horizon", horizon, minimum=1)
+        self.shape = tuple(int(s) for s in shape)
+        self.l2_sensitivity = check_positive("l2_sensitivity", l2_sensitivity)
+        self.params = params
+        self._rng = check_rng(rng)
+        self._flat_dim = int(np.prod(self.shape)) if self.shape else 1
+        self.sigma_block = _node_sigma(1, self.l2_sensitivity, params)
+        self.steps_taken = 0
+        self.noise_draws = 0
+        self._sum = np.zeros(self._flat_dim)
+
+    def _check_capacity(self, incoming: int) -> None:
+        if self.steps_taken + incoming > self.horizon:
+            raise StreamExhaustedError(
+                f"SketchNoiseMechanism configured for horizon {self.horizon} "
+                f"received a block of {incoming} elements at step "
+                f"{self.steps_taken}"
+            )
+
+    def _ingest_total(self, total_flat: np.ndarray) -> None:
+        """Fold one block total into the sum with one fresh noise draw."""
+        noise = self._rng.normal(0.0, self.sigma_block, size=self._flat_dim)
+        self._sum = self._sum + total_flat + noise
+        self.noise_draws += 1
+
+    # ------------------------------------------------------------------
+    # Core streaming API (the ReleaseMechanism surface)
+    # ------------------------------------------------------------------
+
+    def observe(self, value: np.ndarray | float) -> np.ndarray:
+        """Ingest one element as its own block; return the noisy sum."""
+        array = coerce_stream_element(value, self.shape)
+        self._check_capacity(1)
+        self._ingest_total(array.reshape(self._flat_dim))
+        self.steps_taken += 1
+        return self.current_sum()
+
+    def observe_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest ``k`` elements one block each; return all ``k`` sums."""
+        array = coerce_stream_block(values, self.shape)
+        k = array.shape[0]
+        self._check_capacity(k)
+        flat = array.reshape(k, self._flat_dim)
+        releases = np.empty((k, self._flat_dim))
+        for r in range(k):
+            self._ingest_total(flat[r])
+            self.steps_taken += 1
+            releases[r] = self._sum
+        return releases.reshape((k,) + self.shape)
+
+    def advance_batch(self, values: np.ndarray) -> np.ndarray:
+        """Ingest a block (one noise draw); release only the final sum."""
+        array = coerce_stream_block(values, self.shape)
+        k = array.shape[0]
+        self._check_capacity(k)
+        self._ingest_total(array.reshape(k, self._flat_dim).sum(axis=0))
+        self.steps_taken += k
+        return self.current_sum()
+
+    def advance_sum(self, total: np.ndarray | float, count: int) -> np.ndarray:
+        """Ingest a pre-reduced block total of ``count`` elements."""
+        total_flat = coerce_stream_element(total, self.shape)
+        count = check_int("count", count, minimum=1)
+        self._check_capacity(count)
+        self._ingest_total(total_flat.reshape(self._flat_dim))
+        self.steps_taken += count
+        return self.current_sum()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def current_sum(self) -> np.ndarray:
+        """The latest noisy sum (post-processing, free)."""
+        return self._sum.reshape(self.shape).copy()
+
+    def release_noise_variance(self) -> float:
+        """Per-coordinate variance of the current release: ``draws·σ²``."""
+        return float(self.noise_draws) * self.sigma_block**2
+
+    def released_moments(self):
+        """Snapshot the current release (picklable wire format)."""
+        return _snapshot_released(self)
+
+    @property
+    def effective_weight(self) -> float:
+        """Total weight of the covered elements — the raw count."""
+        return float(self.steps_taken)
+
+    def error_bound(self, beta: float = 0.05) -> float:
+        """High-probability error radius at the capacity draw count.
+
+        A configuration constant (like the tree's horizon-based bound):
+        the worst case is one block per element — ``horizon`` independent
+        draws — giving total scale ``σ_block·√T`` and radius
+        ``σ_block·√T·(√d + √(2 ln(1/β)))``.  Callers that ingest in
+        blocks of ``B`` enjoy a ``√B`` smaller radius; this bound never
+        understates.
+        """
+        sigma_total = self.sigma_block * math.sqrt(self.horizon)
+        return sigma_total * (
+            math.sqrt(self._flat_dim) + math.sqrt(2.0 * math.log(1.0 / beta))
+        )
+
+    def error_bound_spectral(self, beta: float = 0.05) -> float:
+        """Spectral-norm error radius (square-matrix streams only)."""
+        if len(self.shape) != 2 or self.shape[0] != self.shape[1]:
+            raise ValidationError(
+                f"spectral error bound needs a square matrix shape, got {self.shape}"
+            )
+        entry_sigma = self.sigma_block * math.sqrt(self.horizon)
+        return entry_sigma * (
+            2.0 * math.sqrt(self.shape[0])
+            + math.sqrt(2.0 * math.log(1.0 / beta))
+        )
+
+    def memory_floats(self) -> int:
+        """Floats held: one running sum — no tree, no ring."""
+        return self._flat_dim
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SketchNoiseMechanism(horizon={self.horizon}, shape={self.shape}, "
+            f"params={self.params}, sigma_block={self.sigma_block:.4g}, "
+            f"draws={self.noise_draws}, steps={self.steps_taken})"
+        )
+
+
 def make_release_mechanism(
     *,
     shape: tuple[int, ...],
@@ -690,20 +883,45 @@ def make_release_mechanism(
     """Build the release mechanism a moment layer's knobs select.
 
     The single construction point behind every estimator and serving
-    shard: ``mechanism`` picks the base family (``"tree"`` needs
-    ``horizon``; ``"hybrid"`` is horizon-free), ``decay`` switches to
-    exponential forgetting (γ-weighted tree nodes, or a decayed hybrid),
-    and ``window`` switches to hard expiry (a ring of chunk sub-trees —
-    horizon-free when finite).  ``decay`` and ``window`` are mutually
-    exclusive; both default to ``None`` (the plain paper mechanisms).
-    Knob validation happens up front with the knob named
-    (:func:`~repro._validation.check_release_knobs`), never deep in tree
-    code.
+    shard: ``mechanism`` picks the base family (``"tree"`` and
+    ``"sketch"`` need ``horizon``; ``"hybrid"`` is horizon-free),
+    ``decay`` switches to exponential forgetting (γ-weighted tree nodes,
+    or a decayed hybrid), and ``window`` switches to hard expiry (a ring
+    of chunk sub-trees — horizon-free when finite).  ``decay`` and
+    ``window`` are mutually exclusive; both default to ``None`` (the
+    plain paper mechanisms).  ``mechanism="sketch"`` (per-block
+    sketch-side noise) supports neither knob — there are no node
+    subtotals to fade and no sub-trees to expire — and refuses them with
+    the knob named.  Knob validation happens up front with the knob
+    named (:func:`~repro._validation.check_release_knobs`), never deep
+    in tree code.
     """
     decay, window = check_release_knobs(decay, window)
-    if mechanism not in ("tree", "hybrid"):
+    if mechanism not in ("tree", "hybrid", "sketch"):
         raise ValidationError(
-            f"mechanism must be 'tree' or 'hybrid', got {mechanism!r}"
+            f"mechanism must be 'tree', 'hybrid' or 'sketch', got {mechanism!r}"
+        )
+    if mechanism == "sketch":
+        if decay is not None:
+            raise ValidationError(
+                "decay is not supported with mechanism='sketch': per-block "
+                "sketch noise keeps no node subtotals to fade; use the "
+                "tree/hybrid families for decayed streams"
+            )
+        if window is not None:
+            raise ValidationError(
+                "window is not supported with mechanism='sketch': per-block "
+                "sketch noise cannot expire elements; use window= with "
+                "mechanism='tree'"
+            )
+        if horizon is None:
+            raise ValidationError("mechanism='sketch' requires a horizon")
+        return SketchNoiseMechanism(
+            horizon=horizon,
+            shape=shape,
+            l2_sensitivity=l2_sensitivity,
+            params=params,
+            rng=rng,
         )
     if window is not None:
         # The window ring replaces both base families: finite windows are

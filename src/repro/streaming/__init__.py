@@ -35,6 +35,7 @@ from .serving import (
     ProjectedMomentShard,
     ServedEstimate,
     ShardedStream,
+    SketchShard,
     TenantShard,
 )
 from .tenancy import MultiTenantStream, TenantView
@@ -56,6 +57,7 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "SketchShard",
     "TenantShard",
     "MultiTenantStream",
     "TenantView",

@@ -137,6 +137,7 @@ from ..privacy.parameters import PrivacyParams, shard_budgets, tenant_budgets
 from ..privacy.release import make_release_mechanism
 from ..privacy.tree import MergedRelease, merge_released
 from ..sketching.gaussian import GaussianProjection, step4_rescale_block
+from ..sketching.sparse_jl import SparseProjection
 from .metrics import ReadStats
 from .readers import EstimateHub, ReaderHandle, Subscription
 from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
@@ -146,6 +147,7 @@ __all__ = [
     "ShardedStream",
     "MomentShard",
     "ProjectedMomentShard",
+    "SketchShard",
     "TenantShard",
     "ProcessShardWorker",
     "EstimateCache",
@@ -438,6 +440,12 @@ class MomentShard:
     #: Class-level backend tag (subclasses override).
     backend = "moment"
 
+    #: Release-mechanism family the moment streams are built with.
+    #: ``None`` defers to the ``mechanism`` ctor knob; subclasses may pin
+    #: a family (the sketch backend pins ``"sketch"``) while the
+    #: user-facing ``mechanism`` knob and the wire spec keep their value.
+    release_family: str | None = None
+
     def __init__(
         self,
         index: int,
@@ -466,16 +474,17 @@ class MomentShard:
         half = budget.halve()
         m = self.moment_dim
         # One factory call per moment stream: ``mechanism``/``decay``/
-        # ``window`` select among Tree, Hybrid, DecayedTree, and
-        # SlidingWindow implementations of the ReleaseMechanism protocol,
+        # ``window`` select among Tree, Hybrid, DecayedTree, SlidingWindow
+        # and SketchNoise implementations of the ReleaseMechanism protocol,
         # with the plain configurations bit-identical to the historical
         # inline construction (same ctor arguments, same rng).
+        family = self.release_family or mechanism
         self.cross = make_release_mechanism(
             shape=(m,),
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=cross_rng,
-            mechanism=mechanism,
+            mechanism=family,
             horizon=shard_horizon,
             decay=self.decay,
             window=self.window,
@@ -485,7 +494,7 @@ class MomentShard:
             l2_sensitivity=MOMENT_SENSITIVITY,
             params=half,
             rng=gram_rng,
-            mechanism=mechanism,
+            mechanism=family,
             horizon=shard_horizon,
             decay=self.decay,
             window=self.window,
@@ -612,6 +621,35 @@ class ProjectedMomentShard(MomentShard):
 
     def _transform(self, xs: np.ndarray) -> np.ndarray:
         return step4_rescale_block(self.projection, xs)
+
+
+class SketchShard(ProjectedMomentShard):
+    """The sketch-native shard backend: privatize the sketch, not the moments.
+
+    The ingest geometry is :class:`ProjectedMomentShard`'s — Step-4
+    rescaled rows through a *shared* projection — but the projection is a
+    **sparse-JL** ``Φ`` (:class:`~repro.sketching.sparse_jl.SparseProjection`,
+    the paper's footnote 16: ``~1/s`` of the entries non-zero, so the
+    per-block pass costs ``O(nnz)`` instead of the dense BLAS product),
+    and the noise source is not a tree at all: both moment streams run
+    :class:`~repro.privacy.release.SketchNoiseMechanism`, which keeps the
+    exact sketched running sums and adds **one Gaussian draw per ingested
+    block** at the Step-4-pinned sensitivity (the *Private Sketches for
+    Linear Regression* release model).  Because the Step-4 rescale pins
+    Δ₂ = 2 for any fixed ``Φ``, the budget split, calibration, and the
+    noise-preserving merge rule carry over verbatim; released snapshots
+    are ordinary :class:`~repro.privacy.tree.ReleasedMoments`, so the
+    merge, solver refresh, read path, and partial-coverage accounting
+    upstream never notice the backend.
+
+    The user-facing ``mechanism`` knob stays ``"tree"`` (and rides the
+    wire spec unchanged); the sketch family is pinned here via
+    :attr:`release_family` so every transport builds the same mechanisms.
+    """
+
+    backend = "sketch"
+
+    release_family = "sketch"
 
 
 class TenantShard:
@@ -898,14 +936,17 @@ class ShardedStream:
     """A sharded, optionally asynchronous, algorithm-generic serving front.
 
     Fronts **Algorithm 2** (``backend="moment"``, the default: raw
-    ``d``-dimensional moment shards solved by ``PrivIncReg1``) or
+    ``d``-dimensional moment shards solved by ``PrivIncReg1``),
     **Algorithm 3** (``backend="projected"``: one Gordon-sized ``Φ`` drawn
     up front, Step-4-rescaled projected moment shards in dimension
-    ``m ≪ d``, solved by a ``PrivIncReg2`` sharing that same ``Φ``).  The
-    routing, merge rule, budget ledger, cache, async queue, and fault
-    semantics are backend-agnostic — both backends pin their streams'
-    sensitivity at Δ₂ = 2, so the per-shard calibration and the
-    noise-preserving merge carry over unchanged.
+    ``m ≪ d``, solved by a ``PrivIncReg2`` sharing that same ``Φ``), or
+    the **private-sketch** variant (``backend="sketch"``: the same shared
+    ``Φ`` geometry but sparse-JL, with per-block sketch-side noise in
+    place of tree noise — :class:`SketchShard`).  The routing, merge
+    rule, budget ledger, cache, async queue, and fault semantics are
+    backend-agnostic — all backends pin their streams' sensitivity at
+    Δ₂ = 2, so the per-shard calibration and the noise-preserving merge
+    carry over unchanged.
 
     Parameters
     ----------
@@ -1019,39 +1060,55 @@ class ShardedStream:
         routing imbalance fits (slightly conservative noise).  Set to
         ``ceil(T/K)`` when the router guarantees balance.
     backend:
-        ``"moment"`` (default — Algorithm 2's raw-moment shards) or
+        ``"moment"`` (default — Algorithm 2's raw-moment shards),
         ``"projected"`` (Algorithm 3's shared-Φ projected-moment shards;
-        requires ``mechanism="tree"`` and a ``horizon``).
+        requires ``mechanism="tree"`` and a ``horizon``), or ``"sketch"``
+        (shared sparse-JL ``Φ`` with per-block sketch-side noise instead
+        of tree noise — :class:`SketchShard`; requires
+        ``mechanism="tree"`` and a ``horizon``, refuses ``decay`` and
+        ``window``).
     x_domain:
-        The covariate domain ``X`` (backend ``"projected"`` only) —
-        needed to Gordon-size ``Φ`` when neither ``projection`` nor
-        ``projected_dim`` is given, and by the default ``PrivIncReg2``
-        solver in any case.
+        The covariate domain ``X`` (backends ``"projected"`` and
+        ``"sketch"`` only) — needed to Gordon-size ``Φ`` when neither
+        ``projection`` nor ``projected_dim`` is given, and by the default
+        ``PrivIncReg2`` solver in any case.
     projection:
         Optional pre-built shared projection (anything exposing
         ``matrix``/``apply``/``projected_dim``, e.g. a
         :class:`~repro.sketching.sparse_jl.SparseProjection`); drawn
-        internally from ``rng`` when omitted.  Privacy is unaffected by
-        the choice — the Step-4 rescaling pins Δ₂ = 2 for any fixed Φ.
+        internally from ``rng`` when omitted — Gaussian under
+        ``backend="projected"``, sparse-JL under ``backend="sketch"``.
+        Privacy is unaffected by the choice — the Step-4 rescaling pins
+        Δ₂ = 2 for any fixed Φ.
     projected_dim, gamma:
         Explicit ``m`` override / distortion override for the internally
-        drawn ``Φ`` (backend ``"projected"`` only; the default sizing is
+        drawn ``Φ`` (backends ``"projected"``/``"sketch"`` only; the
+        default sizing is
         :func:`~repro.core.projected_regression.projected_sizing`, the
         same arithmetic ``PrivIncReg2`` applies).
+    sparsity_factor:
+        Sparsity ``s`` of the internally drawn sparse-JL ``Φ``
+        (``backend="sketch"`` only; default 3): each entry is non-zero
+        with probability ``1/s``, so per-block ingest costs ``~1/s`` of
+        the dense product.  Refused with a pre-built ``projection`` —
+        pass ``SparseProjection(..., sparsity_factor=s)`` directly
+        instead.
     solver:
         Any object with ``refresh_from_released(t, gram, cross)``,
         ``current_estimate()`` and ``estimate_version`` — defaults to a
         :class:`~repro.core.incremental_regression.PrivIncReg1` (or the
         unbounded variant when ``horizon`` is ``None``; or a
         :class:`~repro.core.projected_regression.PrivIncReg2` sharing the
-        front's ``Φ`` under ``backend="projected"``) whose own trees never
-        ingest; it contributes only the post-tree post-processing.
+        front's ``Φ`` under ``backend="projected"``/``"sketch"``) whose
+        own trees never ingest; it contributes only the post-tree
+        post-processing.
     beta, fidelity, iteration_cap:
         Forwarded to the default solver.
     rng:
-        Seed or Generator.  Under ``backend="projected"`` the shared ``Φ``
-        is drawn from it first (exactly the plain ``PrivIncReg2``
-        consumption); then shard ``i``'s (cross, gram) mechanisms use
+        Seed or Generator.  Under ``backend="projected"`` (and
+        ``"sketch"``) the shared ``Φ`` is drawn from it first (exactly
+        the plain ``PrivIncReg2`` consumption); then shard ``i``'s
+        (cross, gram) mechanisms use
         children ``2i``/``2i+1`` of ``rng.spawn(2K)`` — for ``K=1`` this
         is exactly the plain estimators' two-child spawn, which is what
         makes the ``K=1`` server bit-identical (moment backend) or
@@ -1085,6 +1142,7 @@ class ShardedStream:
         projection=None,
         projected_dim: int | None = None,
         gamma: float | None = None,
+        sparsity_factor: int | None = None,
         solver=None,
         beta: float = 0.05,
         fidelity: str = "fast",
@@ -1093,9 +1151,10 @@ class ShardedStream:
     ) -> None:
         if ingest not in ("exact", "fast"):
             raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
-        if backend not in ("moment", "projected"):
+        if backend not in ("moment", "projected", "sketch"):
             raise ValidationError(
-                f"backend must be 'moment' or 'projected', got {backend!r}"
+                f"backend must be 'moment', 'projected' or 'sketch', "
+                f"got {backend!r}"
             )
         if backend == "moment" and not (
             x_domain is None
@@ -1105,11 +1164,20 @@ class ShardedStream:
         ):
             raise ValidationError(
                 "x_domain/projection/projected_dim/gamma only apply to "
-                "backend='projected'"
+                "backend='projected' or 'sketch'"
             )
-        if backend == "projected" and mechanism != "tree":
+        if sparsity_factor is not None:
+            if backend != "sketch":
+                raise ValidationError(
+                    "sparsity_factor only applies to backend='sketch' (it "
+                    "sizes the sparse-JL Φ the sketch backend draws)"
+                )
+            sparsity_factor = check_int(
+                "sparsity_factor", sparsity_factor, minimum=1
+            )
+        if backend in ("projected", "sketch") and mechanism != "tree":
             raise ValidationError(
-                "backend='projected' needs tree shards (there is no "
+                f"backend={backend!r} needs tree shards (there is no "
                 "horizon-free projected solver; Algorithm 3 assumes a known T)"
             )
         if mechanism not in ("tree", "hybrid"):
@@ -1162,6 +1230,18 @@ class ShardedStream:
                 "TreeMechanism serving path)"
             )
         decay, window = check_release_knobs(decay, window)
+        if backend == "sketch" and decay is not None:
+            raise ValidationError(
+                "decay is not supported with backend='sketch': per-block "
+                "sketch noise keeps no node subtotals to fade; use "
+                "backend='moment' or 'projected' for decayed streams"
+            )
+        if backend == "sketch" and window is not None:
+            raise ValidationError(
+                "window is not supported with backend='sketch': per-block "
+                "sketch noise cannot expire elements; use window= with the "
+                "tree backends"
+            )
         if window is not None and math.isinf(window) and mechanism != "tree":
             raise ValidationError(
                 "window=inf is the degenerate never-expiring window (one "
@@ -1251,13 +1331,19 @@ class ShardedStream:
         self.backend = backend
         self.x_domain = x_domain
         self._solver_gamma = gamma
-        if backend == "projected":
+        if backend in ("projected", "sketch"):
             if solver is None and x_domain is None:
                 raise ValidationError(
-                    "backend='projected' needs x_domain for the default "
+                    f"backend={backend!r} needs x_domain for the default "
                     "PrivIncReg2 solver (or pass an explicit solver)"
                 )
             if projection is not None:
+                if sparsity_factor is not None:
+                    raise ValidationError(
+                        "sparsity_factor sizes the internally drawn sparse "
+                        "Φ; it cannot rewire a pre-built projection — pass "
+                        "SparseProjection(..., sparsity_factor=s) directly"
+                    )
                 if projection.original_dim != self.dim:
                     raise ValidationError(
                         f"projection maps from dim {projection.original_dim}, "
@@ -1268,8 +1354,8 @@ class ShardedStream:
                 if projected_dim is None:
                     if x_domain is None:
                         raise ValidationError(
-                            "backend='projected' needs x_domain (or an explicit "
-                            "projection/projected_dim) to size Φ"
+                            f"backend={backend!r} needs x_domain (or an "
+                            "explicit projection/projected_dim) to size Φ"
                         )
                     _, _, projected_dim = projected_sizing(
                         self.horizon, constraint, x_domain, beta=beta, gamma=gamma
@@ -1282,13 +1368,24 @@ class ShardedStream:
                 # spawn — the same consumption order as a plain PrivIncReg2,
                 # which keeps the K=1 shard children identical to the plain
                 # estimator's two trees.
-                self.projection = GaussianProjection(
-                    self.dim, projected_dim, rng=self._rng
-                )
+                if backend == "sketch":
+                    self.projection = SparseProjection(
+                        self.dim,
+                        projected_dim,
+                        sparsity_factor=(
+                            3 if sparsity_factor is None else sparsity_factor
+                        ),
+                        rng=self._rng,
+                    )
+                else:
+                    self.projection = GaussianProjection(
+                        self.dim, projected_dim, rng=self._rng
+                    )
             self.projected_dim = self.projection.projected_dim
         else:
             self.projection = None
             self.projected_dim = None
+        self.sparsity_factor = getattr(self.projection, "sparsity_factor", None)
 
         budgets = shard_budgets(params, self.shards_count, composition)
         children = self._rng.spawn(2 * self.shards_count)
@@ -1422,8 +1519,11 @@ class ShardedStream:
             return ProcessShardWorker(
                 spec, request_timeout=self.request_timeout
             )
-        if self.backend == "projected":
-            return ProjectedMomentShard(
+        if self.backend in ("projected", "sketch"):
+            shard_cls = (
+                SketchShard if self.backend == "sketch" else ProjectedMomentShard
+            )
+            return shard_cls(
                 index=index,
                 dim=self.dim,
                 budget=budget,
@@ -1463,7 +1563,7 @@ class ShardedStream:
 
     def _default_solver(self, beta: float, fidelity: str, iteration_cap: int):
         solver_rng = self._rng.spawn(1)[0]
-        if self.backend == "projected":
+        if self.backend in ("projected", "sketch"):
             # Shares the front's Φ, so refresh_from_released receives merged
             # moments living in the solver's own projected space; its two
             # internal trees never ingest (lazy allocation keeps them O(m)).

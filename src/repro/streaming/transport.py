@@ -163,7 +163,12 @@ class ShardSpec:
         # Imported here, not at module top: the parent-side transport layer
         # must stay importable from serving.py without a cycle, and the
         # child pays the serving import only once, at build time.
-        from .serving import MomentShard, ProjectedMomentShard, TenantShard
+        from .serving import (
+            MomentShard,
+            ProjectedMomentShard,
+            SketchShard,
+            TenantShard,
+        )
 
         if self.backend == "tenant":
             if self.tenants is None or self.tenant_rngs is None:
@@ -184,13 +189,16 @@ class ShardSpec:
                 decays=self.decays,
                 tenant_decays=self.tenant_decays,
             )
-        if self.backend == "projected":
+        if self.backend in ("projected", "sketch"):
             if self.projection is None:
                 raise ValidationError(
-                    "ShardSpec(backend='projected') requires the shared "
+                    f"ShardSpec(backend={self.backend!r}) requires the shared "
                     "projection in the spawn payload"
                 )
-            return ProjectedMomentShard(
+            shard_cls = (
+                SketchShard if self.backend == "sketch" else ProjectedMomentShard
+            )
+            return shard_cls(
                 index=self.index,
                 dim=self.dim,
                 budget=self.budget,

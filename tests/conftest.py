@@ -1,4 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The serving suites additionally honor the CI serving matrix through
+environment axes (``SERVE_SHARDS`` / ``SERVE_TRANSPORT`` /
+``SERVE_TENANTS`` / ``SERVE_DECAY`` / ``SERVE_BACKEND``); the
+``SERVE_BACKEND`` axis and its backend helpers live in
+``serving_backends.py`` beside this file.
+"""
 
 import numpy as np
 import pytest

@@ -52,23 +52,29 @@ def test_canonical_docs_exist_and_are_linked_from_readme():
         assert page in readme, f"README does not link {page}"
 
 
-def test_docs_cover_the_serving_contract_surface():
-    """The serving manual must name every public ShardedStream knob.
-
-    Keeps SERVING.md honest as the single consolidated knob table: adding
-    a constructor parameter without documenting it fails here.
-    """
+def _undocumented_ctor_knobs(cls) -> list[str]:
+    """Constructor parameters of ``cls`` not backticked in SERVING.md."""
     import inspect
 
-    from repro import ShardedStream
-
     serving_doc = (REPO_ROOT / "docs" / "SERVING.md").read_text()
-    signature = inspect.signature(ShardedStream.__init__)
-    undocumented = [
+    signature = inspect.signature(cls.__init__)
+    return [
         name
         for name in signature.parameters
         if name != "self" and f"`{name}`" not in serving_doc
     ]
+
+
+def test_docs_cover_the_serving_contract_surface():
+    """The serving manual must name every public ShardedStream knob.
+
+    Keeps SERVING.md honest as the single consolidated knob table: adding
+    a constructor parameter (e.g. the sketch backend's
+    ``sparsity_factor``) without documenting it fails here.
+    """
+    from repro import ShardedStream
+
+    undocumented = _undocumented_ctor_knobs(ShardedStream)
     assert not undocumented, (
         f"docs/SERVING.md knob table is missing: {undocumented}"
     )
@@ -77,17 +83,27 @@ def test_docs_cover_the_serving_contract_surface():
 def test_docs_cover_the_tenancy_contract_surface():
     """Same honesty gate for the multi-tenant front: every public
     MultiTenantStream constructor knob must appear in SERVING.md."""
-    import inspect
-
     from repro import MultiTenantStream
 
-    serving_doc = (REPO_ROOT / "docs" / "SERVING.md").read_text()
-    signature = inspect.signature(MultiTenantStream.__init__)
-    undocumented = [
-        name
-        for name in signature.parameters
-        if name != "self" and f"`{name}`" not in serving_doc
-    ]
+    undocumented = _undocumented_ctor_knobs(MultiTenantStream)
     assert not undocumented, (
         f"docs/SERVING.md tenant knob table is missing: {undocumented}"
+    )
+
+
+def test_docs_cover_every_backend_and_mechanism_value():
+    """Accepted enum values are contract surface too: every shard
+    ``backend`` and every release-mechanism family the factory accepts
+    must appear (quoted) in SERVING.md — a new backend cannot land
+    undocumented."""
+    serving_doc = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    backends = ("moment", "projected", "sketch")
+    mechanisms = ("tree", "hybrid", "sketch")
+    missing = [
+        value
+        for value in sorted(set(backends) | set(mechanisms))
+        if f'"{value}"' not in serving_doc
+    ]
+    assert not missing, (
+        f"docs/SERVING.md does not document the accepted values: {missing}"
     )

@@ -26,8 +26,9 @@ Pins the contracts of :mod:`repro.streaming.readers` and the lock-free
     read is never staler than the last completed publish.
 
 The ``ShardedStream`` integration tests honor the CI serving matrix
-(``SERVE_SHARDS`` / ``SERVE_TRANSPORT``), so reader semantics are
-re-proven over process-transport workers too.
+(``SERVE_SHARDS`` / ``SERVE_TRANSPORT`` / ``SERVE_BACKEND``), so reader
+semantics are re-proven over process-transport workers and over the
+projected/sketch shard backends too.
 """
 
 import gc
@@ -38,11 +39,13 @@ import time
 import numpy as np
 import pytest
 
+from serving_backends import SERVE_BACKEND, serve_backend_kwargs, serve_backend_replay
 from repro import (
     IncrementalRunner,
     L2Ball,
     PrivacyParams,
     PrivIncReg1,
+    PrivIncReg2,
     ServingError,
     ShardedStream,
 )
@@ -77,6 +80,7 @@ def stream():
 
 def _make_server(k, seed, **kwargs):
     defaults = dict(horizon=T, iteration_cap=20, transport=TRANSPORT)
+    defaults.update(serve_backend_kwargs(DIM))
     defaults.update(kwargs)
     return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
 
@@ -456,22 +460,47 @@ class TestConcurrentFanOut:
 
     def test_k1_exact_serves_plain_batched_estimate_bit_for_bit(self, stream):
         """K=1 conformance re-run against the lock-free cache: the served
-        estimate still matches the plain batched path exactly."""
+        estimate still matches an independent replay of the plain path
+        exactly.  Under the moment backend the twin is a live
+        ``PrivIncReg1`` fed the same blocks; under projected/sketch it is
+        the shard-mechanism replay refreshed through a ``PrivIncReg2``
+        twin sharing the server's Φ."""
         server = _make_server(1, seed=31, refresh_every=T)
-        plain = PrivIncReg1(
-            horizon=T,
-            constraint=L2Ball(DIM),
-            params=PARAMS,
-            iteration_cap=20,
-            solve_every=T,
-            rng=31,
-        )
         try:
-            for s, e in RAGGED_BLOCKS:
-                server.observe_batch(stream.xs[s:e], stream.ys[s:e])
-                theta_plain = plain.observe_batch(stream.xs[s:e], stream.ys[s:e])
+            if SERVE_BACKEND == "moment":
+                plain = PrivIncReg1(
+                    horizon=T,
+                    constraint=L2Ball(DIM),
+                    params=PARAMS,
+                    iteration_cap=20,
+                    solve_every=T,
+                    rng=31,
+                )
+                for s, e in RAGGED_BLOCKS:
+                    server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+                    theta_twin = plain.observe_batch(stream.xs[s:e], stream.ys[s:e])
+            else:
+                for s, e in RAGGED_BLOCKS:
+                    server.observe_batch(stream.xs[s:e], stream.ys[s:e])
+                cross, gram, transform = serve_backend_replay(1, 31, DIM, T, PARAMS)
+                for s, e in RAGGED_BLOCKS:
+                    rows = transform(stream.xs[s:e])
+                    cross[0].advance_batch(rows * stream.ys[s:e][:, None])
+                    gram[0].advance_batch(rows[:, :, None] * rows[:, None, :])
+                twin = PrivIncReg2(
+                    horizon=T,
+                    constraint=L2Ball(DIM),
+                    x_domain=L2Ball(DIM),
+                    params=PARAMS,
+                    iteration_cap=20,
+                    projection=server.projection,
+                    rng=0,
+                )
+                theta_twin = twin.refresh_from_released(
+                    T, gram[0].current_sum(), cross[0].current_sum()
+                )
             served = server.flush()
-            np.testing.assert_array_equal(served.theta, theta_plain)
+            np.testing.assert_array_equal(served.theta, theta_twin)
         finally:
             server.close()
 

@@ -9,6 +9,10 @@ and ``ShardedStream.lost_steps`` — never silently dropped.  Restarting
 brings the worker back with fresh mechanisms over a fresh (disjoint)
 sub-stream, so the parallel-composition privacy argument survives the
 whole kill/restart cycle.
+
+The whole contract is backend-independent, so the suite re-runs over the
+``SERVE_BACKEND`` axis (moment / projected / sketch) with the surviving
+replay twin drawn through ``serving_backends.serve_backend_replay``.
 """
 
 import os
@@ -16,6 +20,7 @@ import os
 import numpy as np
 import pytest
 
+from serving_backends import serve_backend_kwargs, serve_backend_replay
 from repro import (
     EstimateCache,
     L2Ball,
@@ -47,6 +52,7 @@ def stream():
 
 def _server(k=3, seed=55, **kwargs):
     defaults = dict(horizon=T, iteration_cap=15, transport=TRANSPORT)
+    defaults.update(serve_backend_kwargs(DIM))
     defaults.update(kwargs)
     return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
 
@@ -84,18 +90,14 @@ class TestShardDeath:
             server.observe_batch(stream.xs[s:e], stream.ys[s:e])
         cross_m, _ = server.merged_moments()
 
-        children = np.random.default_rng(seed).spawn(2 * k)
-        half = PARAMS.halve()
-        cross = [
-            TreeMechanism(T, (DIM,), 2.0, half, rng=children[2 * i]) for i in range(k)
-        ]
+        cross, _, transform = serve_backend_replay(k, seed, DIM, T, PARAMS)
         # Blocks 0..2 go round-robin to shards 0,1,2.  After the kill the
         # round-robin pointer continues over {0, 2}: block 3 → shard 0,
         # block 4 → (1 dead) 2, block 5 → 2... matching _route's skip rule.
         assignment = [0, 1, 2, 0, 2, 2]
         for (s, e), shard in zip(BLOCKS, assignment):
-            bx, by = stream.xs[s:e], stream.ys[s:e]
-            cross[shard].advance_batch(bx * by[:, None])
+            rows, by = transform(stream.xs[s:e]), stream.ys[s:e]
+            cross[shard].advance_batch(rows * by[:, None])
         np.testing.assert_array_equal(
             cross_m.value,
             merge_released([cross[0], None, cross[2]], strict=False).value,

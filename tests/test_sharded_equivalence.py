@@ -4,7 +4,10 @@ Three contracts, locked in over shard counts ``K ∈ {1, 2, 4, 8}``
 (overridable via the ``SERVE_SHARDS`` env var — the CI matrix leg pins
 2 and 8) and re-proven across the shard transport (``SERVE_TRANSPORT`` ∈
 ``{thread, process}``; the process axis runs every server in this suite
-over pipe-connected worker interpreters):
+over pipe-connected worker interpreters) and the shard backend
+(``SERVE_BACKEND`` ∈ ``{moment, projected, sketch}``; the replay twins
+below draw the shared ``Φ`` and pick tree- or sketch-noise mechanisms to
+match — see ``serving_backends.serve_backend_replay``):
 
 (a) **Merge correctness** — merged K-shard released sums are
     distributionally correct (matched mean; per-coordinate variance within
@@ -34,14 +37,16 @@ import threading
 import numpy as np
 import pytest
 
+from serving_backends import SERVE_BACKEND, serve_backend_kwargs, serve_backend_replay
 from repro import (
     L2Ball,
     PrivacyParams,
     PrivIncReg1,
+    PrivIncReg2,
     ServingError,
     ShardedStream,
-    TreeMechanism,
     merge_released,
+    step4_rescale_block,
 )
 from repro.data import make_dense_stream
 from repro.exceptions import StreamExhaustedError, ValidationError
@@ -72,24 +77,25 @@ def stream():
 
 def _make_server(k, seed, **kwargs):
     defaults = dict(horizon=T, iteration_cap=20, transport=TRANSPORT)
+    defaults.update(serve_backend_kwargs(DIM))
     defaults.update(kwargs)
     return ShardedStream(L2Ball(DIM), PARAMS, shards=k, rng=seed, **defaults)
 
 
 def _replay_shard_trees(k, seed, blocks, stream):
-    """Per-shard moment trees under the documented fixed rng discipline."""
-    children = np.random.default_rng(seed).spawn(2 * k)
-    half = PARAMS.halve()
-    cross = [TreeMechanism(T, (DIM,), 2.0, half, rng=children[2 * i]) for i in range(k)]
-    gram = [
-        TreeMechanism(T, (DIM, DIM), 2.0, half, rng=children[2 * i + 1])
-        for i in range(k)
-    ]
+    """Per-shard moment mechanisms under the documented rng discipline.
+
+    Backend-aware (the ``SERVE_BACKEND`` axis): the moment rows and the
+    mechanism family come from ``serving_backends.serve_backend_replay``, which
+    mirrors the front's Φ draw and ``spawn(2K)`` consumption exactly.
+    """
+    cross, gram, transform = serve_backend_replay(k, seed, DIM, T, PARAMS)
     for block_index, (s, e) in enumerate(blocks):
         shard = block_index % k
-        bx, by = stream.xs[s:e], stream.ys[s:e]
-        cross[shard].advance_batch(bx * by[:, None])
-        gram[shard].advance_batch(bx[:, :, None] * bx[:, None, :])
+        rows = transform(stream.xs[s:e])
+        by = stream.ys[s:e]
+        cross[shard].advance_batch(rows * by[:, None])
+        gram[shard].advance_batch(rows[:, :, None] * rows[:, None, :])
     return cross, gram
 
 
@@ -116,22 +122,37 @@ class TestMergeCorrectness:
         )
 
     def test_k1_bit_identical_to_single_tree(self, stream):
-        """One shard ≡ one plain tree: same spawn, same releases."""
+        """One shard ≡ one plain mechanism pair: same spawn, same releases.
+
+        The tree-based backends are blocking-invariant, so their twin
+        ingests element by element; the sketch backend draws one noise
+        vector per ingested block, so its twin replays the same block
+        cuts through the exact tier.
+        """
         server = _make_server(1, seed=21)
         for s, e in RAGGED_BLOCKS:
             server.observe_batch(stream.xs[s:e], stream.ys[s:e])
-        cross_rng, gram_rng = np.random.default_rng(21).spawn(2)
-        half = PARAMS.halve()
-        single_cross = TreeMechanism(T, (DIM,), 2.0, half, rng=cross_rng)
-        single_gram = TreeMechanism(T, (DIM, DIM), 2.0, half, rng=gram_rng)
-        for v in stream.xs * stream.ys[:, None]:
-            single_cross.observe(v)
-        for x in stream.xs:
-            single_gram.observe(np.outer(x, x))
+        cross, gram, transform = serve_backend_replay(1, 21, DIM, T, PARAMS)
+        single_cross, single_gram = cross[0], gram[0]
+        rows = transform(stream.xs)
+        if SERVE_BACKEND == "sketch":
+            for s, e in RAGGED_BLOCKS:
+                block = rows[s:e]
+                single_cross.advance_batch(block * stream.ys[s:e][:, None])
+                single_gram.advance_batch(block[:, :, None] * block[:, None, :])
+        else:
+            for v in rows * stream.ys[:, None]:
+                single_cross.observe(v)
+            for r in rows:
+                single_gram.observe(np.outer(r, r))
         cross_m, gram_m = server.merged_moments()
         np.testing.assert_array_equal(cross_m.value, single_cross.current_sum())
         np.testing.assert_array_equal(gram_m.value, single_gram.current_sum())
 
+    @pytest.mark.skipif(
+        SERVE_BACKEND != "moment",
+        reason="MultiTenantStream has no projected/sketch backend",
+    )
     @pytest.mark.parametrize("shards", SHARD_COUNTS)
     def test_one_tenant_stream_bit_identical_to_sharded_stream(
         self, stream, shards
@@ -179,9 +200,24 @@ class TestMergeCorrectness:
             server.observe_batch(stream.xs[s:e], stream.ys[s:e])
         served = server.flush()
         cross_trees, gram_trees = _replay_shard_trees(k, 33, RAGGED_BLOCKS, stream)
-        twin = PrivIncReg1(
-            horizon=T, constraint=L2Ball(DIM), params=PARAMS, iteration_cap=20, rng=0
-        )
+        if SERVE_BACKEND == "moment":
+            twin = PrivIncReg1(
+                horizon=T,
+                constraint=L2Ball(DIM),
+                params=PARAMS,
+                iteration_cap=20,
+                rng=0,
+            )
+        else:
+            twin = PrivIncReg2(
+                horizon=T,
+                constraint=L2Ball(DIM),
+                x_domain=L2Ball(DIM),
+                params=PARAMS,
+                iteration_cap=20,
+                projection=server.projection,
+                rng=0,
+            )
         theta = twin.refresh_from_released(
             T,
             merge_released(gram_trees).value,
@@ -207,7 +243,6 @@ class TestMergeCorrectness:
         xs /= np.maximum(np.linalg.norm(xs, axis=1, keepdims=True), 1.0)
         ys = np.clip(base.normal(size=length) * 0.3, -1.0, 1.0)
         blocks = [(0, 3), (3, 4), (4, 9), (9, 12)]
-        exact_cross = (xs * ys[:, None]).sum(axis=0)
 
         errors = []
         variance = None
@@ -221,9 +256,17 @@ class TestMergeCorrectness:
                 iteration_cap=1,
                 refresh_every=length,
                 rng=10_000 + seed,
+                **serve_backend_kwargs(dim),
             )
             for s, e in blocks:
                 server.observe_batch(xs[s:e], ys[s:e])
+            # The exact logical sum is backend-dependent (Step-4 rescaled
+            # rows through this trial's Φ for projected/sketch).
+            if server.projection is None:
+                rows = xs
+            else:
+                rows = step4_rescale_block(server.projection, xs)
+            exact_cross = (rows * ys[:, None]).sum(axis=0)
             cross_m, _ = server.merged_moments()
             variance = cross_m.noise_variance
             errors.append(cross_m.value - exact_cross)
