@@ -1,0 +1,73 @@
+"""Private two-stage least squares over a confounded stream.
+
+A hidden confounder enters both the covariate and the response, so an
+ordinary (even non-private) least-squares fit is biased away from the
+structural parameter ``θ*`` — while two-stage least squares through the
+exogenous instruments recovers it.  This example runs the private
+incremental 2SLS estimator (``PrivIncIV``, whose (ZᵀZ, ZᵀX, Zᵀy) moment
+bundle rides the same tree mechanisms as Algorithm 2), then serves the
+identical workload through a sharded ``ShardedStream(backend="iv")``
+front, and compares both against the non-private 2SLS answer and the
+confounded OLS fit.
+
+Run with:  python examples/iv_regression.py
+"""
+
+import numpy as np
+
+from repro import L2Ball, PrivacyParams, PrivIncIV, two_stage_least_squares
+from repro.data import make_iv_stream
+from repro.streaming import ShardedStream
+
+
+def main() -> None:
+    horizon, dim, instruments = 32768, 4, 6
+    epsilon, delta = 4.0, 1e-6
+    constraint = L2Ball(dim=dim, radius=1.0)
+
+    print(
+        f"Stream: T={horizon}, d={dim}, p={instruments};  "
+        f"privacy: (ε={epsilon}, δ={delta})"
+    )
+    stream = make_iv_stream(
+        horizon, dim, instruments,
+        instrument_strength=0.85, endogeneity=0.6, noise_std=0.02, rng=42,
+    )
+
+    # References: 2SLS (identifies θ*) vs confounded OLS (does not).
+    two_sls = two_stage_least_squares(stream.zs, stream.xs, stream.ys)
+    gram = stream.xs.T @ stream.xs
+    ols = np.linalg.pinv(gram, hermitian=True) @ (stream.xs.T @ stream.ys)
+    print(f"\n‖2SLS − θ*‖ (non-private) : {np.linalg.norm(two_sls - stream.theta_star):.4f}")
+    print(f"‖OLS  − θ*‖ (confounded)  : {np.linalg.norm(ols - stream.theta_star):.4f}")
+
+    # Standalone private estimator, one batch ingest + post-hoc polish.
+    mechanism = PrivIncIV(
+        horizon=horizon, constraint=constraint, instruments=instruments,
+        params=PrivacyParams(epsilon, delta), rng=0,
+    )
+    mechanism.observe_batch(stream.zs, stream.xs, stream.ys)
+    for _ in range(8):  # post-processing: re-solve against released moments
+        theta_priv = mechanism.refresh()
+    print(f"‖PrivIncIV − 2SLS‖        : {np.linalg.norm(theta_priv - two_sls):.4f}")
+    print(f"‖PrivIncIV − θ*‖          : {np.linalg.norm(theta_priv - stream.theta_star):.4f}")
+    print(f"Mechanism memory (floats) : {mechanism.memory_floats()}")
+    print("\nPrivacy ledger (standalone):")
+    print(mechanism.accountant.summary())
+
+    # The same workload through the sharded serving front: K workers each
+    # carrying the three-statistic bundle, merged slot-by-slot at refresh.
+    served = ShardedStream(
+        constraint, PrivacyParams(epsilon, delta), 4,
+        horizon=horizon, backend="iv", instruments=instruments, rng=0,
+    )
+    served.observe_batch(stream.stacked(), stream.ys)
+    theta_served = served.current_estimate()
+    print(f"\nServed (K=4 shards)       : ‖θ − θ*‖ = "
+          f"{np.linalg.norm(theta_served - stream.theta_star):.4f}")
+    print(f"Merged bundle slots       : {list(served.merged_bundle())}")
+    served.close()
+
+
+if __name__ == "__main__":
+    main()

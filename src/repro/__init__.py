@@ -54,6 +54,7 @@ from .privacy import (
     SketchNoiseMechanism,
     SlidingWindowMechanism,
     TreeMechanism,
+    bundle_budgets,
     make_release_mechanism,
     merge_released,
     shard_budgets,
@@ -96,7 +97,10 @@ from .streaming import (
     FleetResult,
     FleetRunner,
     IncrementalRunner,
+    IVMomentShard,
+    MomentBundle,
     MomentShard,
+    MomentStatistic,
     MultiTenantStream,
     ProcessShardWorker,
     ProjectedMomentShard,
@@ -122,12 +126,14 @@ from .core import (
     NonPrivateIncremental,
     PrivateGradientFunction,
     PrivIncERM,
+    PrivIncIV,
     PrivIncReg1,
     PrivIncReg2,
     RobustPrivIncReg,
     StaticOutput,
     UnboundedPrivIncReg,
     bounds,
+    two_stage_least_squares,
     tau_convex,
     tau_frank_wolfe,
     tau_strongly_convex,
@@ -166,6 +172,7 @@ __all__ = [
     "MergedRelease",
     "ReleasedMoments",
     "merge_released",
+    "bundle_budgets",
     "shard_budgets",
     "tenant_budgets",
     # geometry
@@ -205,9 +212,12 @@ __all__ = [
     "ReplicateSpec",
     "ReplicateResult",
     "ShardedStream",
+    "MomentBundle",
+    "MomentStatistic",
     "MomentShard",
     "ProjectedMomentShard",
     "SketchShard",
+    "IVMomentShard",
     "TenantShard",
     "MultiTenantStream",
     "TenantView",
@@ -230,6 +240,8 @@ __all__ = [
     "tau_frank_wolfe",
     "PrivIncReg1",
     "PrivIncReg2",
+    "PrivIncIV",
+    "two_stage_least_squares",
     "RobustPrivIncReg",
     "UnboundedPrivIncReg",
     "NonPrivateIncremental",

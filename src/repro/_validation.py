@@ -128,6 +128,25 @@ def check_unit_xy_domain(name: str, xs: np.ndarray, ys: np.ndarray) -> None:
         )
 
 
+def check_unit_iv_domain(
+    name: str, zs: np.ndarray, xs: np.ndarray, ys: np.ndarray
+) -> None:
+    """Enforce the unit normalization on an instrument/covariate/response block.
+
+    The IV moment statistics (ZᵀZ, ZᵀX, Zᵀy) all have L2-sensitivity 2
+    under ``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1`` — the same bound the plain
+    cross/gram calibration uses, one norm per factor of each dyad.
+    """
+    if (
+        np.any(np.linalg.norm(zs, axis=1) > 1.0 + 1e-9)
+        or np.any(np.linalg.norm(xs, axis=1) > 1.0 + 1e-9)
+        or np.any(np.abs(ys) > 1.0 + 1e-9)
+    ):
+        raise DomainViolationError(
+            f"{name} requires ‖z‖ ≤ 1, ‖x‖ ≤ 1 and |y| ≤ 1 (privacy calibration)"
+        )
+
+
 def check_decay(name: str, value: float) -> float:
     """Validate a forgetting factor ``γ``: a finite number in ``(0, 1]``.
 

@@ -8,6 +8,8 @@
   random-projection regression (Theorem 5.7, the ``T^{1/3}W^{2/3}`` bound).
 * :class:`~repro.core.robust.RobustPrivIncReg` — the §5.2 oracle-filtered
   extension.
+* :class:`~repro.core.priv_inc_iv.PrivIncIV` — private incremental
+  two-stage least squares over the (ZᵀZ, ZᵀX, Zᵀy) moment bundle.
 * :mod:`repro.core.baselines` — the naive/static/non-private references.
 * :mod:`repro.core.bounds` — every Table-1 formula.
 """
@@ -20,6 +22,7 @@ from .incremental_erm import (
     tau_strongly_convex,
 )
 from .incremental_regression import PrivIncReg1
+from .priv_inc_iv import PrivIncIV, two_stage_least_squares
 from .projected_regression import PrivIncReg2
 from .robust import RobustPrivIncReg
 from .unbounded import UnboundedPrivIncReg
@@ -34,6 +37,8 @@ __all__ = [
     "tau_frank_wolfe",
     "PrivIncReg1",
     "PrivIncReg2",
+    "PrivIncIV",
+    "two_stage_least_squares",
     "RobustPrivIncReg",
     "UnboundedPrivIncReg",
     "NonPrivateIncremental",

@@ -1,0 +1,455 @@
+"""``PrivIncIV`` — private incremental two-stage least squares.
+
+The first *multi-statistic* client of the moment-bundle serving stack:
+instrumental-variable (IV) regression for streams whose covariates are
+endogenous (correlated with the noise), where ordinary least squares — and
+with it Algorithm 2 — is inconsistent no matter how small the privacy
+noise.  With instruments ``z_t ∈ R^p`` (correlated with ``x_t``,
+uncorrelated with the structural noise), the classical two-stage least
+squares (2SLS) estimator is a pure function of three running moments:
+
+1. **Stage 1** regresses each covariate coordinate on the instruments,
+   ``B_t = (ZᵀZ)⁺ ZᵀX`` — the fitted covariates are ``X̂ = Z B_t``;
+2. **Stage 2** regresses the response on the fitted covariates:
+   ``θ_t = argmin_θ ‖X̂θ − y‖²``, whose normal equations involve only
+   ``X̂ᵀX̂ = BᵀZᵀZ B`` and ``X̂ᵀy = BᵀZᵀy``.
+
+Everything is a function of ``(ZᵀZ, ZᵀX, Zᵀy)`` — so the private
+incremental version feeds exactly those three statistics through tree
+mechanisms (one third of the budget each, basic composition; Δ₂ = 2 under
+``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1``) and runs both stages as **post-processing**
+of the released sums:
+
+* stage 1 either solves its normal equations exactly (``stage1="exact"``,
+  the default — a pseudo-inverse against the released ``ZᵀZ``), or runs
+  one constrained noisy-PGD refresh per covariate column
+  (``stage1="pgd"``, reusing
+  :meth:`~repro.core.incremental_regression.PrivIncReg1.refresh_from_released`
+  over an L2 ball of radius ``stage1_radius``) when the first stage
+  itself should be regularized;
+* stage 2 hands the reconstructed ``(X̂ᵀX̂, X̂ᵀy)`` pair to an internal
+  :class:`~repro.core.incremental_regression.PrivIncReg1` — the same
+  warm-started noisy-PGD solve, Lipschitz sizing, and iteration schedule
+  Algorithm 2 uses, whose own trees never ingest.
+
+Because both stages are deterministic functions of already-released
+moments, privacy is the trees' alone: ``(ε, δ)`` overall by basic
+composition of the three thirds.  Repeating a refresh (e.g. calling
+:meth:`PrivIncIV.refresh` several times after the stream ends) is free —
+each call warm-starts the stage-2 PGD from the previous parameter and
+contracts the optimization error further, the same post-hoc polish the
+single-equation mechanisms allow.
+
+Served operation: :class:`~repro.streaming.serving.ShardedStream` with
+``backend="iv"`` ingests stacked ``[z | x]`` blocks into per-shard
+(zz, zx, zy) bundles (:class:`~repro.streaming.serving.IVMomentShard`) on
+any transport and hands the merged bundle to
+:meth:`PrivIncIV.refresh_from_bundle`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_int,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_rng,
+    check_unit_iv_domain,
+    check_vector,
+)
+from ..exceptions import ValidationError
+from ..geometry import L2Ball
+from ..geometry.base import ConvexSet
+from ..privacy.accountant import PrivacyAccountant
+from ..privacy.parameters import PrivacyParams, bundle_budgets
+from ..privacy.release import make_release_mechanism
+from .incremental_regression import (
+    MOMENT_SENSITIVITY,
+    PrivIncReg1,
+    solve_schedule,
+)
+
+__all__ = ["PrivIncIV", "two_stage_least_squares"]
+
+
+def _check_iv_block(zs, xs, ys, *, instruments: int, dim: int):
+    """Validate one ``(zs, xs, ys)`` block: shapes, finiteness, unit domain."""
+    zs = np.asarray(zs, dtype=float)
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if zs.ndim != 2 or zs.shape[1] != instruments:
+        raise ValidationError(
+            f"Z must be a 2-D (n, {instruments}) block, got shape {zs.shape}"
+        )
+    if xs.shape != (zs.shape[0], dim):
+        raise ValidationError(
+            f"X must have shape ({zs.shape[0]}, {dim}), got {xs.shape}"
+        )
+    if ys.shape != (zs.shape[0],):
+        raise ValidationError(f"y must have shape ({zs.shape[0]},), got {ys.shape}")
+    if zs.shape[0] == 0:
+        raise ValidationError("batch must contain at least one point")
+    if not (
+        np.all(np.isfinite(zs))
+        and np.all(np.isfinite(xs))
+        and np.all(np.isfinite(ys))
+    ):
+        raise ValidationError("batch must contain only finite entries")
+    check_unit_iv_domain("PrivIncIV", zs, xs, ys)
+    return zs, xs, ys
+
+
+def two_stage_least_squares(
+    zs: np.ndarray, xs: np.ndarray, ys: np.ndarray, ridge: float = 0.0
+) -> np.ndarray:
+    """The exact (non-private, unconstrained) 2SLS estimate of a batch.
+
+    The ε → ∞ reference the conformance suite compares :class:`PrivIncIV`
+    against: ``B = (ZᵀZ + ridge·I)⁺ ZᵀX`` then
+    ``θ = (BᵀZᵀZB)⁺ BᵀZᵀy``.  With ``p = d`` (just-identified) this is
+    the classical ``(ZᵀX)⁻¹ Zᵀy`` instrument estimator.
+    """
+    zs = np.asarray(zs, dtype=float)
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    ridge = check_non_negative("ridge", ridge)
+    zz = zs.T @ zs
+    zx = zs.T @ xs
+    zy = zs.T @ ys
+    kernel = np.linalg.pinv(zz + ridge * np.eye(zz.shape[0]), hermitian=True)
+    B = kernel @ zx
+    gram2 = B.T @ zz @ B
+    cross2 = B.T @ zy
+    return np.linalg.pinv(0.5 * (gram2 + gram2.T), hermitian=True) @ cross2
+
+
+class PrivIncIV:
+    """Private incremental two-stage least squares over a (zz, zx, zy) bundle.
+
+    Parameters
+    ----------
+    horizon:
+        The stream length ``T`` (known in advance — the tree calibration).
+    constraint:
+        The convex constraint set ``C`` for the *structural* parameter
+        ``θ`` (dimension ``d``); the stage-2 PGD projects onto it.
+    instruments:
+        Number of instrument coordinates ``p``.  Identification needs
+        ``p ≥ d`` (stage 1 regresses ``d`` covariates on ``p``
+        instruments; fewer instruments than covariates leaves the
+        structural parameter under-determined).
+    params:
+        Total ``(ε, δ)`` budget, split into exact thirds across the three
+        moment trees (:func:`~repro.privacy.parameters.bundle_budgets`).
+    beta:
+        Confidence parameter forwarded to the stage solvers.
+    fidelity:
+        ``"fast"`` (default) or ``"paper"`` inner-iteration sizing of the
+        noisy-PGD refreshes.
+    iteration_cap:
+        PGD iteration ceiling in ``"fast"`` mode.
+    solve_every:
+        Run the two-stage refresh every ``solve_every`` steps (and at the
+        horizon) in the standalone :meth:`observe` path; post-processing
+        scheduling only, exactly Algorithm 2's knob.
+    ridge:
+        Optional Tikhonov term added to the released ``ZᵀZ`` before the
+        stage-1 pseudo-inverse (``stage1="exact"`` only) — stabilizes the
+        first stage when the noisy instrument Gram is near-singular at
+        small ``t``.  ``0.0`` (default) is the plain pseudo-inverse.
+    stage1:
+        ``"exact"`` (default) — closed-form stage-1 solve against the
+        released moments; ``"pgd"`` — one constrained noisy-PGD refresh
+        per covariate column through an internal
+        :class:`~repro.core.incremental_regression.PrivIncReg1` (whose
+        trees never ingest), for a regularized first stage.
+    stage1_radius:
+        Radius of the per-column L2-ball constraint under
+        ``stage1="pgd"`` (each first-stage coefficient column lives in
+        ``‖b‖ ≤ stage1_radius``).
+    rng:
+        Seed or Generator.  The three moment trees receive the first
+        three spawned children — in (zz, zx, zy) order, the same slice
+        discipline :class:`~repro.streaming.serving.IVMomentShard` uses,
+        so a ``K = 1`` served stream builds bit-identical trees — and the
+        stage solvers spawn after them.
+    """
+
+    def __init__(
+        self,
+        horizon: int,
+        constraint: ConvexSet,
+        instruments: int,
+        params: PrivacyParams,
+        beta: float = 0.05,
+        fidelity: str = "fast",
+        iteration_cap: int = 400,
+        solve_every: int = 1,
+        ridge: float = 0.0,
+        stage1: str = "exact",
+        stage1_radius: float = 2.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if stage1 not in ("exact", "pgd"):
+            raise ValidationError(
+                f"stage1 must be 'exact' or 'pgd', got {stage1!r}"
+            )
+        self.horizon = check_int("horizon", horizon, minimum=1)
+        self.constraint = constraint
+        self.dim = constraint.dim
+        self.instruments = check_int("instruments", instruments, minimum=1)
+        if self.instruments < self.dim:
+            raise ValidationError(
+                f"identification needs instruments >= dim: {self.instruments} "
+                f"instruments cannot identify {self.dim} structural "
+                f"coefficients"
+            )
+        self.params = params
+        self.beta = check_probability("beta", beta)
+        self.fidelity = fidelity
+        self.iteration_cap = check_int("iteration_cap", iteration_cap, minimum=1)
+        self.solve_every = check_int("solve_every", solve_every, minimum=1)
+        self.ridge = check_non_negative("ridge", ridge)
+        self.stage1 = stage1
+        self.stage1_radius = check_positive("stage1_radius", stage1_radius)
+        self._rng = check_rng(rng)
+
+        p, d = self.instruments, self.dim
+        # One tree per bundle statistic at a third of the budget — the
+        # same split, sensitivity, and child-generator discipline
+        # IVMomentShard applies, so a K=1 served stream under one seed
+        # builds byte-identical mechanisms.
+        thirds = bundle_budgets(params, (1.0, 1.0, 1.0))
+        zz_rng, zx_rng, zy_rng = self._rng.spawn(3)
+        self._tree_zz = make_release_mechanism(
+            shape=(p, p),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=thirds[0],
+            rng=zz_rng,
+            mechanism="tree",
+            horizon=self.horizon,
+        )
+        self._tree_zx = make_release_mechanism(
+            shape=(p, d),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=thirds[1],
+            rng=zx_rng,
+            mechanism="tree",
+            horizon=self.horizon,
+        )
+        self._tree_zy = make_release_mechanism(
+            shape=(p,),
+            l2_sensitivity=MOMENT_SENSITIVITY,
+            params=thirds[2],
+            rng=zy_rng,
+            mechanism="tree",
+            horizon=self.horizon,
+        )
+        self.accountant = PrivacyAccountant(params, mode="basic")
+        self.accountant.charge("tree:zz-moments", thirds[0])
+        self.accountant.charge("tree:zx-moments", thirds[1])
+        self.accountant.charge("tree:zy-moments", thirds[2])
+
+        # Stage 2 is a full Algorithm-2 solver over the reconstructed
+        # (X̂ᵀX̂, X̂ᵀy) pair; its own trees never ingest — it contributes
+        # only refresh_from_released post-processing (warm start, Lipschitz
+        # sizing, iteration schedule).
+        stage2_rng = self._rng.spawn(1)[0]
+        self._stage2 = PrivIncReg1(
+            horizon=self.horizon,
+            constraint=constraint,
+            params=params,
+            beta=beta,
+            fidelity=fidelity,
+            iteration_cap=iteration_cap,
+            rng=stage2_rng,
+        )
+        # Stage-1 PGD solvers (one per covariate column, over the
+        # instrument space) are only built when asked for: the exact
+        # stage needs no solver state at all.
+        self._stage1_solvers: list[PrivIncReg1] | None = None
+        if stage1 == "pgd":
+            stage1_rngs = self._rng.spawn(d)
+            ball = L2Ball(p, radius=self.stage1_radius)
+            self._stage1_solvers = [
+                PrivIncReg1(
+                    horizon=self.horizon,
+                    constraint=ball,
+                    params=params,
+                    beta=beta,
+                    fidelity=fidelity,
+                    iteration_cap=iteration_cap,
+                    rng=stage1_rngs[j],
+                )
+                for j in range(d)
+            ]
+
+        self.steps_taken = 0
+        self.estimate_version = 0
+
+    # ------------------------------------------------------------------
+    # The two-stage solve (pure post-processing of released moments)
+    # ------------------------------------------------------------------
+
+    def _solve_two_stage(
+        self, t: int | float, zz: np.ndarray, zx: np.ndarray, zy: np.ndarray
+    ) -> np.ndarray:
+        """Both 2SLS stages against one released (zz, zx, zy) triple."""
+        p = self.instruments
+        zz = 0.5 * (zz + zz.T)
+        if self.stage1 == "pgd":
+            B = np.column_stack(
+                [
+                    solver.refresh_from_released(t, zz, zx[:, j])
+                    for j, solver in enumerate(self._stage1_solvers)
+                ]
+            )
+        else:
+            kernel = np.linalg.pinv(
+                zz + self.ridge * np.eye(p), hermitian=True
+            )
+            B = kernel @ zx
+        # Stage 2's moments in the structural space: X̂ᵀX̂ = BᵀZᵀZB and
+        # X̂ᵀy = BᵀZᵀy — both running sums of per-point dyads, exactly the
+        # shape refresh_from_released expects, and PSD by construction.
+        gram2 = B.T @ zz @ B
+        gram2 = 0.5 * (gram2 + gram2.T)
+        cross2 = B.T @ zy
+        # The fitted design x̂ = Bᵀz is not unit-normalized — ‖x̂‖ shrinks
+        # with the first-stage fit, so at sample count t the stage-2 Gram
+        # carries curvature tr(gram2) ≪ t.  The PGD's Lipschitz sizing
+        # (2t(‖C‖+1)) must see that *effective* weight, not the raw step
+        # count, or its steps are vanishingly small against the actual
+        # quadratic and the refresh barely moves.  The trace is itself a
+        # released statistic, so this re-weighting is post-processing.
+        t_eff = max(float(np.trace(gram2)), np.finfo(float).tiny)
+        theta = self._stage2.refresh_from_released(t_eff, gram2, cross2)
+        self.estimate_version += 1
+        return theta
+
+    def refresh_from_bundle(self, t: int | float, moments: dict) -> np.ndarray:
+        """Serve-mode hook: one two-stage solve from a merged moment bundle.
+
+        ``moments`` maps the bundle names ``"zz"``/``"zx"``/``"zy"`` to
+        released values — raw arrays or anything exposing ``.value``
+        (e.g. the :class:`~repro.privacy.tree.MergedRelease` handles a
+        :class:`~repro.streaming.serving.ShardedStream` merge produces).
+        Pure post-processing of already-released statistics, so privacy
+        is untouched regardless of how the moments were assembled; each
+        call warm-starts the stage-2 PGD from the previous parameter, so
+        repeated calls at the same ``t`` polish the optimization error.
+        ``t`` is the covered logical sample count (may be a positive
+        float, as in
+        :meth:`~repro.core.incremental_regression.PrivIncReg1.refresh_from_released`).
+        """
+        if isinstance(t, (int, np.integer)) and not isinstance(t, bool):
+            t = check_int("t", t, minimum=1)
+        else:
+            t = check_positive("t", t)
+        p, d = self.instruments, self.dim
+        missing = [name for name in ("zz", "zx", "zy") if name not in moments]
+        if missing:
+            raise ValidationError(
+                f"moment bundle is missing {missing!r} (need zz, zx, zy)"
+            )
+        zz = check_matrix(
+            "zz", getattr(moments["zz"], "value", moments["zz"]), shape=(p, p)
+        )
+        zx = check_matrix(
+            "zx", getattr(moments["zx"], "value", moments["zx"]), shape=(p, d)
+        )
+        zy = check_vector(
+            "zy", getattr(moments["zy"], "value", moments["zy"]), dim=p
+        )
+        return self._solve_two_stage(t, zz, zx, zy)
+
+    def refresh(self) -> np.ndarray:
+        """Re-run the two-stage solve from the trees' current releases.
+
+        Post-hoc polish for the standalone path: the released moments are
+        already public, so re-solving (warm-started) costs no privacy and
+        contracts the stage-2 optimization error with every call.
+        """
+        if self.steps_taken == 0:
+            raise ValidationError(
+                "nothing to refresh: no points observed yet"
+            )
+        return self._solve_two_stage(
+            self.steps_taken,
+            self._tree_zz.current_sum(),
+            self._tree_zx.current_sum(),
+            self._tree_zy.current_sum(),
+        )
+
+    # ------------------------------------------------------------------
+    # Standalone ingestion (the serving path uses IVMomentShard instead)
+    # ------------------------------------------------------------------
+
+    def observe(self, z: np.ndarray, x: np.ndarray, y: float) -> np.ndarray:
+        """Process ``(z_t, x_t, y_t)``; release ``θ_t^priv``.
+
+        Raises
+        ------
+        DomainViolationError
+            If the point violates ``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1`` — the
+            normalization all three sensitivities are calibrated to.
+        """
+        z = check_vector("z", z, dim=self.instruments)
+        x = check_vector("x", x, dim=self.dim)
+        return self.observe_batch(
+            z[None, :], x[None, :], np.asarray([float(y)])
+        )
+
+    def observe_batch(
+        self, zs: np.ndarray, xs: np.ndarray, ys: np.ndarray
+    ) -> np.ndarray:
+        """Process a block of points; release ``θ`` after the final one.
+
+        The three moment trees ingest the whole block with vectorized
+        dyadic updates, then the two-stage refreshes scheduled inside the
+        block by ``solve_every`` run against the matching per-step tree
+        releases — the same commit ordering as
+        :meth:`~repro.core.incremental_regression.PrivIncReg1.observe_batch`.
+        """
+        zs, xs, ys = _check_iv_block(
+            zs, xs, ys, instruments=self.instruments, dim=self.dim
+        )
+        k = zs.shape[0]
+        if self.steps_taken + k > self.horizon:
+            raise ValidationError(
+                f"PrivIncIV configured for horizon {self.horizon} received "
+                f"a block of {k} points at logical step {self.steps_taken}"
+            )
+        zz_all = self._tree_zz.observe_batch(zs[:, :, None] * zs[:, None, :])
+        zx_all = self._tree_zx.observe_batch(zs[:, :, None] * xs[:, None, :])
+        zy_all = self._tree_zy.observe_batch(zs * ys[:, None])
+        t0 = self.steps_taken
+        self.steps_taken = t0 + k
+        for t in solve_schedule(t0, t0 + k, self.solve_every, self.horizon):
+            idx = t - t0 - 1
+            self._solve_two_stage(t, zz_all[idx], zx_all[idx], zy_all[idx])
+        return self.current_estimate()
+
+    # ------------------------------------------------------------------
+    # Reads / diagnostics
+    # ------------------------------------------------------------------
+
+    def current_estimate(self) -> np.ndarray:
+        """The most recently released structural parameter (free)."""
+        return self._stage2.current_estimate()
+
+    def memory_floats(self) -> int:
+        """Floats held: three trees (``O((p² + pd) log T)``) + the solvers."""
+        total = (
+            self._tree_zz.memory_floats()
+            + self._tree_zx.memory_floats()
+            + self._tree_zy.memory_floats()
+            + self._stage2.memory_floats()
+        )
+        if self._stage1_solvers is not None:
+            total += sum(s.memory_floats() for s in self._stage1_solvers)
+        return total

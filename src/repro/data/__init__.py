@@ -13,6 +13,9 @@ geometric settings of each theorem:
 * :mod:`repro.data.drift` — non-stationary streams where the ground-truth
   parameter moves, demonstrating the "summarizer" view of incremental ERM
   (paper's Generalization discussion).
+* :mod:`repro.data.causal` — confounded streams with exogenous
+  instruments, the workload for private two-stage least squares
+  (:class:`~repro.core.priv_inc_iv.PrivIncIV`).
 """
 
 from .synthetic import (
@@ -22,6 +25,7 @@ from .synthetic import (
     make_sparse_stream,
     sample_sparse_theta,
 )
+from .causal import IVStream, make_iv_stream
 from .adaptive import adaptive_null_space_points, adaptive_sparse_points
 from .drift import make_drift_stream
 
@@ -34,4 +38,6 @@ __all__ = [
     "adaptive_null_space_points",
     "adaptive_sparse_points",
     "make_drift_stream",
+    "IVStream",
+    "make_iv_stream",
 ]

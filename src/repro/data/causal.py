@@ -1,0 +1,148 @@
+"""Synthetic instrumental-variable (causal) stream generators.
+
+The IV setting breaks the exogeneity assumption the plain regression
+workloads satisfy: an unobserved confounder ``u_t`` enters both the
+covariate and the response, so the least-squares projection of ``y`` on
+``x`` no longer recovers the structural parameter ``θ*`` — but an
+*instrument* ``z_t``, correlated with ``x_t`` and independent of ``u_t``,
+does, through two-stage least squares.  The generative model here is
+
+    ``z_t``  uniform on the unit sphere in ``R^p``             (exogenous)
+    ``x_t ∝ s·Π z_t + (1−s)·ν_t + c·u_t·w``    then ball-normalized
+    ``y_t = clip(⟨x_t, θ*⟩ + c·u_t + w_t, −1, 1)``
+
+with ``s = instrument_strength`` (how much of ``x`` the instrument
+explains — the weak-instrument knob), ``c = endogeneity`` (how strongly
+the confounder ``u_t ~ N(0,1)`` contaminates both equations), and
+``ν_t, w_t`` idiosyncratic noise.  At ``c > 0`` ordinary least squares on
+``(x, y)`` is asymptotically biased along ``w``; 2SLS through ``z``
+(:func:`repro.core.priv_inc_iv.two_stage_least_squares`, privately
+:class:`~repro.core.priv_inc_iv.PrivIncIV`) is not.
+
+Both ``z`` and ``x`` obey the library's unit normalization
+(``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1``) so the Δ₂ = 2 sensitivity calibration of
+the moment bundles holds verbatim.  Generation is fully deterministic
+under a seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int, check_non_negative, check_probability, check_rng
+
+__all__ = ["IVStream", "make_iv_stream"]
+
+
+@dataclass(frozen=True)
+class IVStream:
+    """An instrumental-variable stream: instruments, covariates, responses.
+
+    ``zs`` is ``(T, p)`` with ``‖z_t‖ ≤ 1``, ``xs`` is ``(T, d)`` with
+    ``‖x_t‖ ≤ 1``, ``ys`` is ``(T,)`` with ``|y_t| ≤ 1``; ``theta_star``
+    is the structural parameter the confounded OLS projection misses.
+    ``confounders`` keeps the realized ``u_t`` draws for diagnostics
+    (they are *unobserved* by any estimator — do not feed them in).
+    """
+
+    zs: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    theta_star: np.ndarray
+    confounders: np.ndarray
+
+    def __len__(self) -> int:
+        return self.zs.shape[0]
+
+    def stacked(self) -> np.ndarray:
+        """The ``(T, p + d)`` block form ``[z | x]`` the IV serving backend
+        ingests (:class:`~repro.streaming.serving.ShardedStream` with
+        ``backend="iv"`` splits each row back at column ``p``)."""
+        return np.hstack([self.zs, self.xs])
+
+
+def make_iv_stream(
+    length: int,
+    dim: int,
+    instruments: int,
+    theta_star: np.ndarray | None = None,
+    instrument_strength: float = 0.8,
+    endogeneity: float = 0.5,
+    noise_std: float = 0.05,
+    rng: np.random.Generator | int | None = None,
+) -> IVStream:
+    """Generate a confounded stream with exogenous instruments.
+
+    Parameters
+    ----------
+    length, dim, instruments:
+        Stream length ``T``, structural dimension ``d``, and instrument
+        dimension ``p``.  Identification in 2SLS needs ``p ≥ d``; the
+        generator does not enforce it (under-identified workloads are
+        useful for negative tests) but the private solver does.
+    theta_star:
+        Structural ground truth; defaults to a random direction of norm
+        ``1/2`` (kept small so the clipped response rarely saturates).
+    instrument_strength:
+        ``s ∈ [0, 1]``: the share of ``x`` explained by ``Π z``.  Near 0
+        the instruments are weak and the first-stage fit (and any 2SLS
+        estimate, private or not) degrades — the knob weak-IV sweeps turn.
+    endogeneity:
+        ``c ≥ 0``: the confounder's weight in *both* equations.  At 0 the
+        stream is an ordinary regression workload; as it grows, the OLS
+        bias along the confounding direction grows with it.
+    noise_std:
+        Idiosyncratic response-noise standard deviation.
+    rng:
+        Seed or Generator — the whole stream is a deterministic function
+        of it.
+    """
+    length = check_int("length", length, minimum=1)
+    dim = check_int("dim", dim, minimum=1)
+    instruments = check_int("instruments", instruments, minimum=1)
+    instrument_strength = check_probability(
+        "instrument_strength", instrument_strength, allow_zero=True
+    )
+    endogeneity = check_non_negative("endogeneity", endogeneity)
+    noise_std = check_non_negative("noise_std", noise_std)
+    generator = check_rng(rng)
+
+    raw_z = generator.normal(size=(length, instruments))
+    zs = raw_z / np.linalg.norm(raw_z, axis=1, keepdims=True)
+
+    # First-stage map Π and the confounding direction w, both fixed for
+    # the whole stream (a structural model, not a drifting one).
+    pi = generator.normal(size=(instruments, dim))
+    pi /= max(float(np.linalg.norm(pi, 2)), 1e-12)
+    confound_direction = generator.normal(size=dim)
+    confound_direction /= np.linalg.norm(confound_direction)
+
+    confounders = generator.normal(size=length)
+    idiosyncratic = generator.normal(size=(length, dim))
+    raw_x = (
+        instrument_strength * (zs @ pi)
+        + (1.0 - instrument_strength) * 0.5 * idiosyncratic
+        + endogeneity * 0.5 * confounders[:, None] * confound_direction
+    )
+    # Ball-normalize (never inflate): scaling down preserves the linear
+    # structural equation's form while restoring ``‖x‖ ≤ 1``.
+    norms = np.linalg.norm(raw_x, axis=1)
+    xs = raw_x / np.maximum(1.0, norms)[:, None]
+
+    if theta_star is None:
+        direction = generator.normal(size=dim)
+        theta_star = 0.5 * direction / np.linalg.norm(direction)
+    else:
+        theta_star = np.asarray(theta_star, dtype=float)
+
+    response_noise = (
+        generator.normal(0.0, noise_std, size=length) if noise_std > 0 else 0.0
+    )
+    ys = np.clip(
+        xs @ theta_star + endogeneity * 0.25 * confounders + response_noise,
+        -1.0,
+        1.0,
+    )
+    return IVStream(zs, xs, ys, theta_star, confounders)

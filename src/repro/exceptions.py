@@ -91,6 +91,23 @@ class ShardTimeoutError(ShardUnavailableError, TimeoutError):
     """
 
 
+class BundlePartialCommitError(ShardUnavailableError):
+    """A moment bundle tore mid-block: some entries committed, some did not.
+
+    Raised by :meth:`~repro.streaming.moments.MomentBundle.ingest` when a
+    statistic *after the first* fails to advance: the earlier entries have
+    already consumed the block, so the bundle's streams disagree by one
+    block and no later merge over them would be coverage-consistent.  The
+    bundle discards its mechanisms before raising, and the owning shard
+    marks itself dead — subclassing :class:`ShardUnavailableError` folds
+    the torn bundle into the existing partial-coverage / ``lost_steps``
+    accounting, which counts only the shard's fully committed blocks (the
+    torn block was never acknowledged).  A failure on the *first* entry is
+    not a tear: nothing was consumed, the original exception propagates,
+    and the shard stays alive with the block refundable.
+    """
+
+
 class ServingError(ReproError):
     """The sharded serving front is in a state that cannot serve the request.
 

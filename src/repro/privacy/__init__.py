@@ -20,7 +20,12 @@ differential-privacy literature:
   :class:`SketchNoiseMechanism` (per-block sketch-side noise).
 """
 
-from .parameters import PrivacyParams, shard_budgets, tenant_budgets
+from .parameters import (
+    PrivacyParams,
+    bundle_budgets,
+    shard_budgets,
+    tenant_budgets,
+)
 from .mechanisms import (
     GaussianMechanism,
     LaplaceMechanism,
@@ -55,6 +60,7 @@ from .rdp import RdpAccountant, gaussian_rdp, rdp_to_dp
 
 __all__ = [
     "PrivacyParams",
+    "bundle_budgets",
     "shard_budgets",
     "tenant_budgets",
     "MergedRelease",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from .._validation import check_int, check_positive, check_probability
 from ..exceptions import ValidationError
 
-__all__ = ["PrivacyParams", "shard_budgets", "tenant_budgets"]
+__all__ = ["PrivacyParams", "bundle_budgets", "shard_budgets", "tenant_budgets"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -135,6 +135,29 @@ def shard_budgets(
     raise ValidationError(
         f"composition must be 'parallel' or 'basic', got {composition!r}"
     )
+
+
+def bundle_budgets(
+    total: PrivacyParams, weights: "tuple[float, ...] | list[float]"
+) -> tuple[PrivacyParams, ...]:
+    """Per-statistic budgets for one shard's moment bundle.
+
+    A :class:`~repro.streaming.moments.MomentBundle` runs one release
+    mechanism per named statistic over the *same* sub-stream, so the
+    pieces compose sequentially: piece ``i`` receives
+    ``(ε·wᵢ/Σw, δ·wᵢ/Σw)`` via :meth:`PrivacyParams.split_weighted` and
+    the pieces recompose to exactly ``total`` (Theorem A.3 basic
+    composition — the same argument Algorithms 2 and 3 make for their two
+    trees).
+
+    For the default two-entry (cross, gram) bundle at equal weights each
+    piece is ``(ε·1/2, δ·1/2)``, which IEEE-754 evaluates bit-identically
+    to the historical ``total.halve()`` (``x·1.0 == x``, then one shared
+    division by 2) — the arithmetic fact the bundle refactor's
+    bit-identity gate rests on.  A three-entry IV bundle at equal weights
+    likewise lands on exact thirds.
+    """
+    return total.split_weighted(weights)
 
 
 def tenant_budgets(

@@ -28,9 +28,11 @@ from .adjacency import is_neighbor, replace_point
 from .metrics import ExcessRiskTrace, ReadStats
 from .runner import IncrementalRunner, RunResult
 from .fleet import FleetResult, FleetRunner, ReplicateResult, ReplicateSpec
+from .moments import MomentBundle, MomentStatistic
 from .readers import EstimateHub, ReaderHandle, Subscription
 from .serving import (
     EstimateCache,
+    IVMomentShard,
     MomentShard,
     ProjectedMomentShard,
     ServedEstimate,
@@ -55,9 +57,12 @@ __all__ = [
     "ReplicateSpec",
     "ReplicateResult",
     "ShardedStream",
+    "MomentBundle",
+    "MomentStatistic",
     "MomentShard",
     "ProjectedMomentShard",
     "SketchShard",
+    "IVMomentShard",
     "TenantShard",
     "MultiTenantStream",
     "TenantView",

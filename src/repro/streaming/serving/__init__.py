@@ -1,0 +1,148 @@
+"""The sharded serving layer: per-shard bundles, merged releases, cached reads.
+
+The Tree Mechanism's releases are *additive across disjoint sub-streams*:
+each shard's released prefix sum is its exact sub-stream sum plus a sum of
+independent per-node Gaussians, so summing per-shard releases yields the
+logical-stream statistic with a noise variance that simply adds across
+shards (:func:`repro.privacy.tree.merge_released`).  That is exactly the
+property a sharded server needs to split one logical stream of length ``T``
+across ``K`` workers without changing the privacy analysis — the routing is
+a partition, so by parallel composition each shard runs at the full
+``(ε, δ)`` and the sharded release sequence satisfies the same guarantee as
+the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
+
+:class:`ShardedStream` is that serving front:
+
+* **Routing** — incoming blocks go round-robin (or via a caller-supplied
+  key router) to ``K`` :class:`MomentShard` workers, each owning an
+  independent *moment bundle* (:class:`~repro.streaming.moments.MomentBundle`
+  — an ordered set of named statistics, each behind its own release
+  mechanism: ``Σ x y`` and ``Σ x xᵀ`` trees for the default backends, or
+  Hybrid mechanisms for horizon-free serving) over its sub-stream.
+* **Pluggable backends** — a backend is a bundle declaration plus a row
+  transform (:meth:`MomentShard._statistics` / :meth:`MomentShard._transform`),
+  so the same front serves **Algorithm 3**: ``backend="projected"`` draws
+  one Gordon-sized ``Φ`` up front and hands it to every
+  :class:`ProjectedMomentShard` (workers ingest ``Φx̃·y`` / ``(Φx̃)(Φx̃)ᵀ``
+  through the shared Step-4 rescale helper) *and* to the default
+  ``PrivIncReg2`` solver, whose ``refresh_from_released`` then consumes
+  merged **projected** moments — and **private two-stage least squares**:
+  ``backend="iv"`` shards (:class:`IVMomentShard`) carry the three-entry
+  (ZᵀZ, ZᵀX, Zᵀy) bundle over stacked ``[z | x]`` blocks, merged and
+  solved by a :class:`~repro.core.priv_inc_iv.PrivIncIV` through its
+  ``refresh_from_bundle`` hook.  Every bundle pins its streams'
+  sensitivity at Δ₂ = 2, so the merge rule, budget ledger, and fault
+  semantics below apply to all backends verbatim — and per-shard memory
+  under the projected backend drops from ``O(d² log T)`` to
+  ``O(m² log T)``.
+* **Transports** — shard workers live either in the serving process
+  (``transport="thread"``, the default: zero-copy merges, group
+  parallelism bounded by the GIL except where BLAS releases it) or each
+  in their **own interpreter** (``transport="process"``: a
+  :class:`~repro.streaming.transport.ProcessShardWorker` drives the same
+  ``MomentShard`` over a ``multiprocessing`` pipe, shipping released
+  moments back as picklable
+  :class:`~repro.privacy.tree.ReleasedMoments` snapshots).  The two
+  transports build identical mechanisms from identical rng children, so
+  everything below — tiers, merge rule, fault semantics — holds verbatim
+  for both; see :mod:`repro.streaming.transport`.
+* **Group ingestion** — :meth:`ShardedStream.observe_group` ingests a
+  group of routed blocks shard-parallel (shards are independent; under
+  the thread transport BLAS releases the GIL, under the process transport
+  each drain thread just awaits its shard's pipe while the worker
+  computes on its own core), with per-shard order preserved so tree
+  releases stay bit-identical to the sequential route.
+* **Merge + solve** — at refresh points the per-shard released moments are
+  merged slot-by-slot in bundle order and handed to a solver (Algorithm
+  2's PGD pipeline via the estimators' ``refresh_from_released``
+  serve-mode hook for the default (cross, gram) bundle, or the
+  name-keyed ``refresh_from_bundle`` hook for wider bundles); everything
+  after the tree releases is post-processing, so the refresh cadence is a
+  pure utility/latency knob.
+* **Async ingestion** — ``mode="async"`` makes ``observe``/``observe_batch``
+  enqueue-and-return; a worker thread drains the FIFO queue and runs the
+  PGD refreshes off the hot path.  Processing order equals enqueue order,
+  so the final state is identical to the synchronous path (the
+  linearizability contract ``tests/test_sharded_equivalence.py`` pins
+  down).  ``mode="manual"`` exposes the queue pump for deterministic
+  interleaving tests.
+* **Cached reads, lock-free** — every completed solve publishes a
+  read-only, versioned :class:`ServedEstimate` into an
+  :class:`EstimateCache` by *atomic reference swap*;
+  ``current_estimate`` fan-out reads are single lock-free pointer loads
+  (no hot-path mutex, no shared counter) that can never observe an
+  estimate older than the last completed solve.  For scaled fan-out,
+  :meth:`ShardedStream.reader` hands out per-reader
+  :class:`~repro.streaming.readers.ReaderHandle` snapshots (version
+  fast-path, per-reader stats), and the hub's pub-sub surface
+  (:meth:`ShardedStream.subscribe`, ``wait_for_version``) turns pollers
+  into waiters — see :mod:`repro.streaming.readers`.
+
+Ingest tiers (mirroring the batched-API contract):
+
+* ``ingest="exact"`` (default) — shards ingest via the mechanisms'
+  ``advance_batch``: same rng consumption and addition order as per-point
+  ingestion, so merged releases (and hence served estimates) are
+  **bit-identical** to a replay of the per-shard trees, and a ``K=1``
+  server matches the plain batched path bit for bit.
+* ``ingest="fast"`` — shards compute block moment totals with one BLAS
+  product per bundle statistic (``Xᵀy`` / ``XᵀX``) and the trees draw
+  noise only for the nodes alive at block boundaries
+  (``TreeMechanism.advance_sum``).  Releases are **distributionally
+  identical** (same active-node count, same per-node σ), not
+  bit-identical; this is the high-throughput production path.
+
+Fault semantics: :meth:`ShardedStream.kill_shard` drops a shard's
+mechanisms (under the process transport it SIGKILLs the worker process);
+subsequent merges degrade to the documented *partial-coverage* semantics —
+the merged statistic covers the surviving sub-streams only,
+``ServedEstimate.covered_steps`` and :attr:`ShardedStream.lost_steps`
+report the loss (never silently dropped), and
+:meth:`ShardedStream.restart_shard` brings the worker back with fresh
+mechanisms (a fresh process, under ``transport="process"``) over a fresh
+(still disjoint) sub-stream, which keeps the parallel-composition argument
+intact.  A process worker that dies *uncommanded* is detected at the next
+pipe interaction and folded into the same path: ingest raises
+:class:`~repro.exceptions.ShardUnavailableError` (the block stays
+refundable), merges degrade to partial coverage, and the dead worker's
+acknowledged mass lands in ``lost_steps``.  A bundle torn mid-block
+(a later statistic failing after an earlier one committed —
+:class:`~repro.exceptions.BundlePartialCommitError`) is the same path:
+the shard dies, only its fully committed blocks count into
+``lost_steps``, and the torn block stays refundable.
+
+This package splits the layer by concern: :mod:`.shards` (the bundle
+backends), :mod:`.stream` (the :class:`ShardedStream` front),
+:mod:`.cache` (the versioned read slot), :mod:`.validation` (shared
+serving validators).  The public import surface is unchanged from the
+historical single-module layout — everything below re-exports from the
+submodules.
+"""
+
+from ..readers import EstimateHub, ReaderHandle, Subscription
+from ..transport import ProcessShardWorker
+from .cache import EstimateCache, ServedEstimate
+from .shards import (
+    IVMomentShard,
+    MomentShard,
+    ProjectedMomentShard,
+    SketchShard,
+    TenantShard,
+)
+from .stream import _CLOSE, ShardedStream
+from .validation import _check_decay_groups
+
+__all__ = [
+    "ShardedStream",
+    "MomentShard",
+    "ProjectedMomentShard",
+    "SketchShard",
+    "IVMomentShard",
+    "TenantShard",
+    "ProcessShardWorker",
+    "EstimateCache",
+    "ServedEstimate",
+    "EstimateHub",
+    "ReaderHandle",
+    "Subscription",
+]

@@ -1,0 +1,250 @@
+"""The versioned estimate cache: the serving front's lock-free read slot."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import (
+    NoEstimateError,
+    PublishConflictError,
+    ServingError,
+    WaitTimeoutError,
+)
+
+__all__ = ["EstimateCache", "ServedEstimate"]
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One published estimate: the versioned unit of the serving cache.
+
+    Attributes
+    ----------
+    version:
+        The solver's ``estimate_version`` at publication — equals the
+        number of completed solves, so readers can detect refreshes.
+    theta:
+        The released parameter, as a **read-only** array (reads share the
+        buffer; copy before mutating).
+    timestep:
+        Logical stream position (total points processed) when the solve
+        completed.
+    covered_steps:
+        Stream mass the merged moments actually covered; less than
+        ``timestep`` exactly when shards died (partial coverage).
+    """
+
+    version: int
+    theta: np.ndarray
+    timestep: int
+    covered_steps: int
+
+
+class EstimateCache:
+    """A versioned, single-slot, lock-free-read cache for estimate fan-out.
+
+    The read path is the point: ``get`` is a single attribute load of the
+    current frozen :class:`ServedEstimate` — no lock, no counter mutation,
+    no allocation — so ``current_estimate`` fan-out scales with reader
+    threads instead of serializing on a hot-path mutex.  This is sound
+    because the cache is published by *atomic reference swap*: ``put``
+    builds a fully-frozen immutable entry first and installs it with one
+    reference assignment (atomic under the GIL, and a single store on
+    free-threaded builds), so a reader either sees the old entry or the
+    new one, never a torn mixture.  The DP cost of the estimate was paid
+    at release time; reads are pure post-processing and should cost what
+    the hardware charges for a pointer load.
+
+    ``put`` keeps a writer-side lock for the things that *do* need
+    serialization: the version-monotonicity check (the version is the
+    publisher's solve counter, so a reader can never observe an estimate
+    older than the last completed solve), the equal-version payload check
+    (``same version ⇒ same payload`` — what the per-reader snapshot fast
+    path in :mod:`repro.streaming.readers` relies on), the write counter,
+    and waking :meth:`wait_for_version` waiters.
+
+    Read statistics live on :class:`~repro.streaming.readers.ReaderHandle`
+    objects (aggregated on demand), never on this hot path; publisher-side
+    stats come from :meth:`stats`, a single consistent snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._write_lock = threading.Lock()
+        # Waiters block on the writer lock (waiting is never the hot
+        # path); `put` notifies under the same lock, so no wakeup can be
+        # missed between a waiter's version check and its wait().
+        self._published = threading.Condition(self._write_lock)
+        self._entry: ServedEstimate | None = None
+        self._writes = 0
+
+    def put(
+        self, theta: np.ndarray, version: int, timestep: int, covered_steps: int
+    ) -> ServedEstimate:
+        """Publish a new estimate (atomic reference swap); returns the entry.
+
+        Raises
+        ------
+        PublishConflictError
+            If ``version`` is lower than the cached entry's, or equal to
+            it with a *different* payload — version-based refresh
+            detection would otherwise miss a changed estimate.  An
+            identical-payload republish under the current version is an
+            idempotent no-op (the existing entry is returned unchanged,
+            and the write counter does not advance).
+        """
+        frozen = np.array(theta, dtype=float)
+        frozen.setflags(write=False)
+        entry = ServedEstimate(
+            version=int(version),
+            theta=frozen,
+            timestep=int(timestep),
+            covered_steps=int(covered_steps),
+        )
+        with self._write_lock:
+            current = self._entry
+            if current is not None:
+                if entry.version < current.version:
+                    raise PublishConflictError(
+                        f"cache version must not decrease: {entry.version} < "
+                        f"{current.version}"
+                    )
+                if entry.version == current.version:
+                    if (
+                        entry.timestep == current.timestep
+                        and entry.covered_steps == current.covered_steps
+                        and np.array_equal(entry.theta, current.theta)
+                    ):
+                        return current
+                    raise PublishConflictError(
+                        f"duplicate publish of version {entry.version} with a "
+                        f"different payload — readers detect refreshes by "
+                        f"version, so the solve counter must advance whenever "
+                        f"the served estimate changes"
+                    )
+            self._entry = entry
+            self._writes += 1
+            self._published.notify_all()
+        return entry
+
+    def peek(self) -> ServedEstimate | None:
+        """The current entry, or ``None`` before the first publish.
+
+        One atomic reference load — the lock-free primitive every read
+        path (``get``, the reader handles, the version property) is built
+        on.
+        """
+        return self._entry
+
+    def get(self) -> ServedEstimate:
+        """The current entry — one lock-free pointer read, no solver work.
+
+        Raises
+        ------
+        NoEstimateError
+            If nothing was ever published (no solve has completed).  The
+            typed subclass of :class:`~repro.exceptions.ServingError` /
+            :class:`LookupError` lets readers distinguish "no estimate
+            yet" from real serving failures.
+        """
+        entry = self._entry
+        if entry is None:
+            raise NoEstimateError(
+                "no estimate has been published to this cache yet — "
+                "ingest data and call flush() (or wait for the first "
+                "scheduled refresh) so a merge + solve can publish one"
+            )
+        return entry
+
+    def wait_for_version(
+        self, version: int, timeout: float | None = None, abort=None
+    ) -> ServedEstimate:
+        """Block until an entry with ``version`` (or newer) is published.
+
+        Turns pollers into waiters: instead of spinning on
+        :attr:`version`, a reader parks on the cache's condition variable
+        and is woken by the ``put`` that satisfies it.  Returns the entry
+        that satisfied the wait (which may be newer than ``version``).
+
+        Parameters
+        ----------
+        abort:
+            Optional callable evaluated together with the version
+            predicate.  Returning a non-empty string aborts the wait with
+            a :class:`~repro.exceptions.ServingError` carrying that
+            message — how an owner (e.g. a closing
+            :class:`~repro.streaming.readers.EstimateHub`) releases
+            parked waiters that can never be satisfied; pair it with
+            :meth:`wake_waiters` when the abort condition changes.
+
+        Raises
+        ------
+        WaitTimeoutError
+            If ``timeout`` (seconds) elapses first.  ``timeout=None``
+            waits indefinitely.
+        """
+        version = int(version)
+        entry = self._entry  # fast path: already satisfied, skip the lock
+        if entry is not None and entry.version >= version:
+            return entry
+        with self._published:
+            self._published.wait_for(
+                lambda: (
+                    self._entry is not None and self._entry.version >= version
+                )
+                or (abort is not None and bool(abort())),
+                timeout=timeout,
+            )
+            entry = self._entry
+            if entry is not None and entry.version >= version:
+                return entry
+            reason = abort() if abort is not None else None
+            if reason:
+                raise ServingError(str(reason))
+            have = -1 if entry is None else entry.version
+            raise WaitTimeoutError(
+                f"no estimate with version >= {version} was published "
+                f"within {timeout}s (current version: {have})"
+            )
+
+    def wake_waiters(self) -> None:
+        """Force every parked :meth:`wait_for_version` to re-check.
+
+        For owners whose ``abort`` condition just changed (e.g. a hub
+        closing); a no-op for waiters whose predicates are still false.
+        """
+        with self._published:
+            self._published.notify_all()
+
+    @property
+    def version(self) -> int:
+        """Version of the current entry (−1 when empty) — lock-free."""
+        entry = self._entry
+        return -1 if entry is None else entry.version
+
+    @property
+    def writes(self) -> int:
+        """Completed publishes (idempotent republishes excluded)."""
+        with self._write_lock:
+            return self._writes
+
+    def stats(self) -> dict:
+        """One consistent publisher-side snapshot (version/writes/coverage).
+
+        Taken under the writer lock so ``version`` and ``writes`` can
+        never disagree mid-publish — the single sanctioned way to read
+        cache statistics (benchmarks used to read the bare attributes
+        racily).  Reader-side counts live on the handles; aggregate them
+        via :meth:`repro.streaming.readers.EstimateHub.read_stats`.
+        """
+        with self._write_lock:
+            entry = self._entry
+            return {
+                "version": -1 if entry is None else entry.version,
+                "writes": self._writes,
+                "timestep": None if entry is None else entry.timestep,
+                "covered_steps": None if entry is None else entry.covered_steps,
+            }
+

@@ -1,102 +1,4 @@
-"""The sharded serving layer: per-shard trees, merged releases, cached reads.
-
-The Tree Mechanism's releases are *additive across disjoint sub-streams*:
-each shard's released prefix sum is its exact sub-stream sum plus a sum of
-independent per-node Gaussians, so summing per-shard releases yields the
-logical-stream statistic with a noise variance that simply adds across
-shards (:func:`repro.privacy.tree.merge_released`).  That is exactly the
-property a sharded server needs to split one logical stream of length ``T``
-across ``K`` workers without changing the privacy analysis — the routing is
-a partition, so by parallel composition each shard runs at the full
-``(ε, δ)`` and the sharded release sequence satisfies the same guarantee as
-the single-tree one (:func:`repro.privacy.parameters.shard_budgets`).
-
-:class:`ShardedStream` is that serving front:
-
-* **Routing** — incoming blocks go round-robin (or via a caller-supplied
-  key router) to ``K`` :class:`MomentShard` workers, each owning an
-  independent pair of moment mechanisms (``Σ x y`` and ``Σ x xᵀ`` trees,
-  or Hybrid mechanisms for horizon-free serving) over its sub-stream.
-* **Pluggable backends** — the shard's moment-ingestion contract is a
-  hook (:meth:`MomentShard._transform`), so the same front serves
-  **Algorithm 3**: ``backend="projected"`` draws one Gordon-sized ``Φ``
-  up front and hands it to every :class:`ProjectedMomentShard` (workers
-  ingest ``Φx̃·y`` / ``(Φx̃)(Φx̃)ᵀ`` through the shared Step-4 rescale
-  helper) *and* to the default ``PrivIncReg2`` solver, whose
-  ``refresh_from_released`` then consumes merged **projected** moments.
-  The Step-4 rescaling pins sensitivity at Δ₂ = 2 for any fixed ``Φ``, so
-  the merge rule, budget ledger, and fault semantics below apply to both
-  backends verbatim — and per-shard memory drops from ``O(d² log T)`` to
-  ``O(m² log T)``.
-* **Transports** — shard workers live either in the serving process
-  (``transport="thread"``, the default: zero-copy merges, group
-  parallelism bounded by the GIL except where BLAS releases it) or each
-  in their **own interpreter** (``transport="process"``: a
-  :class:`~repro.streaming.transport.ProcessShardWorker` drives the same
-  ``MomentShard`` over a ``multiprocessing`` pipe, shipping released
-  moments back as picklable
-  :class:`~repro.privacy.tree.ReleasedMoments` snapshots).  The two
-  transports build identical mechanisms from identical rng children, so
-  everything below — tiers, merge rule, fault semantics — holds verbatim
-  for both; see :mod:`repro.streaming.transport`.
-* **Group ingestion** — :meth:`ShardedStream.observe_group` ingests a
-  group of routed blocks shard-parallel (shards are independent; under
-  the thread transport BLAS releases the GIL, under the process transport
-  each drain thread just awaits its shard's pipe while the worker
-  computes on its own core), with per-shard order preserved so tree
-  releases stay bit-identical to the sequential route.
-* **Merge + solve** — at refresh points the per-shard released moments are
-  merged and handed to a solver (Algorithm 2's PGD pipeline via the
-  estimators' ``refresh_from_released`` serve-mode hook); everything after
-  the tree releases is post-processing, so the refresh cadence is a pure
-  utility/latency knob.
-* **Async ingestion** — ``mode="async"`` makes ``observe``/``observe_batch``
-  enqueue-and-return; a worker thread drains the FIFO queue and runs the
-  PGD refreshes off the hot path.  Processing order equals enqueue order,
-  so the final state is identical to the synchronous path (the
-  linearizability contract ``tests/test_sharded_equivalence.py`` pins
-  down).  ``mode="manual"`` exposes the queue pump for deterministic
-  interleaving tests.
-* **Cached reads, lock-free** — every completed solve publishes a
-  read-only, versioned :class:`ServedEstimate` into an
-  :class:`EstimateCache` by *atomic reference swap*;
-  ``current_estimate`` fan-out reads are single lock-free pointer loads
-  (no hot-path mutex, no shared counter) that can never observe an
-  estimate older than the last completed solve.  For scaled fan-out,
-  :meth:`ShardedStream.reader` hands out per-reader
-  :class:`~repro.streaming.readers.ReaderHandle` snapshots (version
-  fast-path, per-reader stats), and the hub's pub-sub surface
-  (:meth:`ShardedStream.subscribe`, ``wait_for_version``) turns pollers
-  into waiters — see :mod:`repro.streaming.readers`.
-
-Ingest tiers (mirroring the batched-API contract):
-
-* ``ingest="exact"`` (default) — shards ingest via the mechanisms'
-  ``advance_batch``: same rng consumption and addition order as per-point
-  ingestion, so merged releases (and hence served estimates) are
-  **bit-identical** to a replay of the per-shard trees, and a ``K=1``
-  server matches the plain batched path bit for bit.
-* ``ingest="fast"`` — shards compute block moment totals with one BLAS
-  product (``Xᵀy`` / ``XᵀX``) and the trees draw noise only for the nodes
-  alive at block boundaries (``TreeMechanism.advance_sum``).  Releases are
-  **distributionally identical** (same active-node count, same per-node
-  σ), not bit-identical; this is the high-throughput production path.
-
-Fault semantics: :meth:`ShardedStream.kill_shard` drops a shard's
-mechanisms (under the process transport it SIGKILLs the worker process);
-subsequent merges degrade to the documented *partial-coverage* semantics —
-the merged statistic covers the surviving sub-streams only,
-``ServedEstimate.covered_steps`` and :attr:`ShardedStream.lost_steps`
-report the loss (never silently dropped), and
-:meth:`ShardedStream.restart_shard` brings the worker back with fresh
-mechanisms (a fresh process, under ``transport="process"``) over a fresh
-(still disjoint) sub-stream, which keeps the parallel-composition argument
-intact.  A process worker that dies *uncommanded* is detected at the next
-pipe interaction and folded into the same path: ingest raises
-:class:`~repro.exceptions.ShardUnavailableError` (the block stays
-refundable), merges degrade to partial coverage, and the dead worker's
-acknowledged mass lands in ``lost_steps``.
-"""
+"""The serving front: routing, merging, budgeting, caching, async ingestion."""
 
 from __future__ import annotations
 
@@ -104,832 +6,51 @@ import math
 import queue
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import (
-    check_decay,
+from ..._validation import (
     check_int,
     check_release_knobs,
     check_rng,
+    check_unit_iv_domain,
     check_unit_xy_domain,
     check_vector,
     check_xy_block,
 )
-from ..core.incremental_regression import MOMENT_SENSITIVITY, PrivIncReg1
-from ..core.projected_regression import PrivIncReg2, projected_sizing
-from ..core.unbounded import UnboundedPrivIncReg
-from ..exceptions import (
+from ...core.incremental_regression import PrivIncReg1
+from ...core.priv_inc_iv import PrivIncIV
+from ...core.projected_regression import PrivIncReg2, projected_sizing
+from ...core.unbounded import UnboundedPrivIncReg
+from ...exceptions import (
     GroupIngestionError,
-    NoEstimateError,
-    PrivacyBudgetError,
-    PublishConflictError,
     ServingError,
     ShardUnavailableError,
     StreamExhaustedError,
     ValidationError,
-    WaitTimeoutError,
 )
-from ..geometry.base import ConvexSet, PointSet
-from ..privacy.accountant import PrivacyAccountant
-from ..privacy.parameters import PrivacyParams, shard_budgets, tenant_budgets
-from ..privacy.release import make_release_mechanism
-from ..privacy.tree import MergedRelease, merge_released
-from ..sketching.gaussian import GaussianProjection, step4_rescale_block
-from ..sketching.sparse_jl import SparseProjection
-from .metrics import ReadStats
-from .readers import EstimateHub, ReaderHandle, Subscription
-from .netserve import ShardAddress, ShardHostListener, TcpShardWorker
-from .transport import ProcessShardWorker, ShardSpec
+from ...geometry.base import ConvexSet, PointSet
+from ...privacy.accountant import PrivacyAccountant
+from ...privacy.parameters import PrivacyParams, bundle_budgets, shard_budgets
+from ...privacy.tree import MergedRelease, merge_released
+from ...sketching.gaussian import GaussianProjection
+from ...sketching.sparse_jl import SparseProjection
+from ..metrics import ReadStats
+from ..moments import bundle_names
+from ..netserve import ShardAddress, ShardHostListener, TcpShardWorker
+from ..transport import ProcessShardWorker, ShardSpec
+from ..readers import EstimateHub, ReaderHandle, Subscription
+from .cache import ServedEstimate
+from .shards import (
+    IVMomentShard,
+    MomentShard,
+    ProjectedMomentShard,
+    SketchShard,
+)
 
-__all__ = [
-    "ShardedStream",
-    "MomentShard",
-    "ProjectedMomentShard",
-    "SketchShard",
-    "TenantShard",
-    "ProcessShardWorker",
-    "EstimateCache",
-    "ServedEstimate",
-    "EstimateHub",
-    "ReaderHandle",
-    "Subscription",
-]
+__all__ = ["ShardedStream", "_CLOSE"]
 
 _CLOSE = object()  # queue sentinel
-
-
-def _check_decay_groups(decays) -> tuple[float, ...]:
-    """Validate a declared tuple of shared-Gram γ groups (PRIMO serving).
-
-    ``None`` means the single plain group ``(1.0,)``.  Each entry must be
-    a valid forgetting factor (``γ ∈ (0, 1]``) and the entries must be
-    distinct — one shared Gram mechanism is built per group, so a repeat
-    would silently spend gram budget twice on the same weighting.
-    """
-    if decays is None:
-        return (1.0,)
-    groups = tuple(
-        check_decay(f"decays[{i}]", g) for i, g in enumerate(decays)
-    )
-    if not groups:
-        raise ValidationError("decays must declare at least one γ group")
-    if len(set(groups)) != len(groups):
-        raise ValidationError(f"decays entries must be distinct, got {groups!r}")
-    return groups
-
-
-@dataclass(frozen=True)
-class ServedEstimate:
-    """One published estimate: the versioned unit of the serving cache.
-
-    Attributes
-    ----------
-    version:
-        The solver's ``estimate_version`` at publication — equals the
-        number of completed solves, so readers can detect refreshes.
-    theta:
-        The released parameter, as a **read-only** array (reads share the
-        buffer; copy before mutating).
-    timestep:
-        Logical stream position (total points processed) when the solve
-        completed.
-    covered_steps:
-        Stream mass the merged moments actually covered; less than
-        ``timestep`` exactly when shards died (partial coverage).
-    """
-
-    version: int
-    theta: np.ndarray
-    timestep: int
-    covered_steps: int
-
-
-class EstimateCache:
-    """A versioned, single-slot, lock-free-read cache for estimate fan-out.
-
-    The read path is the point: ``get`` is a single attribute load of the
-    current frozen :class:`ServedEstimate` — no lock, no counter mutation,
-    no allocation — so ``current_estimate`` fan-out scales with reader
-    threads instead of serializing on a hot-path mutex.  This is sound
-    because the cache is published by *atomic reference swap*: ``put``
-    builds a fully-frozen immutable entry first and installs it with one
-    reference assignment (atomic under the GIL, and a single store on
-    free-threaded builds), so a reader either sees the old entry or the
-    new one, never a torn mixture.  The DP cost of the estimate was paid
-    at release time; reads are pure post-processing and should cost what
-    the hardware charges for a pointer load.
-
-    ``put`` keeps a writer-side lock for the things that *do* need
-    serialization: the version-monotonicity check (the version is the
-    publisher's solve counter, so a reader can never observe an estimate
-    older than the last completed solve), the equal-version payload check
-    (``same version ⇒ same payload`` — what the per-reader snapshot fast
-    path in :mod:`repro.streaming.readers` relies on), the write counter,
-    and waking :meth:`wait_for_version` waiters.
-
-    Read statistics live on :class:`~repro.streaming.readers.ReaderHandle`
-    objects (aggregated on demand), never on this hot path; publisher-side
-    stats come from :meth:`stats`, a single consistent snapshot.
-    """
-
-    def __init__(self) -> None:
-        self._write_lock = threading.Lock()
-        # Waiters block on the writer lock (waiting is never the hot
-        # path); `put` notifies under the same lock, so no wakeup can be
-        # missed between a waiter's version check and its wait().
-        self._published = threading.Condition(self._write_lock)
-        self._entry: ServedEstimate | None = None
-        self._writes = 0
-
-    def put(
-        self, theta: np.ndarray, version: int, timestep: int, covered_steps: int
-    ) -> ServedEstimate:
-        """Publish a new estimate (atomic reference swap); returns the entry.
-
-        Raises
-        ------
-        PublishConflictError
-            If ``version`` is lower than the cached entry's, or equal to
-            it with a *different* payload — version-based refresh
-            detection would otherwise miss a changed estimate.  An
-            identical-payload republish under the current version is an
-            idempotent no-op (the existing entry is returned unchanged,
-            and the write counter does not advance).
-        """
-        frozen = np.array(theta, dtype=float)
-        frozen.setflags(write=False)
-        entry = ServedEstimate(
-            version=int(version),
-            theta=frozen,
-            timestep=int(timestep),
-            covered_steps=int(covered_steps),
-        )
-        with self._write_lock:
-            current = self._entry
-            if current is not None:
-                if entry.version < current.version:
-                    raise PublishConflictError(
-                        f"cache version must not decrease: {entry.version} < "
-                        f"{current.version}"
-                    )
-                if entry.version == current.version:
-                    if (
-                        entry.timestep == current.timestep
-                        and entry.covered_steps == current.covered_steps
-                        and np.array_equal(entry.theta, current.theta)
-                    ):
-                        return current
-                    raise PublishConflictError(
-                        f"duplicate publish of version {entry.version} with a "
-                        f"different payload — readers detect refreshes by "
-                        f"version, so the solve counter must advance whenever "
-                        f"the served estimate changes"
-                    )
-            self._entry = entry
-            self._writes += 1
-            self._published.notify_all()
-        return entry
-
-    def peek(self) -> ServedEstimate | None:
-        """The current entry, or ``None`` before the first publish.
-
-        One atomic reference load — the lock-free primitive every read
-        path (``get``, the reader handles, the version property) is built
-        on.
-        """
-        return self._entry
-
-    def get(self) -> ServedEstimate:
-        """The current entry — one lock-free pointer read, no solver work.
-
-        Raises
-        ------
-        NoEstimateError
-            If nothing was ever published (no solve has completed).  The
-            typed subclass of :class:`~repro.exceptions.ServingError` /
-            :class:`LookupError` lets readers distinguish "no estimate
-            yet" from real serving failures.
-        """
-        entry = self._entry
-        if entry is None:
-            raise NoEstimateError(
-                "no estimate has been published to this cache yet — "
-                "ingest data and call flush() (or wait for the first "
-                "scheduled refresh) so a merge + solve can publish one"
-            )
-        return entry
-
-    def wait_for_version(
-        self, version: int, timeout: float | None = None, abort=None
-    ) -> ServedEstimate:
-        """Block until an entry with ``version`` (or newer) is published.
-
-        Turns pollers into waiters: instead of spinning on
-        :attr:`version`, a reader parks on the cache's condition variable
-        and is woken by the ``put`` that satisfies it.  Returns the entry
-        that satisfied the wait (which may be newer than ``version``).
-
-        Parameters
-        ----------
-        abort:
-            Optional callable evaluated together with the version
-            predicate.  Returning a non-empty string aborts the wait with
-            a :class:`~repro.exceptions.ServingError` carrying that
-            message — how an owner (e.g. a closing
-            :class:`~repro.streaming.readers.EstimateHub`) releases
-            parked waiters that can never be satisfied; pair it with
-            :meth:`wake_waiters` when the abort condition changes.
-
-        Raises
-        ------
-        WaitTimeoutError
-            If ``timeout`` (seconds) elapses first.  ``timeout=None``
-            waits indefinitely.
-        """
-        version = int(version)
-        entry = self._entry  # fast path: already satisfied, skip the lock
-        if entry is not None and entry.version >= version:
-            return entry
-        with self._published:
-            self._published.wait_for(
-                lambda: (
-                    self._entry is not None and self._entry.version >= version
-                )
-                or (abort is not None and bool(abort())),
-                timeout=timeout,
-            )
-            entry = self._entry
-            if entry is not None and entry.version >= version:
-                return entry
-            reason = abort() if abort is not None else None
-            if reason:
-                raise ServingError(str(reason))
-            have = -1 if entry is None else entry.version
-            raise WaitTimeoutError(
-                f"no estimate with version >= {version} was published "
-                f"within {timeout}s (current version: {have})"
-            )
-
-    def wake_waiters(self) -> None:
-        """Force every parked :meth:`wait_for_version` to re-check.
-
-        For owners whose ``abort`` condition just changed (e.g. a hub
-        closing); a no-op for waiters whose predicates are still false.
-        """
-        with self._published:
-            self._published.notify_all()
-
-    @property
-    def version(self) -> int:
-        """Version of the current entry (−1 when empty) — lock-free."""
-        entry = self._entry
-        return -1 if entry is None else entry.version
-
-    @property
-    def writes(self) -> int:
-        """Completed publishes (idempotent republishes excluded)."""
-        with self._write_lock:
-            return self._writes
-
-    def stats(self) -> dict:
-        """One consistent publisher-side snapshot (version/writes/coverage).
-
-        Taken under the writer lock so ``version`` and ``writes`` can
-        never disagree mid-publish — the single sanctioned way to read
-        cache statistics (benchmarks used to read the bare attributes
-        racily).  Reader-side counts live on the handles; aggregate them
-        via :meth:`repro.streaming.readers.EstimateHub.read_stats`.
-        """
-        with self._write_lock:
-            entry = self._entry
-            return {
-                "version": -1 if entry is None else entry.version,
-                "writes": self._writes,
-                "timestep": None if entry is None else entry.timestep,
-                "covered_steps": None if entry is None else entry.covered_steps,
-            }
-
-
-class MomentShard:
-    """One shard worker: independent moment mechanisms over a sub-stream.
-
-    Owns a cross-moment mechanism (element shape ``(moment_dim,)``) and a
-    second-moment mechanism (``(moment_dim, moment_dim)``), each at half
-    the shard's budget — exactly the split Algorithms 2 and 3 apply to
-    their two trees.
-
-    This is the *pluggable shard backend* of the serving front: the
-    moment-ingestion contract lives here once —
-
-    * ``ingest`` maps the routed covariate block through :meth:`_transform`
-      into the ``(k, moment_dim)`` rows the moment streams are built from,
-      then advances both mechanisms (``advance_batch`` exact tier, or one
-      BLAS ``rowsᵀy`` / ``rowsᵀrows`` product + ``advance_sum`` fast tier);
-    * subclasses choose the space.  The base class is Algorithm 2's
-      backend (``moment_dim = d``, identity transform);
-      :class:`ProjectedMomentShard` is Algorithm 3's (``moment_dim = m``,
-      Step-4 rescaled ``Φx̃`` rows through a *shared* ``Φ``).
-
-    Sensitivity is Δ₂ = 2 in both cases (the unit domain for raw moments;
-    the Step-4 rescaling for projected ones), so the budget split, the
-    noise calibration, and the merge rule are backend-agnostic.
-    """
-
-    #: Class-level backend tag (subclasses override).
-    backend = "moment"
-
-    #: Release-mechanism family the moment streams are built with.
-    #: ``None`` defers to the ``mechanism`` ctor knob; subclasses may pin
-    #: a family (the sketch backend pins ``"sketch"``) while the
-    #: user-facing ``mechanism`` knob and the wire spec keep their value.
-    release_family: str | None = None
-
-    def __init__(
-        self,
-        index: int,
-        dim: int,
-        budget: PrivacyParams,
-        cross_rng: np.random.Generator,
-        gram_rng: np.random.Generator,
-        mechanism: str = "tree",
-        shard_horizon: int | None = None,
-        moment_dim: int | None = None,
-        decay: float | None = None,
-        window: int | float | None = None,
-    ) -> None:
-        self.index = index
-        self.dim = dim
-        self.moment_dim = dim if moment_dim is None else moment_dim
-        self.budget = budget
-        self.mechanism = mechanism
-        self.shard_horizon = shard_horizon
-        self.decay, self.window = check_release_knobs(decay, window)
-        self.steps = 0
-        self.alive = True
-        #: Set once the front has credited this worker's ingested mass to
-        #: its ``lost_steps`` ledger (see ShardedStream._note_shard_death).
-        self.lost_accounted = False
-        half = budget.halve()
-        m = self.moment_dim
-        # One factory call per moment stream: ``mechanism``/``decay``/
-        # ``window`` select among Tree, Hybrid, DecayedTree, SlidingWindow
-        # and SketchNoise implementations of the ReleaseMechanism protocol,
-        # with the plain configurations bit-identical to the historical
-        # inline construction (same ctor arguments, same rng).
-        family = self.release_family or mechanism
-        self.cross = make_release_mechanism(
-            shape=(m,),
-            l2_sensitivity=MOMENT_SENSITIVITY,
-            params=half,
-            rng=cross_rng,
-            mechanism=family,
-            horizon=shard_horizon,
-            decay=self.decay,
-            window=self.window,
-        )
-        self.gram = make_release_mechanism(
-            shape=(m, m),
-            l2_sensitivity=MOMENT_SENSITIVITY,
-            params=half,
-            rng=gram_rng,
-            mechanism=family,
-            horizon=shard_horizon,
-            decay=self.decay,
-            window=self.window,
-        )
-
-    def _transform(self, xs: np.ndarray) -> np.ndarray:
-        """Rows the moment streams are built from (identity for Alg. 2)."""
-        return xs
-
-    def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
-        """Feed a routed block to both moment mechanisms.
-
-        Both moment inputs are materialized *before* either tree advances:
-        with the block pre-validated (finite, unit-normalized) and the two
-        trees in step-lockstep, every failure the library can raise
-        (validation, capacity) then happens before any tree mutates — the
-        no-consumption guarantee ``_process_block``'s capacity refund
-        relies on.
-        """
-        rows = self._transform(xs)
-        k = rows.shape[0]
-        if fast:
-            # One BLAS product per moment; trees draw only surviving-node
-            # noise (distributional tier).  Under ``decay`` the block
-            # total is γ-weighted — ``advance_sum``'s contract is
-            # ``Σ γ^{k−1−i} v_i`` so the mechanism's internal fold
-            # ``γ^k·prefix + total`` reproduces the sequential recursion.
-            if self.decay is not None and self.decay != 1.0:
-                weights = self.decay ** np.arange(k - 1, -1, -1, dtype=float)
-                cross_total = (weights * ys) @ rows
-                gram_total = (weights[:, None] * rows).T @ rows
-            else:
-                cross_total = ys @ rows
-                gram_total = rows.T @ rows
-            self.cross.advance_sum(cross_total, k)
-            self.gram.advance_sum(gram_total, k)
-        else:
-            cross_values = rows * ys[:, None]
-            gram_values = rows[:, :, None] * rows[:, None, :]
-            self.cross.advance_batch(cross_values)
-            self.gram.advance_batch(gram_values)
-        self.steps += k
-
-    def released(self):
-        """The (cross, gram) handles for :func:`~repro.privacy.tree.merge_released`.
-
-        The transport seam of the merge path: in-process shards hand over
-        their **live** mechanisms (zero-copy — the merge reads
-        ``current_sum()`` directly), while
-        :class:`~repro.streaming.transport.ProcessShardWorker` overrides
-        the same method to fetch picklable
-        :class:`~repro.privacy.tree.ReleasedMoments` snapshots over its
-        pipe.  ``merge_released`` accepts both interchangeably.
-        """
-        return self.cross, self.gram
-
-    def memory_floats(self) -> int:
-        """Floats held by this shard's mechanisms (0 once killed).
-
-        ``O(moment_dim² log T)`` per shard — the Algorithm-3 backend's
-        whole point: ``m² log T`` instead of ``d² log T``.
-        """
-        if not self.alive:
-            return 0
-        return self.cross.memory_floats() + self.gram.memory_floats()
-
-    def kill(self) -> None:
-        """Drop the mechanisms; the shard's ingested mass is lost."""
-        self.alive = False
-        self.cross = None
-        self.gram = None
-
-    def shutdown(self) -> None:
-        """Transport-uniform teardown hook (nothing to release in-process)."""
-
-
-class ProjectedMomentShard(MomentShard):
-    """Algorithm 3's shard backend: projected moments through a shared ``Φ``.
-
-    Workers ingest ``Φx̃·y`` (``(m,)``) and ``(Φx̃)(Φx̃)ᵀ`` (``(m, m)``)
-    where ``x̃`` is the Step-4 rescaled covariate — computed through the
-    *same* :func:`~repro.sketching.gaussian.step4_rescale_block` helper
-    ``PrivIncReg2.observe_batch`` uses, against a single projection drawn
-    once by the serving front and shared by every shard (and by the
-    solver, whose ``refresh_from_released`` then receives merged moments
-    living in the one projected space).  Because the rescaling pins the
-    projected sensitivity at Δ₂ = 2 for *any* fixed ``Φ``, the per-shard
-    noise calibration and the noise-preserving merge rule carry over from
-    the Algorithm-2 backend verbatim.
-
-    The projection is shared state but strictly read-only after
-    construction, so thread-parallel group ingestion across shards needs
-    no synchronization around it.
-    """
-
-    backend = "projected"
-
-    def __init__(
-        self,
-        index: int,
-        dim: int,
-        budget: PrivacyParams,
-        cross_rng: np.random.Generator,
-        gram_rng: np.random.Generator,
-        projection,
-        mechanism: str = "tree",
-        shard_horizon: int | None = None,
-        decay: float | None = None,
-        window: int | float | None = None,
-    ) -> None:
-        super().__init__(
-            index=index,
-            dim=dim,
-            budget=budget,
-            cross_rng=cross_rng,
-            gram_rng=gram_rng,
-            mechanism=mechanism,
-            shard_horizon=shard_horizon,
-            moment_dim=projection.projected_dim,
-            decay=decay,
-            window=window,
-        )
-        self.projection = projection
-
-    def _transform(self, xs: np.ndarray) -> np.ndarray:
-        return step4_rescale_block(self.projection, xs)
-
-
-class SketchShard(ProjectedMomentShard):
-    """The sketch-native shard backend: privatize the sketch, not the moments.
-
-    The ingest geometry is :class:`ProjectedMomentShard`'s — Step-4
-    rescaled rows through a *shared* projection — but the projection is a
-    **sparse-JL** ``Φ`` (:class:`~repro.sketching.sparse_jl.SparseProjection`,
-    the paper's footnote 16: ``~1/s`` of the entries non-zero, so the
-    per-block pass costs ``O(nnz)`` instead of the dense BLAS product),
-    and the noise source is not a tree at all: both moment streams run
-    :class:`~repro.privacy.release.SketchNoiseMechanism`, which keeps the
-    exact sketched running sums and adds **one Gaussian draw per ingested
-    block** at the Step-4-pinned sensitivity (the *Private Sketches for
-    Linear Regression* release model).  Because the Step-4 rescale pins
-    Δ₂ = 2 for any fixed ``Φ``, the budget split, calibration, and the
-    noise-preserving merge rule carry over verbatim; released snapshots
-    are ordinary :class:`~repro.privacy.tree.ReleasedMoments`, so the
-    merge, solver refresh, read path, and partial-coverage accounting
-    upstream never notice the backend.
-
-    The user-facing ``mechanism`` knob stays ``"tree"`` (and rides the
-    wire spec unchanged); the sketch family is pinned here via
-    :attr:`release_family` so every transport builds the same mechanisms.
-    """
-
-    backend = "sketch"
-
-    release_family = "sketch"
-
-
-class TenantShard:
-    """One multi-tenant shard: a **shared** Gram tree + per-tenant cross trees.
-
-    The PRIMO shard backend (*Private Regression in Multiple Outcomes*):
-    when ``k`` outcome streams share one covariate stream, the expensive
-    ``(d, d)`` second-moment statistic is identical for every tenant, so
-    this shard privatizes it **once** — one Gram tree at ``(ε/2, δ/2)``,
-    independent of the tenant count — and keeps only a cheap ``(d,)``
-    cross tree per tenant, each at a ``(ε/(2·cap), δ/(2·cap))`` slot of
-    the other half (:func:`~repro.privacy.parameters.tenant_budgets`).
-    Ingesting ``(x, y_1..y_k)`` advances the Gram tree exactly once and
-    tenant ``j``'s cross tree with ``x·y_j``, so the per-element privacy
-    loss is at most ``ε/2 + cap·ε/(2·cap) = ε`` — the same total budget a
-    single-tenant shard spends, now serving ``k`` models.
-
-    Tenants are dynamic: :meth:`add_tenant` occupies a free capacity slot
-    with a fresh cross tree, :meth:`remove_tenant` retires one.  Slot
-    reuse is sound because a removed tenant's tree never ingests again —
-    no stream element is ever seen by two occupants of one slot, so the
-    per-element bound above survives any add/remove schedule.
-
-    For a single tenant both budget pieces equal ``budget.halve()``
-    bit-exactly and the ingest arithmetic reduces to
-    :class:`MomentShard`'s, which is what makes a ``k = 1`` multi-tenant
-    stream bit-identical to the plain sharded path (given the same rng
-    children — see :class:`~repro.streaming.tenancy.MultiTenantStream`).
-    """
-
-    backend = "tenant"
-
-    def __init__(
-        self,
-        index: int,
-        dim: int,
-        budget: PrivacyParams,
-        tenant_rngs,
-        gram_rng: np.random.Generator,
-        tenants,
-        tenant_capacity: int | None = None,
-        mechanism: str = "tree",
-        shard_horizon: int | None = None,
-        decays: "tuple[float, ...] | None" = None,
-        tenant_decays: "tuple[float, ...] | None" = None,
-    ) -> None:
-        if mechanism != "tree":
-            raise ValidationError(
-                "TenantShard requires mechanism='tree' (the PRIMO serving "
-                "layer assumes a known horizon)"
-            )
-        names = tuple(str(name) for name in tenants)
-        if len(set(names)) != len(names):
-            raise ValidationError(f"tenant names must be unique, got {names!r}")
-        if not names:
-            raise ValidationError("TenantShard needs at least one tenant")
-        tenant_rngs = tuple(tenant_rngs)
-        if len(tenant_rngs) != len(names):
-            raise ValidationError(
-                f"need one rng per tenant: {len(names)} tenants, "
-                f"{len(tenant_rngs)} rngs"
-            )
-        self.decays = _check_decay_groups(decays)
-        if tenant_decays is None:
-            tenant_decays = tuple(self.decays[0] for _ in names)
-        tenant_decays = tuple(float(g) for g in tenant_decays)
-        if len(tenant_decays) != len(names):
-            raise ValidationError(
-                f"need one decay per tenant: {len(names)} tenants, "
-                f"{len(tenant_decays)} tenant_decays"
-            )
-        for g in tenant_decays:
-            if g not in self.decays:
-                raise ValidationError(
-                    f"tenant_decays entry {g!r} is not a declared γ group "
-                    f"(decays={self.decays!r}); the shared Gram stream is "
-                    f"privatized once per declared group"
-                )
-        self.index = index
-        self.dim = dim
-        self.moment_dim = dim
-        self.budget = budget
-        self.mechanism = mechanism
-        self.shard_horizon = shard_horizon
-        self.tenant_capacity = check_int(
-            "tenant_capacity",
-            len(names) if tenant_capacity is None else tenant_capacity,
-            minimum=len(names),
-        )
-        self.steps = 0
-        self.alive = True
-        self.lost_accounted = False
-        gram_budget, slot_budgets = tenant_budgets(budget, self.tenant_capacity)
-        #: Every slot carries the same budget; keep one for later adds.
-        self._slot_budget = slot_budgets[0]
-        #: Tenant → γ group assignment (merges pick the matching Gram).
-        self.tenant_decay: dict[str, float] = dict(zip(names, tenant_decays))
-        # Cross trees first, then the Gram trees — the same construction
-        # order as MomentShard.  Insertion order of this dict is the
-        # tenant order every merge indexes by.
-        self.cross: dict[str, object] = {}
-        for name, rng in zip(names, tenant_rngs):
-            self.cross[name] = self._make_tree(
-                (dim,), self._slot_budget, rng, self.tenant_decay[name]
-            )
-        # One shared Gram mechanism per declared γ group, each at an equal
-        # split of the gram half (every element enters every group, so the
-        # groups compose sequentially — split(1) leaves the single plain
-        # group at the historical budget bit-exactly).  Group 0 consumes
-        # ``gram_rng`` itself — the exact generator the single-group shard
-        # uses — and later groups consume its spawned siblings (spawning
-        # advances the spawn counter, never the bit stream).
-        group_budgets = gram_budget.split(len(self.decays))
-        extra_rngs = (
-            tuple(gram_rng.spawn(len(self.decays) - 1))
-            if len(self.decays) > 1
-            else ()
-        )
-        group_rngs = (gram_rng,) + extra_rngs
-        self.grams: dict[float, object] = {}
-        for g, g_budget, g_rng in zip(self.decays, group_budgets, group_rngs):
-            self.grams[g] = self._make_tree((dim, dim), g_budget, g_rng, g)
-
-    def _make_tree(self, shape, params, rng, decay: float):
-        """One tree-family release mechanism, γ-decayed when ``decay < 1``.
-
-        ``decay == 1.0`` builds the plain :class:`TreeMechanism` (not a
-        γ=1 decayed wrapper), so single-group shards stay type- and
-        bit-identical to the historical construction.
-        """
-        return make_release_mechanism(
-            shape=shape,
-            l2_sensitivity=MOMENT_SENSITIVITY,
-            params=params,
-            rng=rng,
-            mechanism="tree",
-            horizon=self.shard_horizon,
-            decay=None if decay == 1.0 else decay,
-        )
-
-    @property
-    def gram(self):
-        """The primary (group-0) shared Gram mechanism, or ``None`` if killed.
-
-        Kept for diagnostics and the single-group conformance suites;
-        merges index :meth:`released`'s per-group tuple instead.
-        """
-        if self.grams is None:
-            return None
-        return self.grams[self.decays[0]]
-
-    def tenants(self) -> tuple[str, ...]:
-        """Active tenant names, in the order merges index them."""
-        return tuple(self.cross)
-
-    def add_tenant(
-        self,
-        name: str,
-        rng: np.random.Generator,
-        decay: float | None = None,
-    ) -> None:
-        """Occupy a free capacity slot with a fresh cross tree for ``name``.
-
-        ``decay`` assigns the tenant to one of the shard's declared γ
-        groups (default: the primary group); its cross tree uses the same
-        weighting, so the tenant's merged moments stay consistent.
-        """
-        name = str(name)
-        if name in self.cross:
-            raise ValidationError(f"tenant {name!r} already exists")
-        if len(self.cross) >= self.tenant_capacity:
-            raise PrivacyBudgetError(
-                f"all {self.tenant_capacity} tenant slots are occupied; "
-                f"remove a tenant before adding {name!r} (the slot budgets "
-                f"are what keep the per-element loss within the total)"
-            )
-        g = self.decays[0] if decay is None else float(decay)
-        if g not in self.decays:
-            raise ValidationError(
-                f"decay {g!r} is not a declared γ group "
-                f"(decays={self.decays!r}); groups are fixed at "
-                f"construction — the gram budget was split across them"
-            )
-        self.tenant_decay[name] = g
-        self.cross[name] = self._make_tree((self.dim,), self._slot_budget, rng, g)
-
-    def remove_tenant(self, name: str) -> None:
-        """Retire ``name``'s cross tree, freeing its capacity slot."""
-        if str(name) not in self.cross:
-            raise ValidationError(f"unknown tenant {name!r}")
-        del self.cross[str(name)]
-        del self.tenant_decay[str(name)]
-
-    def ingest(self, xs: np.ndarray, ys: np.ndarray, fast: bool) -> None:
-        """Feed a routed block: the Gram tree once, each tenant's cross once.
-
-        ``ys`` is the ``(n, k)`` outcome matrix, one column per active
-        tenant in :meth:`tenants` order.  All moment inputs are
-        materialized first, and the Gram tree — never behind any cross
-        tree in step count, so the first to hit capacity — advances before
-        the crosses: any failure the library can raise happens before a
-        tree mutates, preserving the block-atomic no-consumption
-        guarantee.  Per tree the arithmetic is exactly
-        :class:`MomentShard.ingest`'s, so a single tenant's trees stay
-        bit-identical to a single-tenant shard's.
-        """
-        Y = np.asarray(ys, dtype=float)
-        if Y.ndim == 1:
-            Y = Y[:, None]
-        if Y.shape != (xs.shape[0], len(self.cross)):
-            raise ValidationError(
-                f"outcome block must have shape ({xs.shape[0]}, "
-                f"{len(self.cross)}) — one column per active tenant — got "
-                f"{Y.shape}"
-            )
-        k = xs.shape[0]
-        if fast:
-            # γ-weighted block totals per group — the decayed
-            # ``advance_sum`` contract; γ = 1 keeps the plain one-product
-            # totals bit-exactly.
-            weights = {
-                g: g ** np.arange(k - 1, -1, -1, dtype=float)
-                for g in self.decays
-                if g != 1.0
-            }
-            gram_totals = []
-            for g in self.decays:
-                if g == 1.0:
-                    gram_totals.append(xs.T @ xs)
-                else:
-                    gram_totals.append((weights[g][:, None] * xs).T @ xs)
-            cross_totals = []
-            for j, name in enumerate(self.cross):
-                g = self.tenant_decay[name]
-                col = Y[:, j] if g == 1.0 else weights[g] * Y[:, j]
-                cross_totals.append(col @ xs)
-            for mechanism, total in zip(self.grams.values(), gram_totals):
-                mechanism.advance_sum(total, k)
-            for mechanism, total in zip(self.cross.values(), cross_totals):
-                mechanism.advance_sum(total, k)
-        else:
-            # The decayed mechanisms fade internally, so every γ group
-            # (and every tenant tree) ingests the same raw moment values.
-            gram_values = xs[:, :, None] * xs[:, None, :]
-            cross_values = [Y[:, j, None] * xs for j in range(Y.shape[1])]
-            for mechanism in self.grams.values():
-                mechanism.advance_batch(gram_values)
-            for mechanism, values in zip(self.cross.values(), cross_values):
-                mechanism.advance_batch(values)
-        self.steps += k
-
-    def released(self):
-        """The (per-tenant cross tuple, per-group gram tuple) merge handles.
-
-        Same seam as :meth:`MomentShard.released`, with both slots widened
-        to tuples — one cross handle per active tenant in :meth:`tenants`
-        order, one Gram handle per declared γ group in ``decays`` order.
-        The process transport snapshots each element as a
-        :class:`~repro.privacy.tree.ReleasedMoments`, so the wire format
-        is unchanged: the same snapshots, just ``k`` (and ``G``) of them.
-        """
-        return tuple(self.cross.values()), tuple(self.grams.values())
-
-    def memory_floats(self) -> int:
-        """Floats held by the shard: ``O((G·d² + k·d) log T)`` — the PRIMO
-        economy, vs ``k·O(d² log T)`` for ``k`` independent shards."""
-        if not self.alive:
-            return 0
-        return sum(
-            mechanism.memory_floats() for mechanism in self.grams.values()
-        ) + sum(mechanism.memory_floats() for mechanism in self.cross.values())
-
-    def kill(self) -> None:
-        """Drop the mechanisms; the shard's ingested mass is lost."""
-        self.alive = False
-        self.cross = None
-        self.grams = None
-
-    def shutdown(self) -> None:
-        """Transport-uniform teardown hook (nothing to release in-process)."""
 
 
 class ShardedStream:
@@ -939,14 +60,19 @@ class ShardedStream:
     ``d``-dimensional moment shards solved by ``PrivIncReg1``),
     **Algorithm 3** (``backend="projected"``: one Gordon-sized ``Φ`` drawn
     up front, Step-4-rescaled projected moment shards in dimension
-    ``m ≪ d``, solved by a ``PrivIncReg2`` sharing that same ``Φ``), or
-    the **private-sketch** variant (``backend="sketch"``: the same shared
+    ``m ≪ d``, solved by a ``PrivIncReg2`` sharing that same ``Φ``), the
+    **private-sketch** variant (``backend="sketch"``: the same shared
     ``Φ`` geometry but sparse-JL, with per-block sketch-side noise in
-    place of tree noise — :class:`SketchShard`).  The routing, merge
-    rule, budget ledger, cache, async queue, and fault semantics are
-    backend-agnostic — all backends pin their streams' sensitivity at
-    Δ₂ = 2, so the per-shard calibration and the noise-preserving merge
-    carry over unchanged.
+    place of tree noise — :class:`SketchShard`), or **private two-stage
+    least squares** (``backend="iv"``: shards carry the three-entry
+    (ZᵀZ, ZᵀX, Zᵀy) moment bundle over stacked ``[z | x]`` blocks, solved
+    by a :class:`~repro.core.priv_inc_iv.PrivIncIV` —
+    :class:`IVMomentShard`).  The routing, merge rule, budget ledger,
+    cache, async queue, and fault semantics are backend-agnostic — a
+    backend is just a *moment bundle declaration*
+    (:class:`~repro.streaming.moments.MomentBundle`), and all bundles pin
+    their streams' sensitivity at Δ₂ = 2, so the per-statistic
+    calibration and the noise-preserving merge carry over unchanged.
 
     Parameters
     ----------
@@ -1062,11 +188,22 @@ class ShardedStream:
     backend:
         ``"moment"`` (default — Algorithm 2's raw-moment shards),
         ``"projected"`` (Algorithm 3's shared-Φ projected-moment shards;
-        requires ``mechanism="tree"`` and a ``horizon``), or ``"sketch"``
+        requires ``mechanism="tree"`` and a ``horizon``), ``"sketch"``
         (shared sparse-JL ``Φ`` with per-block sketch-side noise instead
         of tree noise — :class:`SketchShard`; requires
         ``mechanism="tree"`` and a ``horizon``, refuses ``decay`` and
-        ``window``).
+        ``window``), or ``"iv"`` (private two-stage least squares:
+        three-statistic (zz, zx, zy) shard bundles over stacked
+        ``[z | x]`` blocks, solved by
+        :class:`~repro.core.priv_inc_iv.PrivIncIV`; requires
+        ``mechanism="tree"``, a ``horizon`` and ``instruments``, refuses
+        ``decay`` and ``window``).
+    instruments:
+        Number of instrument coordinates ``p`` (``backend="iv"`` only;
+        required there).  Blocks then carry stacked ``[z | x]`` rows of
+        width ``instruments + dim`` with ``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1``,
+        and identification needs ``instruments ≥ dim`` (checked by the
+        default solver).
     x_domain:
         The covariate domain ``X`` (backends ``"projected"`` and
         ``"sketch"`` only) — needed to Gordon-size ``Φ`` when neither
@@ -1094,26 +231,30 @@ class ShardedStream:
         pass ``SparseProjection(..., sparsity_factor=s)`` directly
         instead.
     solver:
-        Any object with ``refresh_from_released(t, gram, cross)``,
-        ``current_estimate()`` and ``estimate_version`` — defaults to a
+        Any object with ``refresh_from_released(t, gram, cross)`` (or,
+        for bundles beyond the default pair,
+        ``refresh_from_bundle(t, moments)``), ``current_estimate()`` and
+        ``estimate_version`` — defaults to a
         :class:`~repro.core.incremental_regression.PrivIncReg1` (or the
         unbounded variant when ``horizon`` is ``None``; or a
         :class:`~repro.core.projected_regression.PrivIncReg2` sharing the
-        front's ``Φ`` under ``backend="projected"``/``"sketch"``) whose
-        own trees never ingest; it contributes only the post-tree
-        post-processing.
+        front's ``Φ`` under ``backend="projected"``/``"sketch"``; or a
+        :class:`~repro.core.priv_inc_iv.PrivIncIV` under
+        ``backend="iv"``) whose own trees never ingest; it contributes
+        only the post-tree post-processing.
     beta, fidelity, iteration_cap:
         Forwarded to the default solver.
     rng:
         Seed or Generator.  Under ``backend="projected"`` (and
         ``"sketch"``) the shared ``Φ`` is drawn from it first (exactly
         the plain ``PrivIncReg2`` consumption); then shard ``i``'s
-        (cross, gram) mechanisms use
-        children ``2i``/``2i+1`` of ``rng.spawn(2K)`` — for ``K=1`` this
-        is exactly the plain estimators' two-child spawn, which is what
-        makes the ``K=1`` server bit-identical (moment backend) or
-        tree-release-bit-identical (projected backend) to the plain
-        batched path.
+        bundle mechanisms use children ``[n·i, n·(i+1))`` of
+        ``rng.spawn(n·K)`` where ``n`` is the bundle size — for the
+        default two-entry bundle that is children ``2i``/``2i+1`` of
+        ``rng.spawn(2K)``, and for ``K=1`` exactly the plain estimators'
+        two-child spawn, which is what makes the ``K=1`` server
+        bit-identical (moment backend) or tree-release-bit-identical
+        (projected backend) to the plain batched path.
     """
 
     def __init__(
@@ -1138,6 +279,7 @@ class ShardedStream:
         restart_policy: str = "never",
         shard_horizon: int | None = None,
         backend: str = "moment",
+        instruments: int | None = None,
         x_domain: PointSet | None = None,
         projection=None,
         projected_dim: int | None = None,
@@ -1151,12 +293,12 @@ class ShardedStream:
     ) -> None:
         if ingest not in ("exact", "fast"):
             raise ValidationError(f"ingest must be 'exact' or 'fast', got {ingest!r}")
-        if backend not in ("moment", "projected", "sketch"):
+        if backend not in ("moment", "projected", "sketch", "iv"):
             raise ValidationError(
-                f"backend must be 'moment', 'projected' or 'sketch', "
+                f"backend must be 'moment', 'projected', 'sketch' or 'iv', "
                 f"got {backend!r}"
             )
-        if backend == "moment" and not (
+        if backend in ("moment", "iv") and not (
             x_domain is None
             and projection is None
             and projected_dim is None
@@ -1166,6 +308,15 @@ class ShardedStream:
                 "x_domain/projection/projected_dim/gamma only apply to "
                 "backend='projected' or 'sketch'"
             )
+        if backend == "iv":
+            if instruments is None:
+                raise ValidationError(
+                    "backend='iv' needs instruments (the width p of the z "
+                    "prefix of each stacked [z | x] block)"
+                )
+            instruments = check_int("instruments", instruments, minimum=1)
+        elif instruments is not None:
+            raise ValidationError("instruments only applies to backend='iv'")
         if sparsity_factor is not None:
             if backend != "sketch":
                 raise ValidationError(
@@ -1179,6 +330,11 @@ class ShardedStream:
             raise ValidationError(
                 f"backend={backend!r} needs tree shards (there is no "
                 "horizon-free projected solver; Algorithm 3 assumes a known T)"
+            )
+        if backend == "iv" and mechanism != "tree":
+            raise ValidationError(
+                "backend='iv' needs tree shards (the two-stage solver "
+                "assumes a known horizon T)"
             )
         if mechanism not in ("tree", "hybrid"):
             raise ValidationError(
@@ -1241,6 +397,12 @@ class ShardedStream:
                 "window is not supported with backend='sketch': per-block "
                 "sketch noise cannot expire elements; use window= with the "
                 "tree backends"
+            )
+        if backend == "iv" and (decay is not None or window is not None):
+            raise ValidationError(
+                "decay/window are not supported with backend='iv': the "
+                "two-stage solve has no non-stationary utility theory yet; "
+                "use the single-equation backends for drifting streams"
             )
         if window is not None and math.isinf(window) and mechanism != "tree":
             raise ValidationError(
@@ -1329,6 +491,17 @@ class ShardedStream:
         self.shard_horizon = shard_horizon if self.mechanism == "tree" else None
 
         self.backend = backend
+        self.instruments = instruments
+        # The named statistics every shard's bundle declares, in order —
+        # ("cross", "gram") for the single-equation backends, ("zz",
+        # "zx", "zy") for iv.  Everything downstream (rng spawn, ledger
+        # labels, merge slots, refresh dispatch) is keyed off this tuple.
+        self.bundle_names = bundle_names(backend)
+        # Width of an ingested block row: the estimand dimension, plus
+        # the stacked instrument prefix under backend="iv".
+        self._block_dim = (
+            self.dim + instruments if backend == "iv" else self.dim
+        )
         self.x_domain = x_domain
         self._solver_gamma = gamma
         if backend in ("projected", "sketch"):
@@ -1388,12 +561,19 @@ class ShardedStream:
         self.sparsity_factor = getattr(self.projection, "sparsity_factor", None)
 
         budgets = shard_budgets(params, self.shards_count, composition)
-        children = self._rng.spawn(2 * self.shards_count)
+        # One independent child generator per bundle entry per shard —
+        # shard i consumes the contiguous slice [n·i, n·(i+1)).  For the
+        # default two-entry bundle this is the historical spawn(2K) with
+        # children 2i/2i+1, byte-for-byte.
+        entries = len(self.bundle_names)
+        children = self._rng.spawn(entries * self.shards_count)
         shards: list[MomentShard] = []
         try:
             for i in range(self.shards_count):
                 shards.append(
-                    self._make_shard(i, budgets[i], children[2 * i], children[2 * i + 1])
+                    self._make_shard(
+                        i, budgets[i], children[entries * i : entries * (i + 1)]
+                    )
                 )
         except BaseException:
             # A failed shard (e.g. a process worker whose spawn payload
@@ -1409,17 +589,21 @@ class ShardedStream:
         # The logical budget ledger.  Under parallel composition the whole
         # sharded release costs what ONE shard costs (disjoint sub-streams);
         # under basic composition the per-shard charges sum back to the
-        # total.  Either way the ledger stays within `params`.
+        # total.  Either way the ledger stays within `params`, with one
+        # labelled charge per bundle statistic (for the default bundle:
+        # the historical cross/gram pair at params.halve(), bit-exactly).
         self.accountant = PrivacyAccountant(params, mode="basic")
+        weights = (1.0,) * entries
         if composition == "parallel":
-            half = params.halve()
-            self.accountant.charge("shards:cross-moments(parallel)", half)
-            self.accountant.charge("shards:gram-moments(parallel)", half)
+            for name, piece in zip(self.bundle_names, bundle_budgets(params, weights)):
+                self.accountant.charge(f"shards:{name}-moments(parallel)", piece)
         else:
             for shard in self._shards:
-                half = shard.budget.halve()
-                self.accountant.charge(f"shard{shard.index}:cross-moments", half)
-                self.accountant.charge(f"shard{shard.index}:gram-moments", half)
+                pieces = bundle_budgets(shard.budget, weights)
+                for name, piece in zip(self.bundle_names, pieces):
+                    self.accountant.charge(
+                        f"shard{shard.index}:{name}-moments", piece
+                    )
 
         if solver is None:
             solver = self._default_solver(beta, fidelity, iteration_cap)
@@ -1481,35 +665,53 @@ class ShardedStream:
         self,
         index: int,
         budget: PrivacyParams,
-        cross_rng: np.random.Generator,
-        gram_rng: np.random.Generator,
+        rngs,
     ) -> MomentShard:
         """Construct one shard worker for the configured backend + transport.
 
-        The remote transports pack the identical configuration — same
-        rng children, same budget, same shared ``Φ`` — into a picklable
+        ``rngs`` is the shard's contiguous slice of the front's spawn —
+        one child per bundle statistic, in bundle order.  The remote
+        transports pack the identical configuration — same rng children,
+        same budget, same shared ``Φ`` — into a picklable
         :class:`~repro.streaming.transport.ShardSpec` and boot a proxy
         around it (:class:`~repro.streaming.transport.ProcessShardWorker`
         over a pipe, or
         :class:`~repro.streaming.netserve.TcpShardWorker` against
         ``addresses[index % len(addresses)]``), so every transport builds
         byte-for-byte the same mechanisms and consumes randomness
-        identically.
+        identically.  Two-entry bundles ride the historical
+        ``cross_rng``/``gram_rng`` spec fields (the wire payload is
+        unchanged); wider bundles use the ``rngs`` field.
         """
+        rngs = tuple(rngs)
         if self.transport in ("process", "tcp"):
-            spec = ShardSpec(
-                index=index,
-                dim=self.dim,
-                budget=budget,
-                cross_rng=cross_rng,
-                gram_rng=gram_rng,
-                mechanism=self.mechanism,
-                shard_horizon=self.shard_horizon,
-                backend=self.backend,
-                projection=self.projection,
-                decay=self.decay,
-                window=self.window,
-            )
+            if self.backend == "iv":
+                spec = ShardSpec(
+                    index=index,
+                    dim=self.dim,
+                    budget=budget,
+                    mechanism=self.mechanism,
+                    shard_horizon=self.shard_horizon,
+                    backend=self.backend,
+                    decay=self.decay,
+                    window=self.window,
+                    instruments=self.instruments,
+                    rngs=rngs,
+                )
+            else:
+                spec = ShardSpec(
+                    index=index,
+                    dim=self.dim,
+                    budget=budget,
+                    cross_rng=rngs[0],
+                    gram_rng=rngs[1],
+                    mechanism=self.mechanism,
+                    shard_horizon=self.shard_horizon,
+                    backend=self.backend,
+                    projection=self.projection,
+                    decay=self.decay,
+                    window=self.window,
+                )
             if self.transport == "tcp":
                 return TcpShardWorker(
                     spec,
@@ -1519,6 +721,18 @@ class ShardedStream:
             return ProcessShardWorker(
                 spec, request_timeout=self.request_timeout
             )
+        if self.backend == "iv":
+            return IVMomentShard(
+                index=index,
+                dim=self.dim,
+                budget=budget,
+                rngs=rngs,
+                instruments=self.instruments,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+                decay=self.decay,
+                window=self.window,
+            )
         if self.backend in ("projected", "sketch"):
             shard_cls = (
                 SketchShard if self.backend == "sketch" else ProjectedMomentShard
@@ -1527,8 +741,8 @@ class ShardedStream:
                 index=index,
                 dim=self.dim,
                 budget=budget,
-                cross_rng=cross_rng,
-                gram_rng=gram_rng,
+                cross_rng=rngs[0],
+                gram_rng=rngs[1],
                 projection=self.projection,
                 mechanism=self.mechanism,
                 shard_horizon=self.shard_horizon,
@@ -1539,8 +753,8 @@ class ShardedStream:
             index=index,
             dim=self.dim,
             budget=budget,
-            cross_rng=cross_rng,
-            gram_rng=gram_rng,
+            cross_rng=rngs[0],
+            gram_rng=rngs[1],
             mechanism=self.mechanism,
             shard_horizon=self.shard_horizon,
             decay=self.decay,
@@ -1563,6 +777,19 @@ class ShardedStream:
 
     def _default_solver(self, beta: float, fidelity: str, iteration_cap: int):
         solver_rng = self._rng.spawn(1)[0]
+        if self.backend == "iv":
+            # Shares the bundle's (zz, zx, zy) layout; its own trees never
+            # ingest — served refreshes go through refresh_from_bundle.
+            return PrivIncIV(
+                horizon=self.horizon,
+                constraint=self.constraint,
+                instruments=self.instruments,
+                params=self.params,
+                beta=beta,
+                fidelity=fidelity,
+                iteration_cap=iteration_cap,
+                rng=solver_rng,
+            )
         if self.backend in ("projected", "sketch"):
             # Shares the front's Φ, so refresh_from_released receives merged
             # moments living in the solver's own projected space; its two
@@ -1601,6 +828,25 @@ class ShardedStream:
     # Ingestion API
     # ------------------------------------------------------------------
 
+    def _validate_block(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shape + unit-domain validation for one block, backend-aware.
+
+        Under ``backend="iv"`` rows are stacked ``[z | x]`` of width
+        ``instruments + dim`` and the unit bounds apply to each factor
+        separately (``‖z‖ ≤ 1, ‖x‖ ≤ 1, |y| ≤ 1`` — the calibration of
+        all three IV statistics); otherwise the paper's plain
+        ``‖x‖ ≤ 1, |y| ≤ 1`` domain.
+        """
+        xs, ys = check_xy_block(xs, ys, dim=self._block_dim)
+        if self.backend == "iv":
+            p = self.instruments
+            check_unit_iv_domain("ShardedStream", xs[:, :p], xs[:, p:], ys)
+        else:
+            check_unit_xy_domain("ShardedStream", xs, ys)
+        return xs, ys
+
     def observe(self, x: np.ndarray, y: float) -> np.ndarray:
         """Ingest one point (a block of one); return the cached estimate.
 
@@ -1608,7 +854,7 @@ class ShardedStream:
         estimate is the cached one, which may not reflect this point until
         the worker's next refresh completes.
         """
-        x = check_vector("x", x, dim=self.dim)
+        x = check_vector("x", x, dim=self._block_dim)
         return self.observe_batch(x[None, :], np.asarray([float(y)]))
 
     def observe_batch(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -1620,8 +866,7 @@ class ShardedStream:
         returns without touching the shard trees or the solver.
         """
         self._raise_if_unusable()
-        xs, ys = check_xy_block(xs, ys, dim=self.dim)
-        check_unit_xy_domain("ShardedStream", xs, ys)
+        xs, ys = self._validate_block(xs, ys)
         k = xs.shape[0]
         # Reserve capacity under the lock: concurrent producers must not
         # both pass the horizon check (the noise calibration is for T
@@ -1705,8 +950,7 @@ class ShardedStream:
             workers = check_int("workers", workers, minimum=1)
         validated = []
         for xs, ys in blocks:
-            xs, ys = check_xy_block(xs, ys, dim=self.dim)
-            check_unit_xy_domain("ShardedStream", xs, ys)
+            xs, ys = self._validate_block(xs, ys)
             validated.append((xs, ys))
         total = sum(len(ys) for _, ys in validated)
         with self._lock:
@@ -2101,14 +1345,26 @@ class ShardedStream:
             total += int(self.projection.matrix.size)
         return total
 
-    def merged_moments(self) -> tuple[MergedRelease, MergedRelease]:
-        """The merged (cross, gram) released moments right now.
+    def merged_moments(self) -> tuple[MergedRelease, ...]:
+        """The merged released moments right now, in bundle order.
 
-        Post-processing of already-released sums — free to call, used by
-        the conformance suite to compare against per-shard replays.
+        One :class:`~repro.privacy.tree.MergedRelease` per bundle
+        statistic — ``(cross, gram)`` for the single-equation backends,
+        ``(zz, zx, zy)`` for iv.  Post-processing of already-released
+        sums — free to call, used by the conformance suite to compare
+        against per-shard replays.
         """
         with self._lock:
             return self._merge()
+
+    def merged_bundle(self) -> dict[str, MergedRelease]:
+        """The merged released moments keyed by statistic name.
+
+        The same merges as :meth:`merged_moments`, as the name-keyed
+        mapping solver ``refresh_from_bundle`` hooks consume.
+        """
+        with self._lock:
+            return dict(zip(self.bundle_names, self._merge()))
 
     # ------------------------------------------------------------------
     # Shard lifecycle (fault injection / recovery)
@@ -2163,16 +1419,19 @@ class ShardedStream:
             # to it first (e.g. a crash first noticed by a worker-level
             # diagnostic, restarted before any merge ran).
             self._note_shard_death(old)
+            entries = len(self.bundle_names)
             if self.composition == "basic":
-                # One atomic charge for the replacement pair of trees;
-                # PrivacyAccountant.charge rolls itself back on refusal.
+                # One atomic charge for the replacement bundle's
+                # mechanisms; PrivacyAccountant.charge rolls itself back
+                # on refusal.  (For the default bundle this is the
+                # historical halved pair, count=2.)
                 self.accountant.charge(
-                    f"shard{index}:moments(restart)", old.budget.halve(), count=2
+                    f"shard{index}:moments(restart)",
+                    bundle_budgets(old.budget, (1.0,) * entries)[0],
+                    count=entries,
                 )
-            cross_rng, gram_rng = self._rng.spawn(2)
-            self._shards[index] = self._make_shard(
-                index, old.budget, cross_rng, gram_rng
-            )
+            rngs = self._rng.spawn(entries)
+            self._shards[index] = self._make_shard(index, old.budget, rngs)
 
     # ------------------------------------------------------------------
     # Internals
@@ -2228,10 +1487,13 @@ class ShardedStream:
         try:
             shard.ingest(xs, ys, self._fast)
         except ShardUnavailableError:
-            # A process worker crashed under the block (thread shards never
-            # raise this from ingest): the shard's previously acknowledged
-            # mass is lost; the block itself was not acknowledged and is
-            # refunded by the caller, so a retry routes to a live shard.
+            # A process worker crashed under the block, or the shard's
+            # bundle tore mid-block (BundlePartialCommitError — a later
+            # bundle entry failed after an earlier one committed; thread
+            # shards raise nothing else from ingest): the shard's
+            # previously acknowledged mass is lost; the block itself was
+            # not acknowledged and is refunded by the caller, so a retry
+            # routes to a live shard.
             self._note_shard_death(shard)
             self._blocks_refunded += 1
             raise
@@ -2258,17 +1520,19 @@ class ShardedStream:
 
         The single definition of the loss-accounting rule, so every path
         that can *observe* a death (commanded kill, crash detected during
-        ingest, during a merge, or by a diagnostic) funnels through the
-        same once-only ledger update and no detection order can drop or
-        double-count mass.  No-op while the shard is alive or after its
-        loss is already booked.
+        ingest, a bundle torn mid-block, during a merge, or by a
+        diagnostic) funnels through the same once-only ledger update and
+        no detection order can drop or double-count mass.  ``steps`` only
+        advances on fully committed bundles, so a torn bundle's partial
+        block is never counted into the loss.  No-op while the shard is
+        alive or after its loss is already booked.
         """
         if not shard.alive and not shard.lost_accounted:
             shard.lost_accounted = True
             self.lost_steps += shard.steps
 
     def _released_handles(self, shard):
-        """One shard's (cross, gram) merge handles, or (None, None) if dead.
+        """One shard's merge handles in bundle order, or all-``None`` if dead.
 
         A process worker found dead *here* (crashed since its last
         acknowledgement) is folded into the partial-coverage path on the
@@ -2280,18 +1544,21 @@ class ShardedStream:
         """
         if not shard.alive:
             self._note_shard_death(shard)
-            return None, None
+            return tuple(None for _ in self.bundle_names)
         try:
             return shard.released()
         except ShardUnavailableError:
             self._note_shard_death(shard)
-            return None, None
+            return tuple(None for _ in self.bundle_names)
 
-    def _merge(self) -> tuple[MergedRelease, MergedRelease]:
-        pairs = [self._released_handles(s) for s in self._shards]
-        cross = merge_released([c for c, _ in pairs], strict=False)
-        gram = merge_released([g for _, g in pairs], strict=False)
-        return cross, gram
+    def _merge(self) -> tuple[MergedRelease, ...]:
+        handles = [self._released_handles(s) for s in self._shards]
+        return tuple(
+            merge_released(
+                [per_shard[slot] for per_shard in handles], strict=False
+            )
+            for slot in range(len(self.bundle_names))
+        )
 
     def _refresh(self) -> None:
         """Merge the shard releases and run one solve; publish to the cache.
@@ -2301,8 +1568,8 @@ class ShardedStream:
         stream marked stale and the next ``flush``/scheduled refresh
         retries it instead of silently serving an outdated estimate.
         """
-        cross, gram = self._merge()
-        covered = cross.covered_steps
+        merged = self._merge()
+        covered = merged[0].covered_steps
         if covered == 0:
             # Nothing covered (e.g. every surviving shard is empty): there
             # is no objective to solve; the previous estimate stands.
@@ -2314,9 +1581,17 @@ class ShardedStream:
         # shards report weight == covered exactly (float vs int compares
         # exact for counts), so the historical integer path — and its
         # bit-identical solves — is preserved.
-        weight = cross.covered_weight
+        weight = merged[0].covered_weight
         t_solve = weight if weight != covered else covered
-        theta = self.solver.refresh_from_released(t_solve, gram.value, cross.value)
+        if self.bundle_names == ("cross", "gram"):
+            cross, gram = merged
+            theta = self.solver.refresh_from_released(
+                t_solve, gram.value, cross.value
+            )
+        else:
+            theta = self.solver.refresh_from_bundle(
+                t_solve, dict(zip(self.bundle_names, merged))
+            )
         self._hub.publish(
             theta,
             self.solver.estimate_version,

@@ -1,0 +1,28 @@
+"""Serving-layer validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from ..._validation import check_decay
+from ...exceptions import ValidationError
+
+__all__ = ["_check_decay_groups"]
+
+
+def _check_decay_groups(decays) -> tuple[float, ...]:
+    """Validate a declared tuple of shared-Gram γ groups (PRIMO serving).
+
+    ``None`` means the single plain group ``(1.0,)``.  Each entry must be
+    a valid forgetting factor (``γ ∈ (0, 1]``) and the entries must be
+    distinct — one shared Gram mechanism is built per group, so a repeat
+    would silently spend gram budget twice on the same weighting.
+    """
+    if decays is None:
+        return (1.0,)
+    groups = tuple(
+        check_decay(f"decays[{i}]", g) for i, g in enumerate(decays)
+    )
+    if not groups:
+        raise ValidationError("decays must declare at least one γ group")
+    if len(set(groups)) != len(groups):
+        raise ValidationError(f"decays entries must be distinct, got {groups!r}")
+    return groups

@@ -157,6 +157,13 @@ class ShardSpec:
     tenant_capacity: int | None = None
     decays: "tuple[float, ...] | None" = None
     tenant_decays: "tuple[float, ...] | None" = None
+    #: Bundle-generic payload: the number of instrument columns (IV
+    #: backend) and the per-statistic rng children in bundle order.  The
+    #: legacy ``cross_rng``/``gram_rng`` pair remains the wire format for
+    #: two-entry bundles; ``rngs`` carries wider bundles without growing
+    #: a field per statistic.
+    instruments: int | None = None
+    rngs: "tuple[np.random.Generator, ...] | None" = None
 
     def build(self):
         """Construct the shard worker this spec describes (child side)."""
@@ -164,6 +171,7 @@ class ShardSpec:
         # must stay importable from serving.py without a cycle, and the
         # child pays the serving import only once, at build time.
         from .serving import (
+            IVMomentShard,
             MomentShard,
             ProjectedMomentShard,
             SketchShard,
@@ -188,6 +196,23 @@ class ShardSpec:
                 shard_horizon=self.shard_horizon,
                 decays=self.decays,
                 tenant_decays=self.tenant_decays,
+            )
+        if self.backend == "iv":
+            if self.instruments is None or self.rngs is None:
+                raise ValidationError(
+                    "ShardSpec(backend='iv') requires the instrument count "
+                    "and per-statistic rngs in the spawn payload"
+                )
+            return IVMomentShard(
+                index=self.index,
+                dim=self.dim,
+                budget=self.budget,
+                rngs=self.rngs,
+                instruments=self.instruments,
+                mechanism=self.mechanism,
+                shard_horizon=self.shard_horizon,
+                decay=self.decay,
+                window=self.window,
             )
         if self.backend in ("projected", "sketch"):
             if self.projection is None:
@@ -273,25 +298,23 @@ def dispatch_command(shard, command: str, payload):
     if command == "released":
         # Snapshot, never the live mechanisms: the wire carries the
         # released statistic (O(m)/O(m²)), not the tree (O(m² log T)
-        # plus generator state).  A tenant shard's cross slot is a
-        # tuple (one release per tenant) — same snapshot type, same
+        # plus generator state).  One slot per bundle statistic, in
+        # bundle order — two for the default (cross, gram) bundle,
+        # three for the IV (zz, zx, zy) bundle.  A tenant shard's slot
+        # may itself be a tuple (one release per tenant, or one
+        # shared-Gram handle per γ group) — same snapshot type, same
         # wire format, just k of them.
-        cross, gram = shard.released()
-        if isinstance(cross, tuple):
-            cross_result = tuple(
-                mechanism.released_moments() for mechanism in cross
-            )
-        else:
-            cross_result = cross.released_moments()
-        if isinstance(gram, tuple):
-            # Tenant shards with γ groups release one shared-Gram handle
-            # per declared decay — same snapshot type, one per group.
-            gram_result = tuple(
-                mechanism.released_moments() for mechanism in gram
-            )
-        else:
-            gram_result = gram.released_moments()
-        return (cross_result, gram_result)
+        snapshots = []
+        for handle in shard.released():
+            if isinstance(handle, tuple):
+                snapshots.append(
+                    tuple(
+                        mechanism.released_moments() for mechanism in handle
+                    )
+                )
+            else:
+                snapshots.append(handle.released_moments())
+        return tuple(snapshots)
     if command == "tenant":
         action, name, extra = payload
         if action == "add":
@@ -432,14 +455,15 @@ class ShardRpcClient:
         """
         self.steps = int(self._request("ingest", (xs, ys, bool(fast))))
 
-    def released(self) -> tuple[ReleasedMoments, ReleasedMoments]:
-        """The (cross, gram) released moments, snapshotted over the wire.
+    def released(self) -> tuple[ReleasedMoments, ...]:
+        """The bundle's released moments, snapshotted over the wire.
 
-        One round trip for both snapshots; each merges interchangeably
-        with live mechanisms (:func:`~repro.privacy.tree.merge_released`).
+        One round trip for all snapshots, in bundle order — (cross, gram)
+        for the default backends, (zz, zx, zy) for the IV backend; each
+        merges interchangeably with live mechanisms
+        (:func:`~repro.privacy.tree.merge_released`).
         """
-        cross, gram = self._request("released", None)
-        return cross, gram
+        return tuple(self._request("released", None))
 
     @property
     def cross(self) -> ReleasedMoments:

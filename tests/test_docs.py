@@ -91,13 +91,25 @@ def test_docs_cover_the_tenancy_contract_surface():
     )
 
 
+def test_docs_cover_the_iv_solver_surface():
+    """The IV backend made ``PrivIncIV`` contract surface: every public
+    constructor knob of the standalone estimator the served backend
+    replays must appear in SERVING.md."""
+    from repro import PrivIncIV
+
+    undocumented = _undocumented_ctor_knobs(PrivIncIV)
+    assert not undocumented, (
+        f"docs/SERVING.md PrivIncIV knob table is missing: {undocumented}"
+    )
+
+
 def test_docs_cover_every_backend_and_mechanism_value():
     """Accepted enum values are contract surface too: every shard
     ``backend`` and every release-mechanism family the factory accepts
     must appear (quoted) in SERVING.md — a new backend cannot land
     undocumented."""
     serving_doc = (REPO_ROOT / "docs" / "SERVING.md").read_text()
-    backends = ("moment", "projected", "sketch")
+    backends = ("moment", "projected", "sketch", "iv")
     mechanisms = ("tree", "hybrid", "sketch")
     missing = [
         value
